@@ -1,0 +1,104 @@
+// Ablation — the paper's §7 future-work proposals, implemented and tested
+// on the programmable-NIC emulation:
+//
+//   (1) limited-subset spraying ("it may be wise to only spray packets
+//       from a particular flow to a limited subset of cores"): sweep the
+//       subset size from 1 (= per-flow RSS) to all cores and measure TCP
+//       throughput and observed reordering at the receiver;
+//   (2) hardware connection-packet steering ("we could program NICs to
+//       direct connection packets to designated cores, reducing some of
+//       Sprayer's overhead"): compare ring transfers and processing rate
+//       with and without it under connection churn.
+#include <cstdio>
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "tcp/iperf.hpp"
+
+using namespace sprayer;
+
+int main(int argc, char** argv) {
+  const CliConfig cli(argc, argv);
+  const Cycles cycles = cli.get_u64("cycles", 10000);
+  const u32 flows = static_cast<u32>(cli.get_u64("flows", 8));
+  const double duration = cli.get_double("duration", 0.4);
+  const u64 seed = cli.get_u64("seed", 1);
+
+  std::printf("=== Future work (paper S7.3): spray-subset size vs TCP "
+              "throughput and reordering (%u flows, %llu cycles/pkt) ===\n",
+              flows, static_cast<unsigned long long>(cycles));
+  ConsoleTable subset_table({"subset size", "goodput (Gbps)",
+                             "reordered segs", "spurious fast-retx"});
+  for (const u32 subset : {1u, 2u, 4u, 8u}) {
+    nf::SyntheticNf nf(cycles);
+    tcp::IperfScenario sc;
+    sc.num_flows = flows;
+    sc.warmup = from_seconds(0.15);
+    sc.duration = from_seconds(duration);
+    sc.seed = seed;
+    sc.mbox.mode = core::DispatchMode::kSpray;
+    sc.nic.spray_subset = subset;  // 8 = full spraying on 8 cores
+
+    const auto r = run_iperf(nf, sc);
+    u64 fast_retx = 0;
+    for (const auto& f : r.flows) fast_retx += f.stats.fast_retransmits;
+    subset_table.add_row({std::to_string(subset),
+                          ConsoleTable::num(r.total_goodput_bps / 1e9),
+                          std::to_string(r.server_ooo_segments),
+                          std::to_string(fast_retx)});
+  }
+  subset_table.print(std::cout);
+  std::printf("[note] subset=1 degenerates to per-flow placement (one "
+              "queue per flow); larger subsets add parallelism and "
+              "reordering\n\n");
+
+  std::printf("=== Future work (paper S7.2): hardware connection-packet "
+              "steering under connection churn ===\n");
+  ConsoleTable hw_table({"hw steering", "rate (Mpps)", "ring transfers/s"});
+  for (const bool hw : {false, true}) {
+    bench::PktGenExperiment ex;
+    ex.mode = core::DispatchMode::kSpray;
+    ex.nf_cycles = 2000;
+    ex.num_flows = 16;
+    ex.new_flow_every = 8;  // heavy churn: 1/8 packets are SYNs
+    ex.duration_s = 0.02;
+    ex.seed = seed;
+    ex.nic.hw_connection_steering = hw;
+    const auto r = bench::run_pktgen_experiment(ex);
+    hw_table.add_row(
+        {hw ? "on" : "off",
+         ConsoleTable::num(r.processed_pps / 1e6),
+         ConsoleTable::num(
+             static_cast<double>(r.report.total.conn_transferred_out) /
+                 ex.duration_s / 1e6, 2) + "M"});
+  }
+  hw_table.print(std::cout);
+  std::printf("[note] steering in hardware eliminates the descriptor "
+              "transfers entirely\n\n");
+
+  std::printf("=== Future work (paper S7.3): flowlet spraying — idle-gap "
+              "threshold vs throughput and reordering ===\n");
+  ConsoleTable fl_table({"flowlet gap", "goodput (Gbps)", "reordered segs"});
+  for (const Time gap :
+       {Time{0}, 5 * kMicrosecond, 50 * kMicrosecond, 500 * kMicrosecond}) {
+    nf::SyntheticNf nf(cycles);
+    tcp::IperfScenario sc;
+    sc.num_flows = flows;
+    sc.warmup = from_seconds(0.15);
+    sc.duration = from_seconds(duration);
+    sc.seed = seed;
+    sc.mbox.mode = core::DispatchMode::kSpray;
+    sc.nic.flowlet_gap = gap;
+    const auto r = run_iperf(nf, sc);
+    fl_table.add_row(
+        {gap == 0 ? "off" : ConsoleTable::num(to_micros(gap), 0) + " us",
+         ConsoleTable::num(r.total_goodput_bps / 1e9),
+         std::to_string(r.server_ooo_segments)});
+  }
+  fl_table.print(std::cout);
+  std::printf("[note] larger gaps keep bursts of a flow on one core: less "
+              "reordering, coarser balancing\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation — connection-packet redirection cost (DESIGN.md §5.1).
+//
+// Sprayer's only per-packet overhead relative to pure spraying is the
+// descriptor transfer of connection packets to their designated core. Two
+// sweeps quantify it on a connection-heavy workload:
+//   (1) churn sweep: fraction of connection packets from 0 to 1/4, with
+//       the default cost model;
+//   (2) cost sweep: transfer enqueue+dequeue cycles from 0 to 8x default,
+//       at fixed churn — how expensive would rings have to get before
+//       spraying stopped paying off?
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+using namespace sprayer;
+
+int main(int argc, char** argv) {
+  const CliConfig cli(argc, argv);
+  const Cycles cycles = cli.get_u64("cycles", 2000);
+  const double duration = cli.get_double("duration", 0.02);
+  const u64 seed = cli.get_u64("seed", 1);
+
+  std::printf("=== Ablation: connection churn vs processing rate "
+              "(%llu cycles/pkt) ===\n",
+              static_cast<unsigned long long>(cycles));
+  ConsoleTable churn_table({"conn pkt share", "RSS (Mpps)", "Sprayer (Mpps)",
+                            "transfers/s"});
+  for (const u32 every : {0u, 64u, 16u, 8u, 4u}) {
+    bench::PktGenExperiment ex;
+    ex.nf_cycles = cycles;
+    ex.num_flows = 16;
+    ex.new_flow_every = every;
+    ex.duration_s = duration;
+    ex.seed = seed;
+
+    ex.mode = core::DispatchMode::kRss;
+    const auto rss = bench::run_pktgen_experiment(ex);
+    ex.mode = core::DispatchMode::kSpray;
+    const auto spray = bench::run_pktgen_experiment(ex);
+
+    const double share = every == 0 ? 0.0 : 1.0 / every;
+    churn_table.add_row(
+        {ConsoleTable::num(share, 3),
+         ConsoleTable::num(rss.processed_pps / 1e6),
+         ConsoleTable::num(spray.processed_pps / 1e6),
+         ConsoleTable::num(
+             static_cast<double>(
+                 spray.report.total.conn_transferred_out) / duration / 1e6,
+             2) + "M"});
+  }
+  churn_table.print(std::cout);
+
+  std::printf("\n=== Ablation: ring transfer cost vs processing rate "
+              "(1/8 connection packets) ===\n");
+  ConsoleTable cost_table({"enq+deq cycles", "Sprayer (Mpps)"});
+  for (const u32 mult : {0u, 1u, 2u, 4u, 8u}) {
+    bench::PktGenExperiment ex;
+    ex.mode = core::DispatchMode::kSpray;
+    ex.nf_cycles = cycles;
+    ex.num_flows = 16;
+    ex.new_flow_every = 8;
+    ex.duration_s = duration;
+    ex.seed = seed;
+    ex.costs.transfer_enqueue = 60 * mult;
+    ex.costs.transfer_dequeue = 40 * mult;
+    const auto r = bench::run_pktgen_experiment(ex);
+    cost_table.add_row(
+        {std::to_string(100 * mult),
+         ConsoleTable::num(r.processed_pps / 1e6)});
+  }
+  cost_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "harness.hpp"
+
+namespace sprayer::bench {
+
+PktGenResult run_pktgen_experiment(const PktGenExperiment& ex) {
+  sim::Simulator sim;
+  net::PacketPool pool(1u << 16, 256);
+  nf::SyntheticNf nf(ex.nf_cycles);
+
+  core::SprayerConfig cfg;
+  cfg.mode = ex.mode;
+  cfg.num_cores = ex.num_cores;
+  cfg.costs = ex.costs;
+  cfg.rx_batch = ex.rx_batch;
+  core::SimMiddlebox mbox(sim, cfg, nf, ex.nic);
+  nic::MeasureSink sink(sim);
+
+  sim::LinkConfig in_cfg;
+  in_cfg.egress_port_label = 0;
+  in_cfg.queue_packets = 4096;
+  sim::Link gen_link(sim, in_cfg, mbox.ingress(), "gen->mbox");
+  sim::LinkConfig out_cfg;
+  out_cfg.queue_packets = 4096;
+  sim::Link out_link(sim, out_cfg, sink, "mbox->sink");
+  sim::Link back_link(sim, out_cfg, sink, "mbox->gen");
+  mbox.attach_tx_link(1, out_link);
+  mbox.attach_tx_link(0, back_link);
+
+  nic::PktGenConfig gen_cfg;
+  gen_cfg.rate_pps = ex.rate_pps;
+  gen_cfg.frame_len = ex.frame_len;
+  gen_cfg.num_flows = ex.num_flows;
+  gen_cfg.seed = ex.seed;
+  gen_cfg.poisson = ex.poisson;
+  gen_cfg.new_flow_every = ex.new_flow_every;
+  nic::PacketGen gen(sim, pool, gen_link, gen_cfg);
+  gen.start();
+
+  sim.run_until(from_seconds(ex.warmup_s));
+  sink.reset();
+  mbox.reset_stats();
+  const u64 sent_before = gen.sent();
+
+  sim.run_until(from_seconds(ex.warmup_s + ex.duration_s));
+
+  PktGenResult result;
+  result.offered_pps =
+      static_cast<double>(gen.sent() - sent_before) / ex.duration_s;
+  result.processed_pps =
+      static_cast<double>(sink.packets()) / ex.duration_s;
+  result.latency = sink.latency();
+  result.report = mbox.report();
+  return result;
+}
+
+}  // namespace sprayer::bench

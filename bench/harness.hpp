@@ -1,0 +1,44 @@
+// Shared experiment harness for the figure benches: builds the two-server
+// testbed of §5 (traffic generator ↔ middlebox) in the simulator, runs a
+// warmup + measured interval, and returns rates and latency distributions.
+#pragma once
+
+#include <memory>
+
+#include "common/histogram.hpp"
+#include "core/middlebox.hpp"
+#include "nf/synthetic.hpp"
+#include "nic/pktgen.hpp"
+
+namespace sprayer::bench {
+
+struct PktGenExperiment {
+  core::DispatchMode mode = core::DispatchMode::kSpray;
+  Cycles nf_cycles = 0;
+  u32 num_flows = 1;
+  u32 num_cores = 8;
+  double rate_pps = line_rate_pps(10e9, 60);
+  u32 frame_len = 60;
+  bool poisson = false;
+  double warmup_s = 0.005;
+  double duration_s = 0.03;
+  u64 seed = 1;
+  u32 new_flow_every = 0;  // connection churn (see PktGenConfig)
+  /// Optional cost-model override for ablations.
+  core::CostModel costs{};
+  u32 rx_batch = 32;
+  nic::NicConfig nic{};
+};
+
+struct PktGenResult {
+  double offered_pps = 0.0;
+  double processed_pps = 0.0;
+  /// One-way generator→sink latency through the middlebox, picoseconds.
+  LogHistogram latency{10};
+  core::MiddleboxReport report;  // measured interval only
+};
+
+/// Run the MoonGen-style experiment (Figures 6a, 7a, 8).
+[[nodiscard]] PktGenResult run_pktgen_experiment(const PktGenExperiment& ex);
+
+}  // namespace sprayer::bench

@@ -1,0 +1,191 @@
+// Micro-benchmarks (google-benchmark) of the data-plane primitives: these
+// are the host-machine costs of the real code paths, complementing the
+// simulator's modeled cycle costs.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/flow_table.hpp"
+#include "hash/crc32c.hpp"
+#include "hash/toeplitz.hpp"
+#include "net/checksum.hpp"
+#include "net/packet_builder.hpp"
+#include "net/packet_pool.hpp"
+#include "nf/aho_corasick.hpp"
+#include "runtime/mpmc_ring.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sprayer {
+namespace {
+
+std::vector<u8> random_bytes(std::size_t n, u64 seed = 1) {
+  Rng rng(seed);
+  std::vector<u8> v(n);
+  for (auto& b : v) b = static_cast<u8>(rng.next());
+  return v;
+}
+
+net::FiveTuple bench_tuple() {
+  return {net::Ipv4Addr{10, 1, 2, 3}, net::Ipv4Addr{172, 16, 4, 5}, 40000,
+          443, net::kProtoTcp};
+}
+
+void BM_InternetChecksum(benchmark::State& state) {
+  const auto buf = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(60)->Arg(1514);
+
+void BM_ChecksumIncrementalUpdate(benchmark::State& state) {
+  u16 cks = 0x1234;
+  u16 field = 1;
+  for (auto _ : state) {
+    cks = net::checksum_update16(cks, field, static_cast<u16>(field + 1));
+    ++field;
+    benchmark::DoNotOptimize(cks);
+  }
+}
+BENCHMARK(BM_ChecksumIncrementalUpdate);
+
+void BM_ToeplitzV4L4(benchmark::State& state) {
+  const auto t = bench_tuple();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::toeplitz_v4_l4(t, hash::kSymmetricKey));
+  }
+}
+BENCHMARK(BM_ToeplitzV4L4);
+
+void BM_Crc32c(benchmark::State& state) {
+  const auto buf = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hash::crc32c(std::span<const u8>{buf.data(), buf.size()}));
+  }
+}
+BENCHMARK(BM_Crc32c)->Arg(12)->Arg(64);
+
+void BM_FiveTuplePack(benchmark::State& state) {
+  auto t = bench_tuple();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.canonical().pack());
+    t.src_port++;
+  }
+}
+BENCHMARK(BM_FiveTuplePack);
+
+void BM_FlowTableLookupHit(benchmark::State& state) {
+  core::FlowTable table(1u << 16, 16, 0);
+  Rng rng(3);
+  std::vector<net::FiveTuple> keys;
+  for (int i = 0; i < 10000; ++i) {
+    net::FiveTuple t = bench_tuple();
+    t.src_ip = net::Ipv4Addr{static_cast<u32>(rng.next())};
+    t.src_port = static_cast<u16>(rng.next());
+    keys.push_back(t);
+    benchmark::DoNotOptimize(table.insert(t));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find_local(keys[i % keys.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_FlowTableLookupHit);
+
+void BM_FlowTableInsertRemove(benchmark::State& state) {
+  core::FlowTable table(1u << 16, 16, 0);
+  Rng rng(4);
+  net::FiveTuple t = bench_tuple();
+  for (auto _ : state) {
+    t.src_ip = net::Ipv4Addr{static_cast<u32>(rng.next())};
+    benchmark::DoNotOptimize(table.insert(t));
+    benchmark::DoNotOptimize(table.remove(t));
+  }
+}
+BENCHMARK(BM_FlowTableInsertRemove);
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  runtime::SpscRing<void*> ring(1024);
+  void* item = &ring;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.push(item));
+    void* out;
+    benchmark::DoNotOptimize(ring.pop(out));
+  }
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_MpmcRingPushPop(benchmark::State& state) {
+  runtime::MpmcRing<void*> ring(1024);
+  void* item = &ring;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.push(item));
+    void* out;
+    benchmark::DoNotOptimize(ring.pop(out));
+  }
+}
+BENCHMARK(BM_MpmcRingPushPop);
+
+void BM_PacketPoolAllocFree(benchmark::State& state) {
+  net::PacketPool pool(256);
+  for (auto _ : state) {
+    net::Packet* p = pool.alloc_raw();
+    benchmark::DoNotOptimize(p);
+    pool.free(p);
+  }
+}
+BENCHMARK(BM_PacketPoolAllocFree);
+
+void BM_BuildAndParseTcpFrame(benchmark::State& state) {
+  net::PacketPool pool(16);
+  net::TcpSegmentSpec spec;
+  spec.tuple = bench_tuple();
+  spec.payload_len = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    net::Packet* pkt = net::build_tcp_raw(pool, spec);
+    benchmark::DoNotOptimize(pkt->five_tuple());
+    pool.free(pkt);
+  }
+}
+BENCHMARK(BM_BuildAndParseTcpFrame)->Arg(6)->Arg(1460);
+
+void BM_AhoCorasickScan(benchmark::State& state) {
+  nf::AhoCorasick ac({"attack", "exploit", "malware", "GET /",
+                      "\xde\xad\xbe\xef"});
+  const auto buf = random_bytes(1460);
+  u64 hits = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ac.scan(0, std::span<const u8>{buf.data(), buf.size()}, &hits));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 1460);
+}
+BENCHMARK(BM_AhoCorasickScan);
+
+void BM_EventQueueScheduleDispatch(benchmark::State& state) {
+  class Nop final : public sim::IEventTarget {
+   public:
+    void handle_event(u64) override {}
+  } nop;
+  sim::EventQueue q;
+  Rng rng(5);
+  // Keep a standing population of 1024 events.
+  for (int i = 0; i < 1024; ++i) q.schedule(rng.next() % 100000, &nop);
+  Time t = 100000;
+  for (auto _ : state) {
+    const auto e = q.pop();
+    benchmark::DoNotOptimize(e);
+    q.schedule(t, &nop);
+    ++t;
+  }
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+}  // namespace
+}  // namespace sprayer
+
+BENCHMARK_MAIN();

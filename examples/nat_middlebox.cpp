@@ -1,0 +1,69 @@
+// The paper's worked example (Figure 5), live: a source NAT running under
+// packet spraying, translating real TCP connections end to end.
+//
+// Demonstrates the subtle part of the design: the NAT claims external ports
+// whose *return* flow hashes to the same designated core, so both
+// directions' connection packets and flow entries stay on one core — the
+// writing partition holds even though data packets are sprayed everywhere.
+//
+//   ./build/examples/nat_middlebox [flows=8] [duration=0.2]
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "nf/nat.hpp"
+#include "nic/pktgen.hpp"
+#include "tcp/iperf.hpp"
+
+using namespace sprayer;
+
+int main(int argc, char** argv) {
+  const CliConfig cli(argc, argv);
+  const u32 flows = static_cast<u32>(cli.get_u64("flows", 8));
+  const double duration = cli.get_double("duration", 0.2);
+
+  nf::NatConfig nat_cfg;
+  nat_cfg.external_ip = net::Ipv4Addr{203, 0, 113, 7};
+  nf::NatNf nat(nat_cfg);
+
+  tcp::IperfScenario sc;
+  sc.num_flows = flows;
+  sc.warmup = from_seconds(0.01);
+  sc.duration = from_seconds(duration);
+  sc.tcp.bytes_to_send = 10'000'000;  // finite flows: exercises session close
+  sc.mbox.mode = core::DispatchMode::kSpray;
+  sc.seed = 7;
+
+  std::printf("NAT middlebox (external IP %s), %u TCP connections, "
+              "sprayed over %u cores\n\n",
+              nat_cfg.external_ip.to_string().c_str(), flows,
+              sc.mbox.num_cores);
+
+  const auto result = run_iperf(nat, sc);
+
+  std::printf("%-45s %-12s %s\n", "flow (client view)", "goodput", "state");
+  for (const auto& f : result.flows) {
+    std::printf("%-45s %6.2f Mbps %s\n", f.tuple.to_string().c_str(),
+                f.goodput_bps / 1e6, to_string(f.final_state));
+  }
+
+  const auto& c = nat.counters();
+  std::printf("\nNAT sessions: opened %llu, closed %llu, "
+              "unmatched dropped %llu\n",
+              static_cast<unsigned long long>(c.sessions_opened),
+              static_cast<unsigned long long>(c.sessions_closed),
+              static_cast<unsigned long long>(c.unmatched_dropped));
+  std::printf("port pool: %u claimed of %u (all released after close: %s)\n",
+              nat.port_pool().claimed(), nat.port_pool().size(),
+              nat.port_pool().claimed() == 0 ? "yes" : "no");
+  std::printf("connection packets transferred to designated cores: %llu\n",
+              static_cast<unsigned long long>(
+                  result.mbox.total.conn_transferred_out));
+  std::printf("flow entries left in tables: %llu\n",
+              static_cast<unsigned long long>(result.mbox.flow_entries));
+
+  const bool ok = c.sessions_opened == flows &&
+                  result.total_goodput_bps > 0;
+  std::printf("\n%s\n", ok ? "OK: all connections translated end to end"
+                           : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// The framework on real threads: a stateful firewall running on worker
+// threads with true inter-core descriptor transfers — the same NF code and
+// engine logic the simulated experiments use, demonstrating that the
+// library is an executable framework, not only a model.
+//
+//   ./build/examples/threaded_firewall [cores=4] [packets=50000]
+#include <atomic>
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "core/threaded.hpp"
+#include "net/packet_builder.hpp"
+#include "nf/firewall.hpp"
+#include "nic/pktgen.hpp"
+
+using namespace sprayer;
+
+int main(int argc, char** argv) {
+  const CliConfig cli(argc, argv);
+  const u32 cores = static_cast<u32>(cli.get_u64("cores", 4));
+  const u32 packets = static_cast<u32>(cli.get_u64("packets", 50000));
+
+  // ACL: allow 10.0.0.0/8 to ports 1-32767, deny the rest.
+  nf::Acl acl(/*default_allow=*/false);
+  nf::AclRule allow;
+  allow.src_net = net::Ipv4Addr{10, 0, 0, 0};
+  allow.src_prefix_len = 8;
+  allow.dst_port_lo = 1;
+  allow.dst_port_hi = 32767;
+  allow.allow = true;
+  acl.add_rule(allow);
+  nf::FirewallNf firewall(std::move(acl));
+
+  net::PacketPool pool(16384, 256);
+  std::atomic<u64> forwarded{0};
+  core::SprayerConfig cfg;
+  cfg.num_cores = cores;
+  cfg.mode = core::DispatchMode::kSpray;
+  core::ThreadedMiddlebox mbox(cfg, firewall, [&](net::Packet* pkt) {
+    forwarded.fetch_add(1, std::memory_order_relaxed);
+    pkt->pool()->free(pkt);
+  });
+  mbox.start();
+
+  // Half the flows match the ACL (10/8, low ports), half do not.
+  auto flows = nic::random_tcp_flows(32, 123);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (i % 2 == 1) {
+      flows[i].dst_port |= 0x8000;  // high port: denied
+    } else {
+      flows[i].dst_port = static_cast<u16>((flows[i].dst_port & 0x7fff) | 1);
+    }
+  }
+
+  Rng rng(1);
+  u64 injected = 0;
+  for (const auto& f : flows) {
+    net::TcpSegmentSpec spec;
+    spec.tuple = f;
+    spec.flags = net::TcpFlags::kSyn;
+    net::Packet* syn = net::build_tcp_raw(pool, spec);
+    if (syn != nullptr && mbox.inject(syn)) ++injected;
+  }
+  mbox.wait_idle();  // let the SYNs install state before data races ahead
+  for (u32 i = 0; i < packets; ++i) {
+    net::TcpSegmentSpec spec;
+    spec.tuple = flows[i % flows.size()];
+    spec.flags = net::TcpFlags::kAck;
+    spec.payload_len = 8;
+    u8 payload[8];
+    const u64 r = rng.next();
+    std::memcpy(payload, &r, sizeof(payload));
+    spec.payload = payload;
+    net::Packet* pkt = net::build_tcp_raw(pool, spec);
+    if (pkt == nullptr) {
+      std::this_thread::yield();
+      --i;
+      continue;
+    }
+    if (mbox.inject(pkt)) ++injected;
+  }
+  mbox.wait_idle();
+  mbox.stop();
+
+  const auto stats = mbox.total_stats();
+  const auto& fw = firewall.counters();
+  std::printf("Threaded firewall on %u worker threads (sprayed)\n\n", cores);
+  std::printf("injected:   %llu packets (%u flows, half ACL-denied)\n",
+              static_cast<unsigned long long>(injected), 32);
+  std::printf("admitted:   %llu connections, rejected by ACL: %llu\n",
+              static_cast<unsigned long long>(fw.admitted),
+              static_cast<unsigned long long>(fw.rejected_by_acl));
+  std::printf("forwarded:  %llu, dropped (no state): %llu\n",
+              static_cast<unsigned long long>(forwarded.load()),
+              static_cast<unsigned long long>(fw.dropped_no_state));
+  std::printf("inter-core connection-packet transfers: %llu\n",
+              static_cast<unsigned long long>(stats.conn_transferred_out));
+  std::printf("packet-pool leak check: %s\n",
+              pool.available() == pool.size() ? "clean" : "LEAK");
+
+  const bool ok = fw.admitted == 16 && fw.rejected_by_acl == 16 &&
+                  pool.available() == pool.size();
+  std::printf("\n%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Traffic monitor over an Internet-like workload: the synthetic MAWI-style
+// trace (elephants and mice, §2) is replayed as real packets through the
+// sprayed middlebox; the monitor keeps per-connection context on designated
+// cores and global statistics as loosely-consistent per-core counters.
+//
+//   ./build/examples/traffic_monitor [duration=0.5] [utilization=0.8]
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "core/middlebox.hpp"
+#include "nf/monitor.hpp"
+#include "nic/pktgen.hpp"
+#include "trace/replay.hpp"
+
+using namespace sprayer;
+
+int main(int argc, char** argv) {
+  const CliConfig cli(argc, argv);
+  const double duration = cli.get_double("duration", 0.5);
+  const double utilization = cli.get_double("utilization", 0.8);
+
+  sim::Simulator sim;
+  net::PacketPool pool(1u << 15, 1600);
+  nf::MonitorNf monitor(/*close_on_single_fin=*/true);
+
+  core::SprayerConfig cfg;
+  cfg.mode = core::DispatchMode::kSpray;
+  core::SimMiddlebox mbox(sim, cfg, monitor);
+
+  nic::MeasureSink sink(sim);
+  sim::LinkConfig in_cfg;
+  in_cfg.egress_port_label = 0;
+  in_cfg.rate_bps = 1e9;  // the 1 Gbps backbone link of §2
+  sim::Link trace_link(sim, in_cfg, mbox.ingress(), "trace->mbox");
+  sim::LinkConfig out_cfg;
+  sim::Link out_link(sim, out_cfg, sink, "mbox->sink");
+  sim::Link back_link(sim, out_cfg, sink, "mbox->back");
+  mbox.attach_tx_link(1, out_link);
+  mbox.attach_tx_link(0, back_link);
+
+  trace::WorkloadConfig wl;
+  wl.duration = from_seconds(duration);
+  wl.utilization = utilization;
+  wl.link_rate_bps = 1e9;
+  trace::TraceReplayer replayer(sim, pool, trace_link, wl);
+  replayer.start();
+  sim.run_until(from_seconds(duration + 0.01));
+
+  const auto totals = monitor.aggregate();
+  std::printf("Traffic monitor over %.1f s of synthetic backbone traffic "
+              "(%.0f%% of 1 Gbps)\n\n", duration, utilization * 100);
+  std::printf("packets:      %llu (%.2f Mpps avg)\n",
+              static_cast<unsigned long long>(totals.packets),
+              static_cast<double>(totals.packets) / duration / 1e6);
+  std::printf("bytes:        %llu (%.2f Gbps avg)\n",
+              static_cast<unsigned long long>(totals.bytes),
+              static_cast<double>(totals.bytes) * 8 / duration / 1e9);
+  std::printf("tcp/udp/other: %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(totals.tcp_packets),
+              static_cast<unsigned long long>(totals.udp_packets),
+              static_cast<unsigned long long>(totals.other_packets));
+  std::printf("connections:  opened %llu, closed %llu\n",
+              static_cast<unsigned long long>(totals.connections_opened),
+              static_cast<unsigned long long>(totals.connections_closed));
+
+  const auto report = mbox.report();
+  std::printf("\nper-core rx packets (spraying evens out even this bursty "
+              "trace):\n  ");
+  for (const auto& cs : report.per_core) {
+    std::printf("%llu ", static_cast<unsigned long long>(cs.rx_packets));
+  }
+  std::printf("\nflow entries currently tracked: %llu\n",
+              static_cast<unsigned long long>(report.flow_entries));
+
+  const bool ok = totals.packets > 0 && totals.connections_opened > 0;
+  std::printf("\n%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// Empirical CDF over double samples, used by the trace-analysis benches
+// (Figures 1 and 2) to print the same curves the paper plots.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sprayer {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples)
+      : samples_(std::move(samples)) {
+    finalize();
+  }
+
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  void finalize() {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const {
+    SPRAYER_CHECK_MSG(sorted_, "call finalize() first");
+    if (samples_.empty()) return 0.0;
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  /// Value at quantile q in [0, 1] (nearest-rank).
+  [[nodiscard]] double quantile(double q) const {
+    SPRAYER_CHECK_MSG(sorted_, "call finalize() first");
+    SPRAYER_CHECK(!samples_.empty());
+    if (q <= 0.0) return samples_.front();
+    if (q >= 1.0) return samples_.back();
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[rank];
+  }
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  [[nodiscard]] std::span<const double> sorted_samples() const {
+    SPRAYER_CHECK_MSG(sorted_, "call finalize() first");
+    return samples_;
+  }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// Weighted CDF: fraction of total *weight* attributable to samples <= x.
+/// This is the "distribution of bytes across flow sizes" curve of Figure 1.
+class WeightedCdf {
+ public:
+  void add(double x, double weight) {
+    SPRAYER_CHECK(weight >= 0.0);
+    points_.push_back({x, weight});
+    sorted_ = false;
+  }
+
+  void finalize() {
+    std::sort(points_.begin(), points_.end(),
+              [](const Point& a, const Point& b) { return a.x < b.x; });
+    total_ = 0.0;
+    for (auto& p : points_) {
+      total_ += p.w;
+      p.cum = total_;
+    }
+    sorted_ = true;
+  }
+
+  [[nodiscard]] double at(double x) const {
+    SPRAYER_CHECK_MSG(sorted_, "call finalize() first");
+    if (points_.empty() || total_ == 0.0) return 0.0;
+    // Find last point with p.x <= x.
+    auto it = std::upper_bound(
+        points_.begin(), points_.end(), x,
+        [](double v, const Point& p) { return v < p.x; });
+    if (it == points_.begin()) return 0.0;
+    return (it - 1)->cum / total_;
+  }
+
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  struct Point {
+    double x;
+    double w;
+    double cum = 0.0;
+  };
+  std::vector<Point> points_;
+  double total_ = 0.0;
+  bool sorted_ = true;
+};
+
+}  // namespace sprayer

@@ -1,0 +1,40 @@
+// Runtime invariant checks.
+//
+// SPRAYER_CHECK is always on (it guards library contracts: misuse throws a
+// descriptive std::logic_error instead of corrupting state). SPRAYER_DCHECK
+// compiles out in NDEBUG builds and is meant for hot-path sanity checks.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sprayer::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace sprayer::detail
+
+#define SPRAYER_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::sprayer::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define SPRAYER_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::sprayer::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SPRAYER_DCHECK(expr) ((void)0)
+#else
+#define SPRAYER_DCHECK(expr) SPRAYER_CHECK(expr)
+#endif

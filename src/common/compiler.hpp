@@ -1,0 +1,30 @@
+// Compiler portability helpers (GCC/Clang).
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SPRAYER_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SPRAYER_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define SPRAYER_ALWAYS_INLINE inline __attribute__((always_inline))
+#define SPRAYER_NOINLINE __attribute__((noinline))
+#else
+#define SPRAYER_LIKELY(x) (x)
+#define SPRAYER_UNLIKELY(x) (x)
+#define SPRAYER_ALWAYS_INLINE inline
+#define SPRAYER_NOINLINE
+#endif
+
+namespace sprayer {
+
+/// CPU relax hint for spin loops (PAUSE on x86, YIELD on ARM).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace sprayer

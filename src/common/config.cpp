@@ -1,0 +1,46 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace sprayer {
+
+CliConfig::CliConfig(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value argument, got: " + arg);
+    }
+    kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+}
+
+bool CliConfig::has(const std::string& key) const {
+  return kv_.contains(key);
+}
+
+std::string CliConfig::get(const std::string& key,
+                           const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+double CliConfig::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::stod(it->second);
+}
+
+u64 CliConfig::get_u64(const std::string& key, u64 fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::stoull(it->second);
+}
+
+bool CliConfig::get_bool(const std::string& key, bool fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+}  // namespace sprayer

@@ -1,0 +1,29 @@
+// Tiny key=value command-line parser for the bench/example binaries, so every
+// experiment knob (seed, duration, core count, ...) can be overridden without
+// recompiling: `./fig7_flow_count duration=0.5 cores=16 seed=42`.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace sprayer {
+
+class CliConfig {
+ public:
+  CliConfig(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] u64 get_u64(const std::string& key, u64 fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace sprayer

@@ -1,0 +1,115 @@
+// Log-bucketed latency histogram (HdrHistogram-style).
+//
+// Values are u64 (we use picoseconds or nanoseconds). Buckets keep a fixed
+// number of significant bits, so relative error is bounded (~1/2^bits) while
+// the range spans the full 64-bit domain. Used for the paper's Figure 8
+// (99th-percentile RTT).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sprayer {
+
+class LogHistogram {
+ public:
+  /// `significant_bits` controls resolution: values within a power-of-two
+  /// range are split into 2^significant_bits linear sub-buckets.
+  explicit LogHistogram(unsigned significant_bits = 7)
+      : bits_(significant_bits) {
+    SPRAYER_CHECK(significant_bits >= 1 && significant_bits <= 20);
+    sub_buckets_ = 1u << bits_;
+    // 64 power-of-two ranges × sub-buckets each (first range is linear).
+    counts_.assign(static_cast<std::size_t>(64 - bits_ + 1) * sub_buckets_, 0);
+  }
+
+  void add(u64 value, u64 count = 1) noexcept {
+    counts_[index_of(value)] += count;
+    total_ += count;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+    sum_ += static_cast<double>(value) * static_cast<double>(count);
+  }
+
+  void merge(const LogHistogram& o) {
+    SPRAYER_CHECK_MSG(o.bits_ == bits_, "histogram resolution mismatch");
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    if (o.total_ > 0) {
+      if (o.min_ < min_) min_ = o.min_;
+      if (o.max_ > max_) max_ = o.max_;
+      sum_ += o.sum_;
+    }
+  }
+
+  [[nodiscard]] u64 count() const noexcept { return total_; }
+  [[nodiscard]] u64 min() const noexcept { return total_ ? min_ : 0; }
+  [[nodiscard]] u64 max() const noexcept { return total_ ? max_ : 0; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+  /// Quantile q in [0, 1]. Returns a representative value (upper edge of the
+  /// bucket containing the q-th sample), 0 if empty.
+  [[nodiscard]] u64 quantile(double q) const noexcept {
+    if (total_ == 0) return 0;
+    if (q <= 0.0) return min();
+    if (q >= 1.0) return max();
+    const u64 target = static_cast<u64>(q * static_cast<double>(total_ - 1)) + 1;
+    u64 seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen >= target) return upper_edge(i);
+    }
+    return max();
+  }
+
+  [[nodiscard]] u64 p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] u64 p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] u64 p999() const noexcept { return quantile(0.999); }
+
+  void reset() noexcept {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    min_ = ~0ULL;
+    max_ = 0;
+    sum_ = 0.0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index_of(u64 value) const noexcept {
+    // Values below 2^bits are exact (range 0).
+    const int msb = 63 - std::countl_zero(value | 1);
+    if (static_cast<unsigned>(msb) < bits_) return value;
+    const unsigned range = static_cast<unsigned>(msb) - bits_ + 1;
+    const unsigned sub =
+        static_cast<unsigned>(value >> (msb - static_cast<int>(bits_) + 1)) &
+        (sub_buckets_ - 1);
+    return static_cast<std::size_t>(range) * sub_buckets_ + sub;
+  }
+
+  [[nodiscard]] u64 upper_edge(std::size_t index) const noexcept {
+    const u64 range = index / sub_buckets_;
+    const u64 sub = index % sub_buckets_;
+    if (range == 0) return sub;  // exact
+    // `sub` holds the top `bits_` bits of the value including its leading
+    // one (the value's msb is at bit range + bits_ - 1), so the bucket's
+    // lower edge is sub << range.
+    const unsigned shift = static_cast<unsigned>(range);
+    return (sub << shift) + ((1ULL << shift) - 1);
+  }
+
+  unsigned bits_;
+  unsigned sub_buckets_ = 0;
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+  u64 min_ = ~0ULL;
+  u64 max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace sprayer

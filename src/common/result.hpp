@@ -1,0 +1,109 @@
+// A small expected-like result type (C++20 has no std::expected yet).
+//
+// Used on fallible library boundaries where exceptions would be the wrong
+// tool (e.g. parse functions on untrusted packet bytes that fail as part of
+// normal operation).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.hpp"
+
+namespace sprayer {
+
+/// Error payload: a code plus a human-readable message.
+struct Error {
+  enum class Code {
+    kInvalidArgument,
+    kOutOfRange,
+    kNotFound,
+    kExhausted,
+    kAlreadyExists,
+    kTruncated,
+    kUnsupported,
+  };
+
+  Code code = Code::kInvalidArgument;
+  std::string message;
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code == b.code;
+  }
+};
+
+inline const char* to_string(Error::Code c) {
+  switch (c) {
+    case Error::Code::kInvalidArgument: return "invalid_argument";
+    case Error::Code::kOutOfRange: return "out_of_range";
+    case Error::Code::kNotFound: return "not_found";
+    case Error::Code::kExhausted: return "exhausted";
+    case Error::Code::kAlreadyExists: return "already_exists";
+    case Error::Code::kTruncated: return "truncated";
+    case Error::Code::kUnsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+/// Result<T>: either a value or an Error. Accessing the wrong alternative
+/// throws via SPRAYER_CHECK (programming error, not data error).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(implicit)
+  Result(Error error) : v_(std::move(error)) {}        // NOLINT(implicit)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    SPRAYER_CHECK_MSG(ok(), error().message);
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] const T& value() const& {
+    SPRAYER_CHECK_MSG(ok(), error().message);
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    SPRAYER_CHECK_MSG(ok(), error().message);
+    return std::get<T>(std::move(v_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    SPRAYER_CHECK(!ok());
+    return std::get<Error>(v_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void> specialization-equivalent: success or error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                   // success
+  Status(Error error) : err_(std::move(error)), ok_(false) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+
+  [[nodiscard]] const Error& error() const {
+    SPRAYER_CHECK(!ok_);
+    return err_;
+  }
+
+ private:
+  Error err_;
+  bool ok_ = true;
+};
+
+inline Error make_error(Error::Code code, std::string msg) {
+  return Error{code, std::move(msg)};
+}
+
+}  // namespace sprayer

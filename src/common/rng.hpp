@@ -1,0 +1,122 @@
+// Fast deterministic PRNG (xoshiro256**) plus the distribution helpers the
+// workload generators need. All experiment randomness flows through this so
+// runs are reproducible from a single seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sprayer {
+
+/// SplitMix64 — used to seed xoshiro from a single 64-bit value.
+constexpr u64 splitmix64(u64& state) noexcept {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna. Small, fast, passes BigCrush.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit Rng(u64 seed = 0x5eed5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(u64 seed) noexcept {
+    u64 sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr u64 min() noexcept { return 0; }
+  static constexpr u64 max() noexcept { return ~0ULL; }
+
+  u64 operator()() noexcept { return next(); }
+
+  u64 next() noexcept {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  u64 uniform(u64 bound) noexcept {
+    SPRAYER_DCHECK(bound > 0);
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u64 uniform_range(u64 lo, u64 hi) noexcept {
+    SPRAYER_DCHECK(lo <= hi);
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponential with given mean (> 0).
+  double exponential(double mean) noexcept {
+    SPRAYER_DCHECK(mean > 0);
+    double u;
+    do { u = uniform01(); } while (u == 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Log-normal: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(mu + sigma * normal());
+  }
+
+  /// Pareto with scale xm (> 0) and shape alpha (> 0).
+  double pareto(double xm, double alpha) noexcept {
+    SPRAYER_DCHECK(xm > 0 && alpha > 0);
+    double u;
+    do { u = uniform01(); } while (u == 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform01() - 1.0;
+      v = 2.0 * uniform01() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * f;
+    has_cached_ = true;
+    return u * f;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 s_[4]{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace sprayer

@@ -1,0 +1,76 @@
+// Streaming statistics: Welford mean/variance, min/max, and Jain's fairness
+// index (the fairness metric of the paper's Figure 9).
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sprayer {
+
+/// Numerically stable streaming mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void merge(const RunningStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double delta = o.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(o.n_);
+    const double nt = na + nb;
+    m2_ += o.m2_ + delta * delta * na * nb / nt;
+    mean_ += delta * nb / nt;
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  [[nodiscard]] u64 count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(n_);
+  }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Jain's fairness index over per-entity allocations x_i:
+///   J = (sum x_i)^2 / (n * sum x_i^2),  J in (0, 1], 1.0 == perfectly fair.
+/// Entities with zero allocation still count toward n (a starved flow is
+/// the unfairness we are measuring).
+[[nodiscard]] inline double jain_fairness(std::span<const double> xs) {
+  SPRAYER_CHECK_MSG(!xs.empty(), "Jain's index needs at least one value");
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    SPRAYER_CHECK_MSG(x >= 0.0, "allocations must be non-negative");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero: degenerate but "equal"
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace sprayer

@@ -1,0 +1,28 @@
+// Console table printer for the benchmark harnesses: prints aligned,
+// machine-grep-friendly rows mirroring the paper's tables/series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sprayer {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  /// Add one row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sprayer

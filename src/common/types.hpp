@@ -1,0 +1,29 @@
+// Basic integer aliases and project-wide constants.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sprayer {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Destructive interference size. We hard-code 64 instead of using
+/// std::hardware_destructive_interference_size so that ABI does not depend
+/// on compiler flags (GCC warns about exactly this).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Identifier of a worker core (queue index in the NIC, ring index in the
+/// runtime, thread index in the executor). Cores are always dense [0, n).
+using CoreId = u16;
+
+inline constexpr CoreId kInvalidCore = 0xffff;
+
+}  // namespace sprayer

@@ -1,0 +1,67 @@
+// Time and rate units used throughout the simulator.
+//
+// Simulated time is in integer picoseconds (u64): at 10 GbE one byte takes
+// 800 ps, and a 2 GHz CPU cycle is 500 ps, so picoseconds keep everything
+// exact without floating point in the hot path. ~213 days of simulated time
+// fit in 64 bits — far beyond any experiment here.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace sprayer {
+
+/// Simulated time in picoseconds.
+using Time = u64;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1000;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+inline constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / 1e12;
+}
+inline constexpr double to_micros(Time t) {
+  return static_cast<double>(t) / 1e6;
+}
+inline constexpr double to_nanos(Time t) {
+  return static_cast<double>(t) / 1e3;
+}
+inline constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * 1e12);
+}
+inline constexpr Time from_micros(double us) {
+  return static_cast<Time>(us * 1e6);
+}
+
+/// CPU cycles (virtual, accounted by the simulator).
+using Cycles = u64;
+
+/// Convert cycles to simulated time at a given core frequency.
+inline constexpr Time cycles_to_time(Cycles c, double freq_hz) {
+  return static_cast<Time>(static_cast<double>(c) * 1e12 / freq_hz);
+}
+
+/// Bits/second helpers.
+inline constexpr double kGbps = 1e9;
+inline constexpr double kMbps = 1e6;
+
+/// Time to serialize `bytes` on a link of `rate_bps` bits/second.
+inline constexpr Time serialization_time(u64 bytes, double rate_bps) {
+  return static_cast<Time>(static_cast<double>(bytes) * 8.0 * 1e12 / rate_bps);
+}
+
+/// Ethernet overhead on the wire beyond the host-visible frame (Packet::len
+/// excludes the FCS): FCS (4) + preamble (7) + SFD (1) + inter-frame gap
+/// (12) = 24 bytes. A minimum frame (60 B host-visible, "64 B" on the wire)
+/// occupies 84 B of wire time, which is what makes 10 GbE line rate
+/// 14.88 Mpps for minimum-size packets.
+inline constexpr u64 kEthernetWireOverhead = 24;
+
+/// Packets/second a link sustains for a given frame size.
+inline constexpr double line_rate_pps(double rate_bps, u64 frame_bytes) {
+  return rate_bps / (8.0 * static_cast<double>(frame_bytes + kEthernetWireOverhead));
+}
+
+}  // namespace sprayer

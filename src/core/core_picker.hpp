@@ -1,0 +1,42 @@
+// Designated-core selection (paper §3.2).
+//
+// The designated core of a flow is defined as *the core symmetric-key RSS
+// would deliver it to*: symmetric Toeplitz over the five-tuple, through a
+// 128-entry round-robin indirection table. This has two properties the
+// design depends on:
+//   * symmetric — both directions of a connection share a designated core;
+//   * RSS-consistent — under the RSS baseline every packet already arrives
+//     at its designated core, so no connection packet is ever transferred
+//     (the per-flow baseline keeps its fully-partitioned state, and the
+//     same NF code runs unmodified in both modes).
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "hash/toeplitz.hpp"
+#include "net/five_tuple.hpp"
+#include "nic/rss.hpp"
+
+namespace sprayer::core {
+
+class CorePicker {
+ public:
+  explicit CorePicker(u32 num_cores) : rss_(num_cores) {
+    SPRAYER_CHECK(num_cores >= 1);
+    SPRAYER_CHECK_MSG(nic::RssEngine::kIndirectionEntries % num_cores == 0,
+                      "core count must divide the RSS indirection table for "
+                      "designated cores to match RSS placement");
+  }
+
+  [[nodiscard]] CoreId pick(const net::FiveTuple& tuple) const noexcept {
+    const u32 h = hash::toeplitz_v4_l4(tuple, rss_.key());
+    return static_cast<CoreId>(rss_.queue_for_hash(h));
+  }
+
+ private:
+  nic::RssEngine rss_;  // symmetric key by default
+};
+
+}  // namespace sprayer::core

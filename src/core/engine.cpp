@@ -1,0 +1,80 @@
+#include "core/engine.hpp"
+
+#include "net/packet_pool.hpp"
+
+namespace sprayer::core {
+
+Cycles SprayerCore::process_rx(runtime::PacketBatch& batch, Time now) {
+  const CostModel& costs = cfg_.costs;
+  Cycles cycles = costs.batch_overhead;
+  stats_.rx_packets += batch.size();
+
+  runtime::PacketBatch conn_local;
+  runtime::PacketBatch regular;
+
+  for (net::Packet* pkt : batch) {
+    cycles += costs.classify_per_packet;
+    if (stateless_ || !pkt->is_tcp() || !pkt->is_connection_packet()) {
+      regular.push(pkt);
+      continue;
+    }
+    // Connection packet: route to its designated core.
+    const CoreId dest = picker_.pick(pkt->five_tuple());
+    if (dest == id_) {
+      conn_local.push(pkt);
+      ++stats_.conn_local;
+    } else {
+      cycles += costs.transfer_enqueue;
+      if (port_.transfer(dest, pkt)) {
+        ++stats_.conn_transferred_out;
+      } else {
+        ++stats_.transfer_drops;
+        pkt->pool()->free(pkt);
+      }
+    }
+  }
+
+  if (!conn_local.empty()) cycles += dispatch(conn_local, now, true);
+  if (!regular.empty()) cycles += dispatch(regular, now, false);
+
+  stats_.busy_cycles += cycles;
+  return cycles;
+}
+
+Cycles SprayerCore::process_foreign(runtime::PacketBatch& batch, Time now) {
+  const CostModel& costs = cfg_.costs;
+  Cycles cycles = costs.transfer_dequeue * batch.size();
+  stats_.conn_foreign_in += batch.size();
+  cycles += dispatch(batch, now, true);
+  stats_.busy_cycles += cycles;
+  return cycles;
+}
+
+Cycles SprayerCore::dispatch(runtime::PacketBatch& batch, Time now,
+                             bool connection) {
+  const CostModel& costs = cfg_.costs;
+  ctx_.set_now(now);
+  ctx_.flows().set_in_connection_handler(connection);
+  verdicts_.reset(batch.size());
+  if (connection) {
+    nf_.connection_packets(batch, ctx_, verdicts_);
+  } else {
+    stats_.regular_packets += batch.size();
+    nf_.regular_packets(batch, ctx_, verdicts_);
+  }
+  Cycles cycles = ctx_.drain_consumed();
+  for (u32 i = 0; i < batch.size(); ++i) {
+    net::Packet* pkt = batch[i];
+    if (verdicts_.dropped(i)) {
+      ++stats_.nf_drops;
+      pkt->pool()->free(pkt);
+    } else {
+      cycles += costs.tx_per_packet;
+      ++stats_.tx_packets;
+      port_.transmit(pkt);
+    }
+  }
+  return cycles;
+}
+
+}  // namespace sprayer::core

@@ -1,0 +1,100 @@
+// Per-core Sprayer engine (paper Figure 4).
+//
+// Pure framework logic — classification, core picking, connection-packet
+// redirection, batched NF dispatch, verdict handling, cycle accounting —
+// with no knowledge of how it is driven. The simulator (core/middlebox.hpp)
+// and the threaded executor (core/threaded.hpp) both drive this class
+// through the ICorePort services interface.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "core/config.hpp"
+#include "core/core_picker.hpp"
+#include "core/flow_table.hpp"
+#include "core/nf.hpp"
+#include "runtime/batch.hpp"
+
+namespace sprayer::core {
+
+/// Services the execution platform provides to one core.
+class ICorePort {
+ public:
+  virtual ~ICorePort() = default;
+
+  /// Hand a connection-packet descriptor to another core's ring. Returns
+  /// false when the destination ring is full (the engine then drops the
+  /// packet — same as a NIC queue overflow).
+  virtual bool transfer(CoreId dest, net::Packet* pkt) = 0;
+
+  /// Transmit a processed packet (egress port derived from ingress).
+  virtual void transmit(net::Packet* pkt) = 0;
+};
+
+struct CoreStats {
+  u64 rx_packets = 0;         // polled from the NIC queue
+  u64 regular_packets = 0;    // handed to regular_packets()
+  u64 conn_local = 0;         // connection packets already on their core
+  u64 conn_transferred_out = 0;
+  u64 conn_foreign_in = 0;    // connection packets received over the ring
+  u64 transfer_drops = 0;     // foreign ring full
+  u64 nf_drops = 0;           // NF verdict: drop
+  u64 tx_packets = 0;
+  Cycles busy_cycles = 0;
+
+  void merge(const CoreStats& o) noexcept {
+    rx_packets += o.rx_packets;
+    regular_packets += o.regular_packets;
+    conn_local += o.conn_local;
+    conn_transferred_out += o.conn_transferred_out;
+    conn_foreign_in += o.conn_foreign_in;
+    transfer_drops += o.transfer_drops;
+    nf_drops += o.nf_drops;
+    tx_packets += o.tx_packets;
+    busy_cycles += o.busy_cycles;
+  }
+};
+
+class SprayerCore {
+ public:
+  SprayerCore(CoreId id, const SprayerConfig& cfg, bool stateless,
+              INetworkFunction& nf, const CorePicker& picker, NfContext& ctx,
+              ICorePort& port) noexcept
+      : id_(id),
+        cfg_(cfg),
+        stateless_(stateless),
+        nf_(nf),
+        picker_(picker),
+        ctx_(ctx),
+        port_(port) {}
+
+  [[nodiscard]] CoreId id() const noexcept { return id_; }
+  [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] CoreStats& stats() noexcept { return stats_; }
+
+  /// Process one batch polled from this core's NIC rx queue. Returns the
+  /// cycles consumed. `now` is the batch start time (forwarded to the NF).
+  Cycles process_rx(runtime::PacketBatch& batch, Time now);
+
+  /// Process one batch of connection packets received from other cores'
+  /// rings. Returns the cycles consumed.
+  Cycles process_foreign(runtime::PacketBatch& batch, Time now);
+
+ private:
+  /// Run a handler over a batch, apply verdicts, transmit survivors.
+  Cycles dispatch(runtime::PacketBatch& batch, Time now, bool connection);
+
+  CoreId id_;
+  const SprayerConfig& cfg_;
+  bool stateless_;
+  INetworkFunction& nf_;
+  const CorePicker& picker_;
+  NfContext& ctx_;
+  ICorePort& port_;
+  CoreStats stats_;
+  BatchVerdicts verdicts_;
+};
+
+}  // namespace sprayer::core

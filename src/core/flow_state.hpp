@@ -1,0 +1,155 @@
+// The flow-state API exposed to NFs — exactly the paper's Table 2:
+//
+//   insert_local_flow(flow_id)   insert entry in local table
+//   remove_local_flow(flow_id)   remove entry from local table
+//   get_local_flow(flow_id)      modifiable entry from local table
+//   get_flow(flow_id)            const entry from its designated core
+//   get_flows(flow_ids...)       batched get_flow (the "optimized version")
+//
+// Writing partition is *enforced* here: inserting or removing a flow whose
+// designated core is not the calling core throws. Every call charges its
+// modeled CPU cost to the calling core.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "core/config.hpp"
+#include "core/core_picker.hpp"
+#include "core/flow_table.hpp"
+
+namespace sprayer::core {
+
+/// Observed flow-state access pattern, split by handler context — the
+/// instrumentation behind the Table 1 reproduction ("R/RW at every packet
+/// vs. at flow events").
+struct FlowAccessStats {
+  u64 reads_in_regular = 0;    // get_flow/get_flows from regular_packets
+  u64 reads_in_connection = 0;
+  u64 writes_in_regular = 0;   // insert/remove/get_local from regular_packets
+  u64 writes_in_connection = 0;
+
+  void merge(const FlowAccessStats& o) noexcept {
+    reads_in_regular += o.reads_in_regular;
+    reads_in_connection += o.reads_in_connection;
+    writes_in_regular += o.writes_in_regular;
+    writes_in_connection += o.writes_in_connection;
+  }
+};
+
+class FlowStateApi {
+ public:
+  FlowStateApi(CoreId core, std::span<FlowTable* const> tables,
+               const CorePicker& picker, const CostModel& costs,
+               Cycles& cycle_sink) noexcept
+      : core_(core),
+        tables_(tables.begin(), tables.end()),
+        picker_(picker),
+        costs_(costs),
+        cycles_(cycle_sink) {}
+
+  [[nodiscard]] CoreId core() const noexcept { return core_; }
+  [[nodiscard]] u32 num_cores() const noexcept {
+    return static_cast<u32>(tables_.size());
+  }
+
+  /// Designated core of a flow (symmetric: both directions agree).
+  [[nodiscard]] CoreId designated_core(
+      const net::FiveTuple& flow_id) const noexcept {
+    return picker_.pick(flow_id);
+  }
+
+  /// Insert a flow entry in the local table; returns the zeroed entry (or
+  /// the existing one), nullptr when the table is full. Throws if this core
+  /// is not the flow's designated core (writing-partition violation).
+  [[nodiscard]] void* insert_local_flow(const net::FiveTuple& flow_id) {
+    SPRAYER_CHECK_MSG(designated_core(flow_id) == core_,
+                      "writing-partition violation: insert_local_flow on "
+                      "non-designated core for " + flow_id.to_string());
+    cycles_ += costs_.flow_insert;
+    count_write();
+    return local().insert(flow_id);
+  }
+
+  /// Remove a flow entry from the local table.
+  bool remove_local_flow(const net::FiveTuple& flow_id) {
+    SPRAYER_CHECK_MSG(designated_core(flow_id) == core_,
+                      "writing-partition violation: remove_local_flow on "
+                      "non-designated core for " + flow_id.to_string());
+    cycles_ += costs_.flow_remove;
+    count_write();
+    return local().remove(flow_id);
+  }
+
+  /// Modifiable entry from the local table; nullptr if absent.
+  [[nodiscard]] void* get_local_flow(const net::FiveTuple& flow_id) {
+    cycles_ += costs_.flow_lookup_local;
+    count_write();  // returns a mutable entry: counted as write access
+    return local().find_local(flow_id);
+  }
+
+  /// Read-only entry from the flow's designated core; nullptr if absent.
+  /// The constness is the paper's contract: only the designated core may
+  /// write (casting it away is the same undefined behavior the paper warns
+  /// about).
+  [[nodiscard]] const void* get_flow(const net::FiveTuple& flow_id) {
+    const CoreId dest = designated_core(flow_id);
+    cycles_ += (dest == core_) ? costs_.flow_lookup_local
+                               : costs_.flow_lookup_remote;
+    count_read();
+    return tables_[dest]->find_remote(flow_id);
+  }
+
+  /// Batched get_flow: amortizes hashing/prefetch, so each lookup is charged
+  /// the cheaper batched cost. out[i] is nullptr for absent flows.
+  void get_flows(std::span<const net::FiveTuple> flow_ids,
+                 std::span<const void*> out) {
+    SPRAYER_CHECK(out.size() >= flow_ids.size());
+    for (std::size_t i = 0; i < flow_ids.size(); ++i) {
+      cycles_ += costs_.flow_lookup_batched;
+      count_read();
+      out[i] = tables_[designated_core(flow_ids[i])]->find_remote(flow_ids[i]);
+    }
+  }
+
+  /// Snapshot-consistent copy of a (possibly remote) flow entry.
+  [[nodiscard]] bool read_flow(const net::FiveTuple& flow_id,
+                               std::span<u8> out) {
+    const CoreId dest = designated_core(flow_id);
+    cycles_ += (dest == core_) ? costs_.flow_lookup_local
+                               : costs_.flow_lookup_remote;
+    return tables_[dest]->read_consistent(flow_id, out);
+  }
+
+  [[nodiscard]] FlowTable& local() noexcept { return *tables_[core_]; }
+  [[nodiscard]] const FlowTable& table(CoreId c) const noexcept {
+    return *tables_[c];
+  }
+
+  /// Framework side: set by the engine before invoking a handler.
+  void set_in_connection_handler(bool v) noexcept { in_conn_ = v; }
+  [[nodiscard]] const FlowAccessStats& access_stats() const noexcept {
+    return access_;
+  }
+
+ private:
+  void count_read() noexcept {
+    (in_conn_ ? access_.reads_in_connection : access_.reads_in_regular)++;
+  }
+  void count_write() noexcept {
+    (in_conn_ ? access_.writes_in_connection : access_.writes_in_regular)++;
+  }
+
+  CoreId core_;
+  std::vector<FlowTable*> tables_;
+  const CorePicker& picker_;
+  const CostModel& costs_;
+  Cycles& cycles_;
+  bool in_conn_ = false;
+  FlowAccessStats access_;
+};
+
+}  // namespace sprayer::core

@@ -1,0 +1,122 @@
+#include "core/flow_table.hpp"
+
+#include <cstring>
+
+namespace sprayer::core {
+
+FlowTable::FlowTable(u32 capacity, u32 entry_size, CoreId owner)
+    : capacity_(capacity),
+      mask_(capacity - 1),
+      entry_size_(entry_size),
+      owner_(owner),
+      max_occupancy_(capacity - capacity / 8),  // cap load factor at 87.5 %
+      slots_(std::make_unique<Slot[]>(capacity)),
+      data_(std::make_unique<u8[]>(static_cast<std::size_t>(capacity) *
+                                   entry_size)) {
+  SPRAYER_CHECK_MSG(capacity >= 2 && std::has_single_bit(capacity),
+                    "flow table capacity must be a power of two");
+  SPRAYER_CHECK(entry_size >= 1);
+}
+
+u32 FlowTable::probe(const net::FiveTuple& key) const noexcept {
+  u32 index = static_cast<u32>(key.pack()) & mask_;
+  for (u32 i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[index];
+    if (slot.state == SlotState::kEmpty) return kNotFound;
+    if (slot.state == SlotState::kOccupied && slot.key == key) return index;
+    index = (index + 1) & mask_;
+  }
+  return kNotFound;
+}
+
+void* FlowTable::insert(const net::FiveTuple& key) {
+  if (occupied_ >= max_occupancy_) return nullptr;
+  u32 index = static_cast<u32>(key.pack()) & mask_;
+  u32 insert_at = kNotFound;
+  for (u32 i = 0; i < capacity_; ++i) {
+    Slot& slot = slots_[index];
+    if (slot.state == SlotState::kOccupied) {
+      if (slot.key == key) return entry_at(index);  // idempotent
+    } else {
+      if (insert_at == kNotFound) insert_at = index;
+      if (slot.state == SlotState::kEmpty) break;  // key definitely absent
+    }
+    index = (index + 1) & mask_;
+  }
+  if (insert_at == kNotFound) return nullptr;  // table full of live entries
+
+  Slot& slot = slots_[insert_at];
+  // Seqlock write: remote readers retry while the version is odd.
+  slot.version.fetch_add(1, std::memory_order_release);
+  slot.key = key;
+  std::memset(entry_at(insert_at), 0, entry_size_);
+  slot.state = SlotState::kOccupied;
+  slot.version.fetch_add(1, std::memory_order_release);
+  ++occupied_;
+  return entry_at(insert_at);
+}
+
+bool FlowTable::remove(const net::FiveTuple& key) {
+  const u32 index = probe(key);
+  if (index == kNotFound) return false;
+  Slot& slot = slots_[index];
+  slot.version.fetch_add(1, std::memory_order_release);
+  slot.state = SlotState::kTombstone;
+  slot.version.fetch_add(1, std::memory_order_release);
+  --occupied_;
+  return true;
+}
+
+void* FlowTable::find_local(const net::FiveTuple& key) noexcept {
+  const u32 index = probe(key);
+  return index == kNotFound ? nullptr : entry_at(index);
+}
+
+const void* FlowTable::find_remote(const net::FiveTuple& key) const noexcept {
+  const u32 index = probe(key);
+  return index == kNotFound ? nullptr : entry_at(index);
+}
+
+bool FlowTable::read_consistent(const net::FiveTuple& key,
+                                std::span<u8> out) const noexcept {
+  SPRAYER_DCHECK(out.size() >= entry_size_);
+  u32 index = static_cast<u32>(key.pack()) & mask_;
+  for (u32 i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[index];
+    for (;;) {
+      const u32 v1 = slot.version.load(std::memory_order_acquire);
+      if (v1 & 1) continue;  // writer in progress, retry
+      const SlotState state = slot.state;
+      if (state == SlotState::kEmpty) return false;
+      const bool match =
+          (state == SlotState::kOccupied) && (slot.key == key);
+      if (match) std::memcpy(out.data(), entry_at(index), entry_size_);
+      const u32 v2 = slot.version.load(std::memory_order_acquire);
+      if (v1 == v2) {
+        if (match) return true;
+        break;  // stable non-match: continue probing
+      }
+      // Version moved under us: retry this slot.
+    }
+    index = (index + 1) & mask_;
+  }
+  return false;
+}
+
+void FlowTable::write_begin(void* entry) noexcept {
+  const auto offset = static_cast<std::size_t>(
+      static_cast<u8*>(entry) - data_.get());
+  const u32 index = static_cast<u32>(offset / entry_size_);
+  SPRAYER_DCHECK(index < capacity_);
+  slots_[index].version.fetch_add(1, std::memory_order_release);
+}
+
+void FlowTable::write_end(void* entry) noexcept {
+  const auto offset = static_cast<std::size_t>(
+      static_cast<u8*>(entry) - data_.get());
+  const u32 index = static_cast<u32>(offset / entry_size_);
+  SPRAYER_DCHECK(index < capacity_);
+  slots_[index].version.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace sprayer::core

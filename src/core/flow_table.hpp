@@ -1,0 +1,106 @@
+// Per-core flow-state table with the paper's "writing partition" semantics:
+// exactly one core (the owner / designated core) ever writes a flow's entry,
+// while any core may read it (§3.2–3.3).
+//
+// Implementation: fixed-capacity open-addressing hash table (linear probing
+// with tombstones), entries stored inline. A per-slot seqlock version makes
+// cross-core reads consistent in the threaded executor without any locking
+// on the writer side; in the single-threaded simulator it is inert.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <memory>
+#include <span>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "net/five_tuple.hpp"
+
+namespace sprayer::core {
+
+class FlowTable {
+ public:
+  /// `capacity` must be a power of two. `entry_size` is the inline state
+  /// size per flow (NFs set it in their init function).
+  FlowTable(u32 capacity, u32 entry_size, CoreId owner);
+
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  [[nodiscard]] u32 capacity() const noexcept { return capacity_; }
+  [[nodiscard]] u32 entry_size() const noexcept { return entry_size_; }
+  [[nodiscard]] u32 size() const noexcept { return occupied_; }
+  [[nodiscard]] CoreId owner() const noexcept { return owner_; }
+
+  /// Insert a flow; returns its (zero-initialized) entry, the existing entry
+  /// if the key is already present, or nullptr when the table is full.
+  /// Owner-core only.
+  [[nodiscard]] void* insert(const net::FiveTuple& key);
+
+  /// Remove a flow. Returns false if absent. Owner-core only.
+  bool remove(const net::FiveTuple& key);
+
+  /// Mutable lookup for the owner core.
+  [[nodiscard]] void* find_local(const net::FiveTuple& key) noexcept;
+
+  /// Read-only lookup from any core. The pointer is stable until the owner
+  /// removes the flow; concurrent in-place updates by the owner may be seen
+  /// torn (same as reading a foreign table in any lock-free DPDK pipeline) —
+  /// use read_consistent() when a snapshot is required.
+  [[nodiscard]] const void* find_remote(
+      const net::FiveTuple& key) const noexcept;
+
+  /// Seqlock-consistent copy of a flow's entry into `out` (which must be at
+  /// least entry_size bytes). Returns false if the flow is absent.
+  [[nodiscard]] bool read_consistent(const net::FiveTuple& key,
+                                     std::span<u8> out) const noexcept;
+
+  /// Owner marks an entry about to be mutated / finished mutating. Required
+  /// only when mutating an existing entry that remote cores might snapshot
+  /// with read_consistent(). insert()/remove() handle versions themselves.
+  void write_begin(void* entry) noexcept;
+  void write_end(void* entry) noexcept;
+
+  /// Iterate all live entries (owner core): fn(key, entry).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (u32 i = 0; i < capacity_; ++i) {
+      if (slots_[i].state == SlotState::kOccupied) {
+        fn(slots_[i].key, entry_at(i));
+      }
+    }
+  }
+
+ private:
+  enum class SlotState : u8 { kEmpty = 0, kTombstone = 1, kOccupied = 2 };
+
+  struct Slot {
+    std::atomic<u32> version{0};  // seqlock: odd while being written
+    SlotState state = SlotState::kEmpty;
+    net::FiveTuple key;
+  };
+
+  [[nodiscard]] u8* entry_at(u32 index) noexcept {
+    return data_.get() + static_cast<std::size_t>(index) * entry_size_;
+  }
+  [[nodiscard]] const u8* entry_at(u32 index) const noexcept {
+    return data_.get() + static_cast<std::size_t>(index) * entry_size_;
+  }
+
+  /// Probe for a key. Returns the slot index or the first insertable slot
+  /// (tombstone/empty) depending on `for_insert`; kNotFound if absent/full.
+  static constexpr u32 kNotFound = 0xffffffffu;
+  [[nodiscard]] u32 probe(const net::FiveTuple& key) const noexcept;
+
+  u32 capacity_;
+  u32 mask_;
+  u32 entry_size_;
+  CoreId owner_;
+  u32 occupied_ = 0;
+  u32 max_occupancy_;
+  std::unique_ptr<Slot[]> slots_;
+  std::unique_ptr<u8[]> data_;
+};
+
+}  // namespace sprayer::core

@@ -1,0 +1,197 @@
+#include "core/middlebox.hpp"
+
+#include "net/packet_pool.hpp"
+
+namespace sprayer::core {
+
+// --- SimCore ---------------------------------------------------------------
+
+/// One virtual core: drives a SprayerCore engine from its NIC rx queue and
+/// its foreign-descriptor ring, accounting busy time on the simulated clock.
+/// Packets processed in a batch leave the core when the whole batch's cycle
+/// cost has elapsed (run-to-completion, as in a DPDK poll loop).
+class SimMiddlebox::SimCore final : public sim::IEventTarget,
+                                    public ICorePort {
+ public:
+  SimCore(SimMiddlebox& mbox, CoreId id, NfContext& ctx, bool stateless)
+      : mbox_(mbox),
+        id_(id),
+        engine_(id, mbox.cfg_, stateless, mbox.nf_, mbox.picker_, ctx, *this) {}
+
+  [[nodiscard]] SprayerCore& engine() noexcept { return engine_; }
+
+  enum : u64 { kTagRun = 0, kTagHousekeeping = 1 };
+
+  /// Wake the core if it is idle (new rx or foreign work).
+  void notify() {
+    if (!event_pending_) {
+      event_pending_ = true;
+      mbox_.sim_.schedule_in(0, this, kTagRun);
+    }
+  }
+
+  /// Arm the periodic housekeeping timer.
+  void start_housekeeping() {
+    if (mbox_.cfg_.housekeeping_interval > 0) {
+      mbox_.sim_.schedule_in(mbox_.cfg_.housekeeping_interval, this,
+                             kTagHousekeeping);
+    }
+  }
+
+  /// Receive a transferred connection-packet descriptor. Bounded ring.
+  bool accept_foreign(net::Packet* pkt) {
+    if (foreign_.size() >= mbox_.cfg_.foreign_ring_capacity) return false;
+    foreign_.push_back(pkt);
+    notify();
+    return true;
+  }
+
+  // --- ICorePort -----------------------------------------------------------
+  bool transfer(CoreId dest, net::Packet* pkt) override {
+    SPRAYER_DCHECK(dest != id_);
+    return mbox_.cores_[dest]->accept_foreign(pkt);
+  }
+
+  void transmit(net::Packet* pkt) override {
+    // Buffered: the packet physically leaves when the batch completes.
+    pending_tx_.push_back(pkt);
+  }
+
+  // --- sim::IEventTarget -----------------------------------------------
+  void handle_event(u64 tag) override {
+    if (tag == kTagHousekeeping) {
+      // Control-plane maintenance: modeled as free in time (rare, small),
+      // but its NF cycles are still accounted in the busy counter.
+      NfContext& ctx = mbox_.context(engine_.id());
+      ctx.set_now(mbox_.sim_.now());
+      // Housekeeping mutates flow state like connection handling does:
+      // attribute its accesses to the flow-event column.
+      ctx.flows().set_in_connection_handler(true);
+      mbox_.nf_.housekeeping(ctx);
+      engine_.stats().busy_cycles += ctx.drain_consumed();
+      mbox_.sim_.schedule_in(mbox_.cfg_.housekeeping_interval, this,
+                             kTagHousekeeping);
+      return;
+    }
+    // Flush packets from the batch that just finished.
+    for (net::Packet* pkt : pending_tx_) {
+      mbox_.transmit_out(pkt);
+    }
+    pending_tx_.clear();
+
+    // Poll the next unit of work: the foreign ring first (bounds the
+    // latency of connection packets), then the NIC queue.
+    runtime::PacketBatch batch;
+    Cycles cycles = 0;
+    const u32 burst = mbox_.cfg_.rx_batch;
+    if (!foreign_.empty()) {
+      while (batch.size() < burst && !foreign_.empty()) {
+        batch.push(foreign_.front());
+        foreign_.pop_front();
+      }
+      cycles = engine_.process_foreign(batch, mbox_.sim_.now());
+    } else {
+      const u32 n = mbox_.nic_.rx_burst(id_, batch.data(), burst);
+      if (n > 0) {
+        batch.set_size(n);  // rx_burst filled the batch storage directly
+        cycles = engine_.process_rx(batch, mbox_.sim_.now());
+      }
+    }
+
+    if (cycles > 0) {
+      // Busy until the batch cost elapses, then run again (there may be
+      // more backlog, and pending_tx_ must be flushed at completion time).
+      mbox_.sim_.schedule_in(
+          cycles_to_time(cycles, mbox_.cfg_.core_freq_hz), this);
+    } else {
+      event_pending_ = false;  // idle until the next notify()
+    }
+  }
+
+ private:
+  SimMiddlebox& mbox_;
+  CoreId id_;
+  SprayerCore engine_;
+  std::deque<net::Packet*> foreign_;
+  std::vector<net::Packet*> pending_tx_;
+  bool event_pending_ = false;
+
+  friend class SimMiddlebox;
+};
+
+// --- SimMiddlebox ------------------------------------------------------
+
+namespace {
+
+nic::NicConfig adjust_nic_config(nic::NicConfig nic_cfg,
+                                 const SprayerConfig& cfg) {
+  nic_cfg.num_queues = cfg.num_cores;
+  return nic_cfg;
+}
+
+}  // namespace
+
+SimMiddlebox::SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg,
+                           INetworkFunction& nf, nic::NicConfig nic_cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      nf_(nf),
+      picker_(cfg.num_cores),
+      nic_(sim, adjust_nic_config(nic_cfg, cfg)) {
+  SPRAYER_CHECK(cfg_.num_cores >= 1);
+  nf_.init(nf_init_, cfg_.num_cores);
+
+  const u32 table_capacity =
+      nf_init_.stateless ? 2u : nf_init_.flow_table_capacity;
+  for (u32 c = 0; c < cfg_.num_cores; ++c) {
+    tables_.push_back(std::make_unique<FlowTable>(
+        table_capacity, nf_init_.flow_entry_size, static_cast<CoreId>(c)));
+    table_ptrs_.push_back(tables_.back().get());
+  }
+  for (u32 c = 0; c < cfg_.num_cores; ++c) {
+    contexts_.push_back(std::make_unique<NfContext>(
+        static_cast<CoreId>(c), std::span<FlowTable* const>{table_ptrs_},
+        picker_, cfg_.costs));
+    cores_.push_back(std::make_unique<SimCore>(
+        *this, static_cast<CoreId>(c), *contexts_.back(),
+        nf_init_.stateless));
+  }
+
+  nic_.set_rx_listener(this);
+  if (cfg_.mode == DispatchMode::kSpray) {
+    const Status s = nic_.fdir().program_checksum_spray(cfg_.num_cores);
+    SPRAYER_CHECK_MSG(s.ok(), "failed to program Flow Director spraying");
+  }
+  for (auto& c : cores_) c->start_housekeeping();
+}
+
+SimMiddlebox::~SimMiddlebox() = default;
+
+void SimMiddlebox::rx_ready(u16 queue) {
+  cores_[queue]->notify();
+}
+
+void SimMiddlebox::transmit_out(net::Packet* pkt) {
+  // Bump in the wire: leave through the opposite port.
+  const u8 egress = static_cast<u8>(1 - pkt->ingress_port);
+  nic_.tx(egress, pkt);
+}
+
+MiddleboxReport SimMiddlebox::report() const {
+  MiddleboxReport r;
+  for (const auto& c : cores_) {
+    r.per_core.push_back(c->engine().stats());
+    r.total.merge(c->engine().stats());
+  }
+  r.nic = nic_.counters();
+  for (const auto& t : tables_) r.flow_entries += t->size();
+  r.flow_access = access_stats();
+  return r;
+}
+
+void SimMiddlebox::reset_stats() {
+  for (auto& c : cores_) c->engine().stats() = CoreStats{};
+  nic_.reset_counters();
+}
+
+}  // namespace sprayer::core

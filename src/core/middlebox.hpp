@@ -1,0 +1,93 @@
+// The assembled simulated middlebox: one SimNic, N virtual cores each
+// running a SprayerCore engine, per-core flow tables, and an NF. This is
+// the device-under-test of every experiment — the software middlebox server
+// of the paper's testbed (§5).
+//
+// Wiring: incoming links sink into ingress(); attach one outgoing link per
+// port with attach_tx_link(). The middlebox is a bump in the wire: packets
+// leave through the port opposite to the one they entered (2-port NIC).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/core_picker.hpp"
+#include "core/engine.hpp"
+#include "core/flow_table.hpp"
+#include "core/nf.hpp"
+#include "nic/nic.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace sprayer::core {
+
+struct MiddleboxReport {
+  CoreStats total;
+  std::vector<CoreStats> per_core;
+  nic::SimNic::Counters nic;
+  u64 flow_entries = 0;
+  FlowAccessStats flow_access;
+};
+
+class SimMiddlebox final : public nic::IRxListener {
+ public:
+  SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg, INetworkFunction& nf,
+               nic::NicConfig nic_cfg = {});
+  ~SimMiddlebox() override;
+
+  SimMiddlebox(const SimMiddlebox&) = delete;
+  SimMiddlebox& operator=(const SimMiddlebox&) = delete;
+
+  /// Sink for incoming links (the NIC rx side).
+  [[nodiscard]] sim::IPacketSink& ingress() noexcept { return nic_; }
+  void attach_tx_link(u8 port, sim::Link& link) {
+    nic_.attach_tx_link(port, link);
+  }
+
+  [[nodiscard]] const SprayerConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] nic::SimNic& nic_dev() noexcept { return nic_; }
+  [[nodiscard]] FlowTable& flow_table(CoreId core) noexcept {
+    return *tables_[core];
+  }
+  [[nodiscard]] NfContext& context(CoreId core) noexcept {
+    return *contexts_[core];
+  }
+  [[nodiscard]] const CorePicker& picker() const noexcept { return picker_; }
+
+  /// Aggregate observed flow-state access pattern across all cores.
+  [[nodiscard]] FlowAccessStats access_stats() const {
+    FlowAccessStats total;
+    for (const auto& ctx : contexts_) {
+      total.merge(ctx->flows().access_stats());
+    }
+    return total;
+  }
+
+  [[nodiscard]] MiddleboxReport report() const;
+  /// Zero all middlebox-side counters (after warmup).
+  void reset_stats();
+
+  // nic::IRxListener
+  void rx_ready(u16 queue) override;
+
+ private:
+  class SimCore;
+
+  /// Send a processed packet out of the port opposite its ingress.
+  void transmit_out(net::Packet* pkt);
+
+  sim::Simulator& sim_;
+  SprayerConfig cfg_;
+  INetworkFunction& nf_;
+  NfInitConfig nf_init_;
+  CorePicker picker_;
+  nic::SimNic nic_;
+  std::vector<std::unique_ptr<FlowTable>> tables_;
+  std::vector<FlowTable*> table_ptrs_;
+  std::vector<std::unique_ptr<NfContext>> contexts_;
+  std::vector<std::unique_ptr<SimCore>> cores_;
+};
+
+}  // namespace sprayer::core

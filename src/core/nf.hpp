@@ -1,0 +1,116 @@
+// The Sprayer NF programming model (paper §3.4).
+//
+// An NF implements two packet handlers:
+//   * connection_packets() — receives every SYN/FIN/RST of flows whose
+//     designated core is this core (from the local queue or transferred
+//     from other cores); the only place flow state may be written;
+//   * regular_packets() — receives everything else, wherever it landed;
+//     may read any flow state but writes none.
+// plus an init() that sizes the flow table / declares itself stateless.
+#pragma once
+
+#include <bitset>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "core/flow_state.hpp"
+#include "runtime/batch.hpp"
+
+namespace sprayer::core {
+
+/// Filled in by the NF's init(); consumed by the framework when it builds
+/// the per-core machinery.
+struct NfInitConfig {
+  u32 flow_table_capacity = 1u << 16;  // must be a power of two
+  u32 flow_entry_size = 16;            // bytes per flow entry
+  /// Stateless NFs disable flow tables and connection-packet redirection
+  /// entirely: every packet goes to regular_packets() on its arrival core.
+  bool stateless = false;
+};
+
+/// Per-core execution context handed to packet handlers.
+class NfContext {
+ public:
+  NfContext(CoreId core, std::span<FlowTable* const> tables,
+            const CorePicker& picker, const CostModel& costs) noexcept
+      : core_(core),
+        num_cores_(static_cast<u32>(tables.size())),
+        api_(core, tables, picker, costs, consumed_) {}
+
+  [[nodiscard]] CoreId core() const noexcept { return core_; }
+  [[nodiscard]] u32 num_cores() const noexcept { return num_cores_; }
+  [[nodiscard]] FlowStateApi& flows() noexcept { return api_; }
+
+  /// Account `c` cycles of NF work for the current packet/batch (the
+  /// simulator turns this into time; the threaded executor busy-loops).
+  void consume_cycles(Cycles c) noexcept { consumed_ += c; }
+
+  /// Simulated time at which the current batch started processing.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  // --- framework side -------------------------------------------------
+  void set_now(Time t) noexcept { now_ = t; }
+  [[nodiscard]] Cycles drain_consumed() noexcept {
+    const Cycles c = consumed_;
+    consumed_ = 0;
+    return c;
+  }
+
+ private:
+  CoreId core_;
+  u32 num_cores_;
+  Cycles consumed_ = 0;  // must precede api_: FlowStateApi holds a reference
+  FlowStateApi api_;
+  Time now_ = 0;
+};
+
+/// Per-invocation verdict sheet: handlers mark packets to drop by batch
+/// index; everything else is forwarded.
+class BatchVerdicts {
+ public:
+  void reset(u32 batch_size) noexcept {
+    size_ = batch_size;
+    drops_.reset();
+  }
+  void drop(u32 index) noexcept {
+    SPRAYER_DCHECK(index < size_);
+    drops_.set(index);
+  }
+  [[nodiscard]] bool dropped(u32 index) const noexcept {
+    return drops_.test(index);
+  }
+
+ private:
+  std::bitset<runtime::kMaxBatchSize> drops_;
+  u32 size_ = 0;
+};
+
+class INetworkFunction {
+ public:
+  virtual ~INetworkFunction() = default;
+
+  /// Called once before the framework builds flow tables.
+  virtual void init(NfInitConfig& cfg, u32 num_cores) {
+    (void)cfg;
+    (void)num_cores;
+  }
+
+  /// SYN/FIN/RST packets of flows designated to this core.
+  virtual void connection_packets(runtime::PacketBatch& batch, NfContext& ctx,
+                                  BatchVerdicts& verdicts) = 0;
+
+  /// All other packets, on whichever core they arrived.
+  virtual void regular_packets(runtime::PacketBatch& batch, NfContext& ctx,
+                               BatchVerdicts& verdicts) = 0;
+
+  /// Periodic per-core maintenance (SprayerConfig::housekeeping_interval):
+  /// runs on every core with its own context, so NFs can expire local flow
+  /// state (e.g. NAT TIME_WAIT) without violating the writing partition.
+  virtual void housekeeping(NfContext& ctx) { (void)ctx; }
+
+  /// Human-readable name (for reports).
+  [[nodiscard]] virtual const char* name() const noexcept { return "nf"; }
+};
+
+}  // namespace sprayer::core

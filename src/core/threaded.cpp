@@ -1,0 +1,192 @@
+#include "core/threaded.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "net/packet_pool.hpp"
+
+namespace sprayer::core {
+
+namespace {
+
+Time steady_now() {
+  return static_cast<Time>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count()) *
+      kNanosecond;
+}
+
+}  // namespace
+
+/// ICorePort implementation for one worker: transfers go to the SPSC mesh,
+/// transmissions to the user sink.
+class ThreadedMiddlebox::CorePort final : public ICorePort {
+ public:
+  CorePort(ThreadedMiddlebox& owner, CoreId id) : owner_(owner), id_(id) {}
+
+  bool transfer(CoreId dest, net::Packet* pkt) override {
+    return owner_.mesh_[id_][dest]->push(pkt);
+  }
+
+  void transmit(net::Packet* pkt) override { owner_.tx_(pkt); }
+
+ private:
+  ThreadedMiddlebox& owner_;
+  CoreId id_;
+};
+
+ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
+                                     TxHandler tx)
+    : cfg_(cfg), nf_(nf), tx_(std::move(tx)), picker_(cfg.num_cores),
+      rss_(cfg.num_cores) {
+  SPRAYER_CHECK(cfg_.num_cores >= 1);
+  SPRAYER_CHECK(tx_ != nullptr);
+  nf_.init(nf_init_, cfg_.num_cores);
+
+  if (cfg_.mode == DispatchMode::kSpray) {
+    const Status s = fdir_.program_checksum_spray(cfg_.num_cores);
+    SPRAYER_CHECK_MSG(s.ok(), "failed to program Flow Director spraying");
+  }
+
+  const u32 table_capacity =
+      nf_init_.stateless ? 2u : nf_init_.flow_table_capacity;
+  for (u32 c = 0; c < cfg_.num_cores; ++c) {
+    tables_.push_back(std::make_unique<FlowTable>(
+        table_capacity, nf_init_.flow_entry_size, static_cast<CoreId>(c)));
+    table_ptrs_.push_back(tables_.back().get());
+  }
+  for (u32 c = 0; c < cfg_.num_cores; ++c) {
+    contexts_.push_back(std::make_unique<NfContext>(
+        static_cast<CoreId>(c), std::span<FlowTable* const>{table_ptrs_},
+        picker_, cfg_.costs));
+    ports_.push_back(std::make_unique<CorePort>(*this,
+                                                static_cast<CoreId>(c)));
+    engines_.push_back(std::make_unique<SprayerCore>(
+        static_cast<CoreId>(c), cfg_, nf_init_.stateless, nf_,
+        picker_, *contexts_.back(), *ports_.back()));
+    rx_rings_.push_back(std::make_unique<Ring>(4096));
+  }
+  last_housekeeping_.assign(cfg_.num_cores, 0);
+  mesh_.resize(cfg_.num_cores);
+  for (u32 src = 0; src < cfg_.num_cores; ++src) {
+    for (u32 dst = 0; dst < cfg_.num_cores; ++dst) {
+      mesh_[src].push_back(
+          std::make_unique<Ring>(cfg_.foreign_ring_capacity));
+    }
+  }
+}
+
+ThreadedMiddlebox::~ThreadedMiddlebox() { stop(); }
+
+void ThreadedMiddlebox::start() {
+  SPRAYER_CHECK_MSG(!started_, "already started");
+  started_ = true;
+  workers_.start(cfg_.num_cores,
+                 [this](CoreId core) { return worker_body(core); });
+}
+
+void ThreadedMiddlebox::stop() {
+  if (!started_) return;
+  workers_.stop();
+  started_ = false;
+  // Free anything still queued.
+  auto drain = [](Ring& ring) {
+    net::Packet* pkt;
+    while (ring.pop(pkt)) pkt->pool()->free(pkt);
+  };
+  for (auto& ring : rx_rings_) drain(*ring);
+  for (auto& row : mesh_) {
+    for (auto& ring : row) drain(*ring);
+  }
+}
+
+bool ThreadedMiddlebox::inject(net::Packet* pkt) {
+  pkt->parse();
+  u16 queue;
+  const auto fdir_queue = fdir_.match(*pkt);
+  if (fdir_queue.has_value()) {
+    queue = *fdir_queue;
+  } else {
+    queue = rss_.queue_for(*pkt);
+  }
+  if (!rx_rings_[queue]->push(pkt)) {
+    rx_ring_drops_.fetch_add(1, std::memory_order_relaxed);
+    pkt->pool()->free(pkt);
+    return false;
+  }
+  return true;
+}
+
+bool ThreadedMiddlebox::worker_body(CoreId core) {
+  busy_workers_.fetch_add(1, std::memory_order_acq_rel);
+  runtime::PacketBatch batch;
+  bool did_work = false;
+
+  if (cfg_.housekeeping_interval > 0) {
+    const Time now = steady_now();
+    if (now - last_housekeeping_[core] >= cfg_.housekeeping_interval) {
+      last_housekeeping_[core] = now;
+      NfContext& ctx = *contexts_[core];
+      ctx.set_now(now);
+      ctx.flows().set_in_connection_handler(true);
+      nf_.housekeeping(ctx);
+      engines_[core]->stats().busy_cycles += ctx.drain_consumed();
+    }
+  }
+
+  // Foreign rings first (bounds connection-packet latency).
+  for (u32 src = 0; src < cfg_.num_cores && !batch.full(); ++src) {
+    if (src == core) continue;
+    net::Packet* pkt;
+    while (batch.size() < cfg_.rx_batch && mesh_[src][core]->pop(pkt)) {
+      batch.push(pkt);
+    }
+  }
+  if (!batch.empty()) {
+    engines_[core]->process_foreign(batch, steady_now());
+    did_work = true;
+  } else {
+    const u32 n = rx_rings_[core]->pop_bulk(
+        std::span<net::Packet*>{batch.data(), cfg_.rx_batch});
+    if (n > 0) {
+      batch.set_size(n);
+      engines_[core]->process_rx(batch, steady_now());
+      did_work = true;
+    }
+  }
+  busy_workers_.fetch_sub(1, std::memory_order_acq_rel);
+  return did_work;
+}
+
+void ThreadedMiddlebox::wait_idle() const {
+  using namespace std::chrono_literals;
+  auto quiescent = [this] {
+    for (const auto& ring : rx_rings_) {
+      if (!ring->empty_approx()) return false;
+    }
+    for (const auto& row : mesh_) {
+      for (const auto& ring : row) {
+        if (!ring->empty_approx()) return false;
+      }
+    }
+    return busy_workers_.load(std::memory_order_acquire) == 0;
+  };
+  // Require the condition to hold across two samples: a worker could be
+  // mid-batch (about to refill a mesh ring) on the first one.
+  for (;;) {
+    if (quiescent()) {
+      std::this_thread::sleep_for(200us);
+      if (quiescent()) return;
+    }
+    std::this_thread::sleep_for(100us);
+  }
+}
+
+CoreStats ThreadedMiddlebox::total_stats() const {
+  CoreStats total;
+  for (const auto& e : engines_) total.merge(e->stats());
+  return total;
+}
+
+}  // namespace sprayer::core

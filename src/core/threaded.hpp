@@ -1,0 +1,104 @@
+// Threaded execution of the Sprayer framework: the same SprayerCore engine
+// logic that the simulator drives, running on real std::thread workers.
+//
+// Topology per the paper's architecture (Figure 4):
+//   * a driver (any single thread) injects packets through inject(), which
+//     classifies them with the same RSS / Flow Director objects the
+//     simulated NIC uses and enqueues descriptors on per-core SPSC rx
+//     rings;
+//   * one worker thread per core polls its rx ring and its foreign rings
+//     (a full SPSC mesh — connection-packet descriptors are transferred
+//     core-to-core exactly as in the paper) and runs the NF handlers;
+//   * processed packets are handed to a user-supplied sink callback
+//     (invoked on worker threads — it must be thread-safe; returning
+//     packets to their PacketPool is).
+//
+// Flow tables are the same seqlock-protected FlowTable: the writing
+// partition guarantees a single writer per entry, so cross-core reads need
+// no locks (§3.2).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/core_picker.hpp"
+#include "core/engine.hpp"
+#include "core/flow_table.hpp"
+#include "core/nf.hpp"
+#include "nic/flow_director.hpp"
+#include "nic/rss.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "runtime/worker_group.hpp"
+
+namespace sprayer::core {
+
+class ThreadedMiddlebox {
+ public:
+  /// `tx` receives every forwarded packet, on worker threads.
+  using TxHandler = std::function<void(net::Packet*)>;
+
+  ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf, TxHandler tx);
+  ~ThreadedMiddlebox();
+
+  ThreadedMiddlebox(const ThreadedMiddlebox&) = delete;
+  ThreadedMiddlebox& operator=(const ThreadedMiddlebox&) = delete;
+
+  /// Start the worker threads.
+  void start();
+  /// Drain and stop. Packets still queued in rings are freed.
+  void stop();
+
+  /// Dispatch one packet (single-producer: call from one thread). Returns
+  /// false — and frees the packet — when the target rx ring is full.
+  bool inject(net::Packet* pkt);
+
+  /// Block until all rings are empty and workers are idle.
+  void wait_idle() const;
+
+  [[nodiscard]] const SprayerConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] FlowTable& flow_table(CoreId core) noexcept {
+    return *tables_[core];
+  }
+  [[nodiscard]] const CorePicker& picker() const noexcept { return picker_; }
+  [[nodiscard]] CoreStats total_stats() const;
+  [[nodiscard]] u64 rx_ring_drops() const noexcept {
+    return rx_ring_drops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class CorePort;
+
+  /// One worker iteration; returns true if any work was done.
+  bool worker_body(CoreId core);
+
+  SprayerConfig cfg_;
+  INetworkFunction& nf_;
+  TxHandler tx_;
+  NfInitConfig nf_init_;
+  CorePicker picker_;
+  nic::RssEngine rss_;
+  nic::FlowDirector fdir_;
+
+  std::vector<std::unique_ptr<FlowTable>> tables_;
+  std::vector<FlowTable*> table_ptrs_;
+  std::vector<std::unique_ptr<NfContext>> contexts_;
+  std::vector<std::unique_ptr<CorePort>> ports_;
+  std::vector<std::unique_ptr<SprayerCore>> engines_;
+
+  // Per-core rx rings (driver -> core) and the transfer mesh
+  // (src core -> dst core), all SPSC.
+  using Ring = runtime::SpscRing<net::Packet*>;
+  std::vector<std::unique_ptr<Ring>> rx_rings_;
+  std::vector<std::vector<std::unique_ptr<Ring>>> mesh_;
+
+  runtime::WorkerGroup workers_;
+  std::vector<Time> last_housekeeping_;
+  std::atomic<u64> rx_ring_drops_{0};
+  std::atomic<u32> busy_workers_{0};
+  bool started_ = false;
+};
+
+}  // namespace sprayer::core

@@ -1,0 +1,42 @@
+#include "hash/crc32c.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace sprayer::hash {
+
+namespace {
+
+constexpr u32 kPoly = 0x82f63b78;  // reflected CRC32-C polynomial
+
+constexpr std::array<u32, 256> make_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+u32 crc32c(std::span<const u8> data, u32 seed) noexcept {
+  u32 crc = ~seed;
+  for (const u8 byte : data) {
+    crc = kTable[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+u32 crc32c_u64(u64 value, u32 seed) noexcept {
+  u8 bytes[8];
+  std::memcpy(bytes, &value, sizeof(bytes));
+  return crc32c(std::span<const u8>{bytes, sizeof(bytes)}, seed);
+}
+
+}  // namespace sprayer::hash

@@ -1,0 +1,18 @@
+// Software CRC32-C (Castagnoli), table-driven. Used as the flow-table hash
+// and available as an alternative designated-core hash.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace sprayer::hash {
+
+/// CRC32-C of a byte range, with the conventional ~0 initial value and final
+/// inversion. `seed` chains multiple ranges: pass the previous result.
+[[nodiscard]] u32 crc32c(std::span<const u8> data, u32 seed = 0) noexcept;
+
+/// CRC32-C of a 64-bit value (little-endian byte order).
+[[nodiscard]] u32 crc32c_u64(u64 value, u32 seed = 0) noexcept;
+
+}  // namespace sprayer::hash

@@ -1,0 +1,44 @@
+// Designated-core hash (paper §3.2).
+//
+// Every flow has exactly one designated core that owns its state. The hash
+// must be symmetric — upstream and downstream directions of a connection
+// must map to the same core — which we get by hashing the *canonical*
+// five-tuple. Two interchangeable implementations are provided; the default
+// (mix of the canonical tuple) is fast, and the Toeplitz variant mirrors
+// what a symmetric-key RSS NIC would compute.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "hash/toeplitz.hpp"
+#include "net/five_tuple.hpp"
+
+namespace sprayer::hash {
+
+enum class DesignatedHashKind {
+  kCanonicalMix,       // splitmix of the canonical five-tuple (default)
+  kSymmetricToeplitz,  // Toeplitz with the symmetric key (direction-free)
+};
+
+/// Symmetric 32-bit flow hash.
+[[nodiscard]] inline u32 designated_hash(
+    const net::FiveTuple& t,
+    DesignatedHashKind kind = DesignatedHashKind::kCanonicalMix) noexcept {
+  switch (kind) {
+    case DesignatedHashKind::kCanonicalMix:
+      return static_cast<u32>(t.canonical().pack());
+    case DesignatedHashKind::kSymmetricToeplitz:
+      return toeplitz_v4_l4(t, kSymmetricKey);
+  }
+  return 0;
+}
+
+/// Designated core for a flow among `num_cores` cores.
+[[nodiscard]] inline CoreId designated_core(
+    const net::FiveTuple& t, u32 num_cores,
+    DesignatedHashKind kind = DesignatedHashKind::kCanonicalMix) noexcept {
+  SPRAYER_DCHECK(num_cores > 0);
+  return static_cast<CoreId>(designated_hash(t, kind) % num_cores);
+}
+
+}  // namespace sprayer::hash

@@ -1,0 +1,47 @@
+#include "hash/toeplitz.hpp"
+
+#include "net/byte_order.hpp"
+
+namespace sprayer::hash {
+
+u32 toeplitz(std::span<const u8> input, const ToeplitzKey& key) noexcept {
+  // Classic bit-serial formulation: for each input bit set, XOR in the
+  // 32-bit window of the key starting at that bit position.
+  u32 result = 0;
+  // Current 32-bit key window; kept in a 64-bit register so shifting in the
+  // next key byte is cheap.
+  u64 window = (static_cast<u64>(key[0]) << 24) |
+               (static_cast<u64>(key[1]) << 16) |
+               (static_cast<u64>(key[2]) << 8) | key[3];
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    // Extend the window with the next key byte (zero past the key end —
+    // inputs longer than 36 bytes are not used by RSS).
+    const u8 next_key = (i + 4 < kToeplitzKeyLen) ? key[i + 4] : 0;
+    window = (window << 8) | next_key;
+    const u8 byte = input[i];
+    for (int bit = 7; bit >= 0; --bit) {
+      if (byte & (1u << bit)) {
+        result ^= static_cast<u32>(window >> (bit + 1));
+      }
+    }
+  }
+  return result;
+}
+
+u32 toeplitz_v4_l4(const net::FiveTuple& t, const ToeplitzKey& key) noexcept {
+  u8 input[12];
+  net::store_be32(input, t.src_ip.host_order());
+  net::store_be32(input + 4, t.dst_ip.host_order());
+  net::store_be16(input + 8, t.src_port);
+  net::store_be16(input + 10, t.dst_port);
+  return toeplitz(std::span<const u8>{input, sizeof(input)}, key);
+}
+
+u32 toeplitz_v4(const net::FiveTuple& t, const ToeplitzKey& key) noexcept {
+  u8 input[8];
+  net::store_be32(input, t.src_ip.host_order());
+  net::store_be32(input + 4, t.dst_ip.host_order());
+  return toeplitz(std::span<const u8>{input, sizeof(input)}, key);
+}
+
+}  // namespace sprayer::hash

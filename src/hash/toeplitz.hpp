@@ -1,0 +1,50 @@
+// Toeplitz hash — the hash RSS NICs implement.
+//
+// Includes the de-facto standard Microsoft key and the *symmetric* key
+// (0x6d5a repeated, from Woo & Park) that maps a flow and its reverse to the
+// same value. The paper's testbed configures exactly this symmetric key so
+// that upstream and downstream directions of a connection land on the same
+// core (§5, [44]).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.hpp"
+#include "net/five_tuple.hpp"
+
+namespace sprayer::hash {
+
+inline constexpr std::size_t kToeplitzKeyLen = 40;
+using ToeplitzKey = std::array<u8, kToeplitzKeyLen>;
+
+/// Microsoft's reference RSS key (asymmetric).
+inline constexpr ToeplitzKey kMicrosoftKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
+
+/// Symmetric RSS key: "0x6d5a" repeated. hash(a,b) == hash(b,a) for both the
+/// address pair and the port pair.
+inline constexpr ToeplitzKey kSymmetricKey = {
+    0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+    0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+    0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+    0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a};
+
+/// Toeplitz hash of an arbitrary byte string against a 40-byte key.
+[[nodiscard]] u32 toeplitz(std::span<const u8> input,
+                           const ToeplitzKey& key) noexcept;
+
+/// RSS input for IPv4 + TCP/UDP: src ip, dst ip, src port, dst port — all
+/// big-endian, 12 bytes.
+[[nodiscard]] u32 toeplitz_v4_l4(const net::FiveTuple& t,
+                                 const ToeplitzKey& key) noexcept;
+
+/// RSS input for IPv4 only (no ports): src ip, dst ip — 8 bytes. This is
+/// what NICs fall back to for non-TCP/UDP IPv4 traffic.
+[[nodiscard]] u32 toeplitz_v4(const net::FiveTuple& t,
+                              const ToeplitzKey& key) noexcept;
+
+}  // namespace sprayer::hash

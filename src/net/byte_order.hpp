@@ -1,0 +1,66 @@
+// Endianness helpers: all wire fields are big-endian; we load/store through
+// memcpy-based accessors so there is no unaligned-access or strict-aliasing
+// UB regardless of buffer alignment.
+#pragma once
+
+#include <bit>
+#include <cstring>
+
+#include "common/types.hpp"
+
+namespace sprayer::net {
+
+static_assert(std::endian::native == std::endian::little ||
+                  std::endian::native == std::endian::big,
+              "mixed-endian platforms are not supported");
+
+[[nodiscard]] constexpr u16 byteswap16(u16 v) noexcept {
+  return static_cast<u16>((v << 8) | (v >> 8));
+}
+[[nodiscard]] constexpr u32 byteswap32(u32 v) noexcept {
+  return __builtin_bswap32(v);
+}
+[[nodiscard]] constexpr u64 byteswap64(u64 v) noexcept {
+  return __builtin_bswap64(v);
+}
+
+[[nodiscard]] constexpr u16 host_to_be16(u16 v) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    return byteswap16(v);
+  }
+  return v;
+}
+[[nodiscard]] constexpr u16 be16_to_host(u16 v) noexcept {
+  return host_to_be16(v);
+}
+[[nodiscard]] constexpr u32 host_to_be32(u32 v) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    return byteswap32(v);
+  }
+  return v;
+}
+[[nodiscard]] constexpr u32 be32_to_host(u32 v) noexcept {
+  return host_to_be32(v);
+}
+
+/// Load a big-endian 16-bit field from unaligned memory.
+[[nodiscard]] inline u16 load_be16(const u8* p) noexcept {
+  u16 v;
+  std::memcpy(&v, p, sizeof(v));
+  return be16_to_host(v);
+}
+[[nodiscard]] inline u32 load_be32(const u8* p) noexcept {
+  u32 v;
+  std::memcpy(&v, p, sizeof(v));
+  return be32_to_host(v);
+}
+inline void store_be16(u8* p, u16 v) noexcept {
+  const u16 be = host_to_be16(v);
+  std::memcpy(p, &be, sizeof(be));
+}
+inline void store_be32(u8* p, u32 v) noexcept {
+  const u32 be = host_to_be32(v);
+  std::memcpy(p, &be, sizeof(be));
+}
+
+}  // namespace sprayer::net

@@ -1,0 +1,93 @@
+#include "net/checksum.hpp"
+
+#include "net/byte_order.hpp"
+
+namespace sprayer::net {
+
+u64 checksum_partial(const u8* data, std::size_t len, u64 initial) noexcept {
+  u64 sum = initial;
+  while (len >= 2) {
+    sum += load_be16(data);
+    data += 2;
+    len -= 2;
+  }
+  if (len == 1) {
+    sum += static_cast<u64>(*data) << 8;  // pad trailing byte on the right
+  }
+  return sum;
+}
+
+u16 checksum_fold(u64 sum) noexcept {
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<u16>(~sum & 0xffff);
+}
+
+u16 internet_checksum(const u8* data, std::size_t len) noexcept {
+  return checksum_fold(checksum_partial(data, len));
+}
+
+u16 ipv4_header_checksum(const Ipv4View& ip) noexcept {
+  const u8* p = ip.bytes();
+  const std::size_t hlen = ip.header_len();
+  // Sum everything, then subtract the stored checksum field (bytes 10–11).
+  u64 sum = checksum_partial(p, hlen);
+  sum -= load_be16(p + 10);
+  return checksum_fold(sum);
+}
+
+namespace {
+
+u64 pseudo_header_sum(Ipv4Addr src, Ipv4Addr dst, u8 protocol,
+                      std::size_t l4_len) noexcept {
+  u64 sum = 0;
+  const u32 s = src.host_order();
+  const u32 d = dst.host_order();
+  sum += (s >> 16) + (s & 0xffff);
+  sum += (d >> 16) + (d & 0xffff);
+  sum += protocol;
+  sum += static_cast<u64>(l4_len);
+  return sum;
+}
+
+}  // namespace
+
+u16 l4_checksum(Ipv4Addr src, Ipv4Addr dst, u8 protocol, const u8* l4,
+                std::size_t l4_len) noexcept {
+  u64 sum = pseudo_header_sum(src, dst, protocol, l4_len);
+  sum = checksum_partial(l4, l4_len, sum);
+  // Subtract the stored checksum field: TCP at offset 16, UDP at offset 6.
+  const std::size_t cks_off = (protocol == kProtoTcp) ? 16u : 6u;
+  if (l4_len >= cks_off + 2) {
+    sum -= load_be16(l4 + cks_off);
+  }
+  return checksum_fold(sum);
+}
+
+bool l4_checksum_valid(Ipv4Addr src, Ipv4Addr dst, u8 protocol, const u8* l4,
+                       std::size_t l4_len) noexcept {
+  u64 sum = pseudo_header_sum(src, dst, protocol, l4_len);
+  sum = checksum_partial(l4, l4_len, sum);
+  return checksum_fold(sum) == 0;
+}
+
+u16 checksum_update16(u16 old_checksum, u16 old_field,
+                      u16 new_field) noexcept {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m').
+  u64 sum = static_cast<u16>(~old_checksum);
+  sum += static_cast<u16>(~old_field);
+  sum += new_field;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<u16>(~sum & 0xffff);
+}
+
+u16 checksum_update32(u16 old_checksum, u32 old_field,
+                      u32 new_field) noexcept {
+  u16 c = checksum_update16(old_checksum, static_cast<u16>(old_field >> 16),
+                            static_cast<u16>(new_field >> 16));
+  return checksum_update16(c, static_cast<u16>(old_field & 0xffff),
+                           static_cast<u16>(new_field & 0xffff));
+}
+
+}  // namespace sprayer::net

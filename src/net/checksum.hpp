@@ -1,0 +1,52 @@
+// Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//
+// The TCP checksum matters doubly here: it must be correct for the TCP
+// endpoints, and its low bits are the spraying key the Flow Director trick
+// matches on — so NFs that rewrite headers (e.g. the NAT) must use the
+// incremental update to keep packets valid.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "net/headers.hpp"
+
+namespace sprayer::net {
+
+/// Sum of 16-bit big-endian words (no folding); use to compose checksums
+/// over multiple regions. Handles odd lengths by zero-padding the tail byte.
+[[nodiscard]] u64 checksum_partial(const u8* data, std::size_t len,
+                                   u64 initial = 0) noexcept;
+
+/// Fold a partial sum to the final 16-bit one's-complement checksum value
+/// (already complemented, in host order — store with store_be16).
+[[nodiscard]] u16 checksum_fold(u64 sum) noexcept;
+
+/// Full internet checksum over a region.
+[[nodiscard]] u16 internet_checksum(const u8* data, std::size_t len) noexcept;
+
+/// Compute the IPv4 header checksum (checksum field treated as zero).
+[[nodiscard]] u16 ipv4_header_checksum(const Ipv4View& ip) noexcept;
+
+/// Compute the TCP/UDP checksum with the IPv4 pseudo-header.
+/// `l4` points at the L4 header; `l4_len` covers header + payload.
+/// The checksum field inside the header is treated as zero.
+[[nodiscard]] u16 l4_checksum(Ipv4Addr src, Ipv4Addr dst, u8 protocol,
+                              const u8* l4, std::size_t l4_len) noexcept;
+
+/// Verify an L4 checksum: sums the full segment including the stored
+/// checksum; valid iff the folded result is zero.
+[[nodiscard]] bool l4_checksum_valid(Ipv4Addr src, Ipv4Addr dst, u8 protocol,
+                                     const u8* l4, std::size_t l4_len) noexcept;
+
+/// RFC 1624 incremental update: given the old checksum and an old/new 16-bit
+/// field value, produce the new checksum. Both checksums and fields are in
+/// host order (as returned by the header views).
+[[nodiscard]] u16 checksum_update16(u16 old_checksum, u16 old_field,
+                                    u16 new_field) noexcept;
+
+/// Incremental update for a 32-bit field (e.g. an IPv4 address).
+[[nodiscard]] u16 checksum_update32(u16 old_checksum, u32 old_field,
+                                    u32 new_field) noexcept;
+
+}  // namespace sprayer::net

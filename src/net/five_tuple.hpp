@@ -1,0 +1,89 @@
+// The flow five-tuple and its canonical (direction-independent) form.
+//
+// Sprayer requires that both directions of a TCP connection map to the same
+// designated core; canonicalization gives a direction-independent key, used
+// by flow tables and the designated-core hash.
+#pragma once
+
+#include <compare>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+#include "net/headers.hpp"
+#include "net/ip_addr.hpp"
+
+namespace sprayer::net {
+
+struct FiveTuple {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  u8 protocol = 0;
+
+  friend constexpr auto operator<=>(const FiveTuple&,
+                                    const FiveTuple&) = default;
+
+  /// The same connection seen from the other direction.
+  [[nodiscard]] constexpr FiveTuple reversed() const noexcept {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  /// Canonical form: the lexicographically smaller (ip, port) endpoint goes
+  /// first, so a flow and its reverse share one key.
+  [[nodiscard]] constexpr FiveTuple canonical() const noexcept {
+    const bool swap =
+        (src_ip > dst_ip) || (src_ip == dst_ip && src_port > dst_port);
+    return swap ? reversed() : *this;
+  }
+
+  [[nodiscard]] constexpr bool is_canonical() const noexcept {
+    return canonical() == *this;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return src_ip.to_string() + ":" + std::to_string(src_port) + " -> " +
+           dst_ip.to_string() + ":" + std::to_string(dst_port) +
+           " proto=" + std::to_string(protocol);
+  }
+
+  /// 64-bit mix of all fields (direction-sensitive); combine with
+  /// canonical() for a symmetric value.
+  [[nodiscard]] constexpr u64 pack() const noexcept {
+    // src/dst ips in the top bits, ports+proto below; then mixed.
+    u64 a = (static_cast<u64>(src_ip.host_order()) << 32) |
+            dst_ip.host_order();
+    u64 b = (static_cast<u64>(src_port) << 32) |
+            (static_cast<u64>(dst_port) << 16) | protocol;
+    // splitmix-style finalizer over the combination
+    u64 z = a ^ (b * 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(t.pack());
+  }
+};
+
+/// Extract the five-tuple of a parsed IPv4+TCP/UDP packet. `l4` may be null
+/// for protocols without ports (ports read as 0).
+[[nodiscard]] inline FiveTuple extract_five_tuple(const Ipv4View& ip,
+                                                  const u8* l4) noexcept {
+  FiveTuple t;
+  t.src_ip = ip.src();
+  t.dst_ip = ip.dst();
+  t.protocol = ip.protocol();
+  if (l4 != nullptr &&
+      (t.protocol == kProtoTcp || t.protocol == kProtoUdp)) {
+    t.src_port = load_be16(l4);
+    t.dst_port = load_be16(l4 + 2);
+  }
+  return t;
+}
+
+}  // namespace sprayer::net

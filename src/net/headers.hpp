@@ -1,0 +1,176 @@
+// Zero-copy header views over raw frame bytes.
+//
+// Each view wraps a pointer into the packet buffer and exposes typed getters
+// and setters that do the big-endian conversion. Views never own memory and
+// never bound-check on their own: the parser (net/packet.hpp) validates
+// lengths once, after which field access is branch-free.
+#pragma once
+
+#include "common/types.hpp"
+#include "net/byte_order.hpp"
+#include "net/ip_addr.hpp"
+#include "net/mac_addr.hpp"
+
+namespace sprayer::net {
+
+// --- Ethernet -------------------------------------------------------------
+
+inline constexpr u16 kEtherTypeIpv4 = 0x0800;
+inline constexpr u16 kEtherTypeArp = 0x0806;
+
+class EthernetView {
+ public:
+  static constexpr u32 kSize = 14;
+
+  explicit EthernetView(u8* base) noexcept : p_(base) {}
+
+  [[nodiscard]] MacAddr dst() const noexcept { return MacAddr::read_from(p_); }
+  [[nodiscard]] MacAddr src() const noexcept {
+    return MacAddr::read_from(p_ + 6);
+  }
+  [[nodiscard]] u16 ether_type() const noexcept { return load_be16(p_ + 12); }
+
+  void set_dst(const MacAddr& m) noexcept { m.write_to(p_); }
+  void set_src(const MacAddr& m) noexcept { m.write_to(p_ + 6); }
+  void set_ether_type(u16 t) noexcept { store_be16(p_ + 12, t); }
+
+ private:
+  u8* p_;
+};
+
+// --- IPv4 -----------------------------------------------------------------
+
+inline constexpr u8 kProtoIcmp = 1;
+inline constexpr u8 kProtoTcp = 6;
+inline constexpr u8 kProtoUdp = 17;
+
+class Ipv4View {
+ public:
+  static constexpr u32 kMinSize = 20;
+
+  explicit Ipv4View(u8* base) noexcept : p_(base) {}
+
+  [[nodiscard]] u8 version() const noexcept { return p_[0] >> 4; }
+  [[nodiscard]] u8 ihl() const noexcept { return p_[0] & 0x0f; }
+  [[nodiscard]] u32 header_len() const noexcept { return 4u * ihl(); }
+  [[nodiscard]] u8 dscp_ecn() const noexcept { return p_[1]; }
+  [[nodiscard]] u16 total_length() const noexcept { return load_be16(p_ + 2); }
+  [[nodiscard]] u16 identification() const noexcept {
+    return load_be16(p_ + 4);
+  }
+  [[nodiscard]] u8 ttl() const noexcept { return p_[8]; }
+  [[nodiscard]] u8 protocol() const noexcept { return p_[9]; }
+  [[nodiscard]] u16 checksum() const noexcept { return load_be16(p_ + 10); }
+  [[nodiscard]] Ipv4Addr src() const noexcept {
+    return Ipv4Addr{load_be32(p_ + 12)};
+  }
+  [[nodiscard]] Ipv4Addr dst() const noexcept {
+    return Ipv4Addr{load_be32(p_ + 16)};
+  }
+
+  void set_version_ihl(u8 version, u8 ihl) noexcept {
+    p_[0] = static_cast<u8>((version << 4) | (ihl & 0x0f));
+  }
+  void set_dscp_ecn(u8 v) noexcept { p_[1] = v; }
+  void set_total_length(u16 v) noexcept { store_be16(p_ + 2, v); }
+  void set_identification(u16 v) noexcept { store_be16(p_ + 4, v); }
+  void set_flags_fragment(u16 v) noexcept { store_be16(p_ + 6, v); }
+  void set_ttl(u8 v) noexcept { p_[8] = v; }
+  void set_protocol(u8 v) noexcept { p_[9] = v; }
+  void set_checksum(u16 v) noexcept { store_be16(p_ + 10, v); }
+  void set_src(Ipv4Addr a) noexcept { store_be32(p_ + 12, a.host_order()); }
+  void set_dst(Ipv4Addr a) noexcept { store_be32(p_ + 16, a.host_order()); }
+
+  [[nodiscard]] u8* bytes() noexcept { return p_; }
+  [[nodiscard]] const u8* bytes() const noexcept { return p_; }
+
+ private:
+  u8* p_;
+};
+
+// --- TCP ------------------------------------------------------------------
+
+struct TcpFlags {
+  static constexpr u8 kFin = 0x01;
+  static constexpr u8 kSyn = 0x02;
+  static constexpr u8 kRst = 0x04;
+  static constexpr u8 kPsh = 0x08;
+  static constexpr u8 kAck = 0x10;
+  static constexpr u8 kUrg = 0x20;
+};
+
+class TcpView {
+ public:
+  static constexpr u32 kMinSize = 20;
+  /// Byte offset of the checksum field within the TCP header — the field the
+  /// Flow Director spraying trick matches on.
+  static constexpr u32 kChecksumOffset = 16;
+
+  explicit TcpView(u8* base) noexcept : p_(base) {}
+
+  [[nodiscard]] u16 src_port() const noexcept { return load_be16(p_); }
+  [[nodiscard]] u16 dst_port() const noexcept { return load_be16(p_ + 2); }
+  [[nodiscard]] u32 seq() const noexcept { return load_be32(p_ + 4); }
+  [[nodiscard]] u32 ack() const noexcept { return load_be32(p_ + 8); }
+  [[nodiscard]] u8 data_offset_words() const noexcept { return p_[12] >> 4; }
+  [[nodiscard]] u32 header_len() const noexcept {
+    return 4u * data_offset_words();
+  }
+  [[nodiscard]] u8 flags() const noexcept { return p_[13]; }
+  [[nodiscard]] u16 window() const noexcept { return load_be16(p_ + 14); }
+  [[nodiscard]] u16 checksum() const noexcept { return load_be16(p_ + 16); }
+  [[nodiscard]] u16 urgent() const noexcept { return load_be16(p_ + 18); }
+
+  [[nodiscard]] bool has(u8 flag) const noexcept {
+    return (flags() & flag) != 0;
+  }
+  /// A "connection packet" in the paper's sense: can change TCP state.
+  [[nodiscard]] bool is_connection_packet() const noexcept {
+    return (flags() & (TcpFlags::kSyn | TcpFlags::kFin | TcpFlags::kRst)) != 0;
+  }
+
+  void set_src_port(u16 v) noexcept { store_be16(p_, v); }
+  void set_dst_port(u16 v) noexcept { store_be16(p_ + 2, v); }
+  void set_seq(u32 v) noexcept { store_be32(p_ + 4, v); }
+  void set_ack(u32 v) noexcept { store_be32(p_ + 8, v); }
+  void set_data_offset_words(u8 words) noexcept {
+    p_[12] = static_cast<u8>(words << 4);
+  }
+  void set_flags(u8 v) noexcept { p_[13] = v; }
+  void set_window(u16 v) noexcept { store_be16(p_ + 14, v); }
+  void set_checksum(u16 v) noexcept { store_be16(p_ + 16, v); }
+  void set_urgent(u16 v) noexcept { store_be16(p_ + 18, v); }
+
+  [[nodiscard]] u8* bytes() noexcept { return p_; }
+  [[nodiscard]] const u8* bytes() const noexcept { return p_; }
+
+ private:
+  u8* p_;
+};
+
+// --- UDP ------------------------------------------------------------------
+
+class UdpView {
+ public:
+  static constexpr u32 kSize = 8;
+
+  explicit UdpView(u8* base) noexcept : p_(base) {}
+
+  [[nodiscard]] u16 src_port() const noexcept { return load_be16(p_); }
+  [[nodiscard]] u16 dst_port() const noexcept { return load_be16(p_ + 2); }
+  [[nodiscard]] u16 length() const noexcept { return load_be16(p_ + 4); }
+  [[nodiscard]] u16 checksum() const noexcept { return load_be16(p_ + 6); }
+
+  void set_src_port(u16 v) noexcept { store_be16(p_, v); }
+  void set_dst_port(u16 v) noexcept { store_be16(p_ + 2, v); }
+  void set_length(u16 v) noexcept { store_be16(p_ + 4, v); }
+  void set_checksum(u16 v) noexcept { store_be16(p_ + 6, v); }
+
+  [[nodiscard]] u8* bytes() noexcept { return p_; }
+  [[nodiscard]] const u8* bytes() const noexcept { return p_; }
+
+ private:
+  u8* p_;
+};
+
+}  // namespace sprayer::net

@@ -1,0 +1,49 @@
+#include "net/ip_addr.hpp"
+
+#include <sstream>
+
+namespace sprayer::net {
+
+Result<Ipv4Addr> Ipv4Addr::parse(const std::string& s) {
+  u32 value = 0;
+  int octets = 0;
+  u32 current = 0;
+  bool have_digit = false;
+  for (const char ch : s) {
+    if (ch >= '0' && ch <= '9') {
+      current = current * 10 + static_cast<u32>(ch - '0');
+      if (current > 255) {
+        return make_error(Error::Code::kInvalidArgument,
+                          "IPv4 octet out of range in '" + s + "'");
+      }
+      have_digit = true;
+    } else if (ch == '.') {
+      if (!have_digit || octets == 3) {
+        return make_error(Error::Code::kInvalidArgument,
+                          "malformed IPv4 address '" + s + "'");
+      }
+      value = (value << 8) | current;
+      current = 0;
+      have_digit = false;
+      ++octets;
+    } else {
+      return make_error(Error::Code::kInvalidArgument,
+                        "invalid character in IPv4 address '" + s + "'");
+    }
+  }
+  if (!have_digit || octets != 3) {
+    return make_error(Error::Code::kInvalidArgument,
+                      "malformed IPv4 address '" + s + "'");
+  }
+  value = (value << 8) | current;
+  return Ipv4Addr{value};
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::ostringstream os;
+  os << static_cast<int>(octet(0)) << '.' << static_cast<int>(octet(1)) << '.'
+     << static_cast<int>(octet(2)) << '.' << static_cast<int>(octet(3));
+  return os.str();
+}
+
+}  // namespace sprayer::net

@@ -1,0 +1,38 @@
+// IPv4 address value type.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace sprayer::net {
+
+/// IPv4 address stored in host byte order (so arithmetic and comparisons
+/// behave naturally); converted to network order only at the wire boundary.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(u32 host_order) noexcept : v_(host_order) {}
+  constexpr Ipv4Addr(u8 a, u8 b, u8 c, u8 d) noexcept
+      : v_((static_cast<u32>(a) << 24) | (static_cast<u32>(b) << 16) |
+           (static_cast<u32>(c) << 8) | d) {}
+
+  [[nodiscard]] constexpr u32 host_order() const noexcept { return v_; }
+  [[nodiscard]] constexpr u8 octet(int i) const noexcept {
+    return static_cast<u8>(v_ >> (24 - 8 * i));
+  }
+
+  /// Parse dotted-quad ("10.0.0.1").
+  static Result<Ipv4Addr> parse(const std::string& s);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  u32 v_ = 0;
+};
+
+}  // namespace sprayer::net

@@ -1,0 +1,53 @@
+// Ethernet MAC address value type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstring>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace sprayer::net {
+
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  constexpr MacAddr(u8 a, u8 b, u8 c, u8 d, u8 e, u8 f) noexcept
+      : bytes_{a, b, c, d, e, f} {}
+
+  /// Derive a deterministic locally-administered unicast MAC from an id —
+  /// handy for simulated hosts.
+  static constexpr MacAddr from_id(u32 id) noexcept {
+    return MacAddr{0x02, 0x00, static_cast<u8>(id >> 24),
+                   static_cast<u8>(id >> 16), static_cast<u8>(id >> 8),
+                   static_cast<u8>(id)};
+  }
+
+  [[nodiscard]] const u8* data() const noexcept { return bytes_.data(); }
+  void write_to(u8* out) const noexcept {
+    std::memcpy(out, bytes_.data(), bytes_.size());
+  }
+  static MacAddr read_from(const u8* in) noexcept {
+    MacAddr m;
+    std::memcpy(m.bytes_.data(), in, m.bytes_.size());
+    return m;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string s(17, ':');
+    for (int i = 0; i < 6; ++i) {
+      s[static_cast<std::size_t>(3 * i)] = kHex[bytes_[i] >> 4];
+      s[static_cast<std::size_t>(3 * i + 1)] = kHex[bytes_[i] & 0xf];
+    }
+    return s;
+  }
+
+  friend constexpr auto operator<=>(const MacAddr&, const MacAddr&) = default;
+
+ private:
+  std::array<u8, 6> bytes_{};
+};
+
+}  // namespace sprayer::net

@@ -1,0 +1,64 @@
+#include "net/packet.hpp"
+
+namespace sprayer::net {
+
+bool Packet::parse() noexcept {
+  l3_offset_ = 0;
+  l4_offset_ = 0;
+  l4_proto_ = 0;
+
+  if (len_ < EthernetView::kSize) return false;
+  EthernetView eth{data()};
+  if (eth.ether_type() != kEtherTypeIpv4) return false;
+
+  const u32 l3 = EthernetView::kSize;
+  if (len_ < l3 + Ipv4View::kMinSize) return false;
+  Ipv4View ip{data() + l3};
+  if (ip.version() != 4) return false;
+  const u32 ihl_bytes = ip.header_len();
+  if (ihl_bytes < Ipv4View::kMinSize || len_ < l3 + ihl_bytes) return false;
+  const u32 total = ip.total_length();
+  if (total < ihl_bytes || l3 + total > len_) return false;
+
+  l3_offset_ = static_cast<u16>(l3);
+
+  // Fragments other than the first carry no L4 header: exposing "ports"
+  // read from payload bytes would corrupt flow classification. Treat the
+  // packet as IPv4-only (it still hashes by address pair, like RSS does).
+  const u16 flags_frag = load_be16(ip.bytes() + 6);
+  if ((flags_frag & 0x1fff) != 0) return true;  // non-zero fragment offset
+
+  const u8 proto = ip.protocol();
+  const u32 l4 = l3 + ihl_bytes;
+  const u32 l4_avail = total - ihl_bytes;
+
+  if (proto == kProtoTcp) {
+    if (l4_avail < TcpView::kMinSize) return true;  // IPv4 ok, L4 truncated
+    TcpView tcp{data() + l4};
+    const u32 thl = tcp.header_len();
+    if (thl < TcpView::kMinSize || thl > l4_avail) return true;
+    l4_offset_ = static_cast<u16>(l4);
+    l4_proto_ = kProtoTcp;
+  } else if (proto == kProtoUdp) {
+    if (l4_avail < UdpView::kSize) return true;
+    l4_offset_ = static_cast<u16>(l4);
+    l4_proto_ = kProtoUdp;
+  }
+  return true;
+}
+
+u32 Packet::l4_payload_len() noexcept {
+  SPRAYER_DCHECK(l4_offset_ != 0);
+  Ipv4View ip{data() + l3_offset_};
+  const u32 l4_total = ip.total_length() - ip.header_len();
+  if (l4_proto_ == kProtoTcp) {
+    TcpView t{data() + l4_offset_};
+    return l4_total - t.header_len();
+  }
+  if (l4_proto_ == kProtoUdp) {
+    return l4_total - UdpView::kSize;
+  }
+  return l4_total;
+}
+
+}  // namespace sprayer::net

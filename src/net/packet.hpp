@@ -1,0 +1,134 @@
+// Packet descriptor + buffer, in the style of a DPDK mbuf.
+//
+// A Packet is a fixed-size metadata block immediately followed by its data
+// buffer, both living in a slot of a PacketPool. Packets travel through
+// queues and rings as raw descriptors (Packet*); the user-facing allocation
+// API hands out RAII PacketPtr handles that return the slot to the pool.
+#pragma once
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "net/five_tuple.hpp"
+#include "net/headers.hpp"
+
+namespace sprayer::net {
+
+class PacketPool;
+
+class Packet {
+ public:
+  /// Frame bytes (starting at the Ethernet header).
+  [[nodiscard]] u8* data() noexcept {
+    return reinterpret_cast<u8*>(this) + sizeof(Packet);
+  }
+  [[nodiscard]] const u8* data() const noexcept {
+    return reinterpret_cast<const u8*>(this) + sizeof(Packet);
+  }
+
+  [[nodiscard]] u32 len() const noexcept { return len_; }
+  [[nodiscard]] u32 capacity() const noexcept { return capacity_; }
+  void set_len(u32 len) noexcept {
+    SPRAYER_DCHECK(len <= capacity_);
+    len_ = len;
+  }
+
+  /// Parse Ethernet/IPv4/L4 headers, recording offsets. Returns false on
+  /// truncated or non-IPv4 frames (offsets are then cleared). Safe on
+  /// arbitrary bytes.
+  bool parse() noexcept;
+
+  [[nodiscard]] bool parsed() const noexcept { return l3_offset_ != 0; }
+  [[nodiscard]] bool is_ipv4() const noexcept { return l3_offset_ != 0; }
+  [[nodiscard]] bool is_tcp() const noexcept {
+    return l4_offset_ != 0 && l4_proto_ == kProtoTcp;
+  }
+  [[nodiscard]] bool is_udp() const noexcept {
+    return l4_offset_ != 0 && l4_proto_ == kProtoUdp;
+  }
+  [[nodiscard]] u8 l4_proto() const noexcept { return l4_proto_; }
+
+  [[nodiscard]] EthernetView eth() noexcept { return EthernetView{data()}; }
+  [[nodiscard]] Ipv4View ipv4() noexcept {
+    SPRAYER_DCHECK(is_ipv4());
+    return Ipv4View{data() + l3_offset_};
+  }
+  [[nodiscard]] TcpView tcp() noexcept {
+    SPRAYER_DCHECK(is_tcp());
+    return TcpView{data() + l4_offset_};
+  }
+  [[nodiscard]] UdpView udp() noexcept {
+    SPRAYER_DCHECK(is_udp());
+    return UdpView{data() + l4_offset_};
+  }
+  [[nodiscard]] const u8* l4_bytes() const noexcept {
+    SPRAYER_DCHECK(l4_offset_ != 0);
+    return data() + l4_offset_;
+  }
+  [[nodiscard]] u32 l4_len() const noexcept {
+    SPRAYER_DCHECK(l4_offset_ != 0);
+    return len_ - l4_offset_;
+  }
+  [[nodiscard]] u32 l4_payload_len() noexcept;
+
+  [[nodiscard]] FiveTuple five_tuple() noexcept {
+    SPRAYER_DCHECK(is_ipv4());
+    const u8* l4 = l4_offset_ ? data() + l4_offset_ : nullptr;
+    Ipv4View ip{data() + l3_offset_};
+    return extract_five_tuple(ip, l4);
+  }
+
+  /// A connection packet (SYN/FIN/RST TCP segment) in the paper's sense.
+  [[nodiscard]] bool is_connection_packet() noexcept {
+    return is_tcp() && tcp().is_connection_packet();
+  }
+
+  // --- simulation metadata -------------------------------------------------
+  /// Ingress port on the current device (set by links/NICs).
+  u8 ingress_port = 0;
+  /// Timestamp when the source generated the packet (for end-to-end RTT).
+  Time ts_gen = 0;
+  /// Timestamp when the NIC delivered the packet to a core queue.
+  Time ts_rx = 0;
+  /// Opaque tag for generators/analyzers (e.g. flow index or sequence id).
+  u64 user_tag = 0;
+
+  [[nodiscard]] PacketPool* pool() const noexcept { return pool_; }
+  [[nodiscard]] u32 slot() const noexcept { return slot_; }
+
+ private:
+  friend class PacketPool;
+  Packet(PacketPool* pool, u32 slot, u32 capacity) noexcept
+      : pool_(pool), slot_(slot), capacity_(capacity) {}
+
+  void reset_metadata() noexcept {
+    len_ = 0;
+    l3_offset_ = 0;
+    l4_offset_ = 0;
+    l4_proto_ = 0;
+    ingress_port = 0;
+    ts_gen = 0;
+    ts_rx = 0;
+    user_tag = 0;
+  }
+
+  PacketPool* pool_;
+  u32 slot_;
+  u32 capacity_;
+  u32 len_ = 0;
+  u16 l3_offset_ = 0;
+  u16 l4_offset_ = 0;
+  u8 l4_proto_ = 0;
+};
+
+/// Returns the packet to its pool.
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept;
+};
+
+/// RAII handle for a pool-allocated packet.
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+}  // namespace sprayer::net

@@ -1,0 +1,150 @@
+#include "net/packet_builder.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/checksum.hpp"
+
+namespace sprayer::net {
+
+namespace {
+
+/// Fill Ethernet + IPv4 headers; returns the L4 offset.
+u32 fill_l2_l3(Packet& pkt, const MacAddr& src_mac, const MacAddr& dst_mac,
+               const FiveTuple& tuple, u8 protocol, u8 ttl, u16 ip_id,
+               u32 l4_total_len) noexcept {
+  EthernetView eth{pkt.data()};
+  eth.set_dst(dst_mac);
+  eth.set_src(src_mac);
+  eth.set_ether_type(kEtherTypeIpv4);
+
+  Ipv4View ip{pkt.data() + EthernetView::kSize};
+  ip.set_version_ihl(4, 5);
+  ip.set_dscp_ecn(0);
+  ip.set_total_length(static_cast<u16>(Ipv4View::kMinSize + l4_total_len));
+  ip.set_identification(ip_id);
+  ip.set_flags_fragment(0x4000);  // DF
+  ip.set_ttl(ttl);
+  ip.set_protocol(protocol);
+  ip.set_checksum(0);
+  ip.set_src(tuple.src_ip);
+  ip.set_dst(tuple.dst_ip);
+  ip.set_checksum(ipv4_header_checksum(ip));
+
+  return EthernetView::kSize + Ipv4View::kMinSize;
+}
+
+void copy_payload(u8* dst, u32 payload_len, std::span<const u8> src) noexcept {
+  const u32 copy = static_cast<u32>(std::min<std::size_t>(src.size(),
+                                                          payload_len));
+  if (copy > 0) std::memcpy(dst, src.data(), copy);
+  if (payload_len > copy) std::memset(dst + copy, 0, payload_len - copy);
+}
+
+}  // namespace
+
+Packet* build_tcp_raw(PacketPool& pool, const TcpSegmentSpec& spec) noexcept {
+  const u32 opt_len = static_cast<u32>(spec.options.size());
+  SPRAYER_DCHECK(opt_len % 4 == 0 && opt_len <= 40);
+  const u32 tcp_hdr_len = TcpView::kMinSize + opt_len;
+  const u32 l4_len = tcp_hdr_len + spec.payload_len;
+  const u32 frame_len =
+      std::max(kMinFrameLen, EthernetView::kSize + Ipv4View::kMinSize + l4_len);
+  if (frame_len > pool.buffer_size()) return nullptr;
+
+  Packet* pkt = pool.alloc_raw();
+  if (pkt == nullptr) return nullptr;
+  pkt->set_len(frame_len);
+  // Zero any padding between IP total length and the Ethernet minimum.
+  std::memset(pkt->data(), 0, frame_len);
+
+  const u32 l4_off = fill_l2_l3(*pkt, spec.src_mac, spec.dst_mac, spec.tuple,
+                                kProtoTcp, spec.ttl, spec.ip_id, l4_len);
+
+  TcpView tcp{pkt->data() + l4_off};
+  tcp.set_src_port(spec.tuple.src_port);
+  tcp.set_dst_port(spec.tuple.dst_port);
+  tcp.set_seq(spec.seq);
+  tcp.set_ack(spec.ack);
+  tcp.set_data_offset_words(static_cast<u8>(tcp_hdr_len / 4));
+  tcp.set_flags(spec.flags);
+  tcp.set_window(spec.window);
+  tcp.set_checksum(0);
+  tcp.set_urgent(0);
+  if (opt_len > 0) {
+    std::memcpy(pkt->data() + l4_off + TcpView::kMinSize, spec.options.data(),
+                opt_len);
+  }
+  copy_payload(pkt->data() + l4_off + tcp_hdr_len, spec.payload_len,
+               spec.payload);
+  tcp.set_checksum(l4_checksum(spec.tuple.src_ip, spec.tuple.dst_ip, kProtoTcp,
+                               pkt->data() + l4_off, l4_len));
+
+  const bool ok = pkt->parse();
+  SPRAYER_DCHECK(ok && pkt->is_tcp());
+  (void)ok;
+  return pkt;
+}
+
+PacketPtr build_tcp(PacketPool& pool, const TcpSegmentSpec& spec) {
+  return PacketPtr{build_tcp_raw(pool, spec)};
+}
+
+Packet* build_udp_raw(PacketPool& pool, const UdpDatagramSpec& spec) noexcept {
+  const u32 l4_len = UdpView::kSize + spec.payload_len;
+  const u32 frame_len =
+      std::max(kMinFrameLen, EthernetView::kSize + Ipv4View::kMinSize + l4_len);
+  if (frame_len > pool.buffer_size()) return nullptr;
+
+  Packet* pkt = pool.alloc_raw();
+  if (pkt == nullptr) return nullptr;
+  pkt->set_len(frame_len);
+  std::memset(pkt->data(), 0, frame_len);
+
+  const u32 l4_off = fill_l2_l3(*pkt, spec.src_mac, spec.dst_mac, spec.tuple,
+                                kProtoUdp, spec.ttl, spec.ip_id, l4_len);
+
+  UdpView udp{pkt->data() + l4_off};
+  udp.set_src_port(spec.tuple.src_port);
+  udp.set_dst_port(spec.tuple.dst_port);
+  udp.set_length(static_cast<u16>(l4_len));
+  udp.set_checksum(0);
+  copy_payload(pkt->data() + l4_off + UdpView::kSize, spec.payload_len,
+               spec.payload);
+  u16 cks = l4_checksum(spec.tuple.src_ip, spec.tuple.dst_ip, kProtoUdp,
+                        pkt->data() + l4_off, l4_len);
+  if (cks == 0) cks = 0xffff;  // RFC 768: zero means "no checksum"
+  udp.set_checksum(cks);
+
+  const bool ok = pkt->parse();
+  SPRAYER_DCHECK(ok && pkt->is_udp());
+  (void)ok;
+  return pkt;
+}
+
+PacketPtr build_udp(PacketPool& pool, const UdpDatagramSpec& spec) {
+  return PacketPtr{build_udp_raw(pool, spec)};
+}
+
+void refresh_checksums(Packet& pkt) noexcept {
+  if (!pkt.is_ipv4()) return;
+  Ipv4View ip = pkt.ipv4();
+  ip.set_checksum(0);
+  ip.set_checksum(ipv4_header_checksum(ip));
+  if (pkt.is_tcp()) {
+    TcpView tcp = pkt.tcp();
+    const u32 l4_len = ip.total_length() - ip.header_len();
+    tcp.set_checksum(0);
+    tcp.set_checksum(
+        l4_checksum(ip.src(), ip.dst(), kProtoTcp, tcp.bytes(), l4_len));
+  } else if (pkt.is_udp()) {
+    UdpView udp = pkt.udp();
+    const u32 l4_len = ip.total_length() - ip.header_len();
+    udp.set_checksum(0);
+    u16 cks = l4_checksum(ip.src(), ip.dst(), kProtoUdp, udp.bytes(), l4_len);
+    if (cks == 0) cks = 0xffff;
+    udp.set_checksum(cks);
+  }
+}
+
+}  // namespace sprayer::net

@@ -1,0 +1,67 @@
+// Frame construction helpers: build valid Ethernet/IPv4/TCP|UDP packets with
+// correct checksums into pool buffers. Used by the traffic generators, the
+// TCP stack, and every test that needs realistic packets.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "net/five_tuple.hpp"
+#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
+
+namespace sprayer::net {
+
+/// Minimum Ethernet frame (without FCS, which we do not model): 60 bytes on
+/// the host side; "64 B packets" in the paper include the 4-byte FCS.
+inline constexpr u32 kMinFrameLen = 60;
+/// Standard MTU-sized frame: 14 (Eth) + 20 (IP) + 20 (TCP) + 1460 (MSS).
+inline constexpr u32 kMaxFrameLen = 1514;
+inline constexpr u32 kTcpHeadersLen =
+    EthernetView::kSize + Ipv4View::kMinSize + TcpView::kMinSize;  // 54
+
+struct TcpSegmentSpec {
+  FiveTuple tuple;                  // protocol field is ignored (forced TCP)
+  u32 seq = 0;
+  u32 ack = 0;
+  u8 flags = 0;
+  u16 window = 0xffff;
+  u32 payload_len = 0;
+  /// Optional payload bytes; if shorter than payload_len the rest is zero.
+  std::span<const u8> payload{};
+  /// TCP options block; length must be a multiple of 4, at most 40 bytes.
+  std::span<const u8> options{};
+  MacAddr src_mac = MacAddr::from_id(1);
+  MacAddr dst_mac = MacAddr::from_id(2);
+  u8 ttl = 64;
+  u16 ip_id = 0;
+};
+
+struct UdpDatagramSpec {
+  FiveTuple tuple;                  // protocol field is ignored (forced UDP)
+  u32 payload_len = 0;
+  std::span<const u8> payload{};
+  MacAddr src_mac = MacAddr::from_id(1);
+  MacAddr dst_mac = MacAddr::from_id(2);
+  u8 ttl = 64;
+  u16 ip_id = 0;
+};
+
+/// Build a TCP segment. Pads to the 60-byte Ethernet minimum. Returns
+/// nullptr if the pool is exhausted or the frame exceeds the buffer size.
+[[nodiscard]] Packet* build_tcp_raw(PacketPool& pool,
+                                    const TcpSegmentSpec& spec) noexcept;
+[[nodiscard]] PacketPtr build_tcp(PacketPool& pool, const TcpSegmentSpec& spec);
+
+/// Build a UDP datagram. Same conventions as build_tcp_raw.
+[[nodiscard]] Packet* build_udp_raw(PacketPool& pool,
+                                    const UdpDatagramSpec& spec) noexcept;
+[[nodiscard]] PacketPtr build_udp(PacketPool& pool,
+                                  const UdpDatagramSpec& spec);
+
+/// Recompute both the IPv4 and L4 checksums of a parsed packet from scratch
+/// (after arbitrary header edits).
+void refresh_checksums(Packet& pkt) noexcept;
+
+}  // namespace sprayer::net

@@ -1,0 +1,62 @@
+#include "net/packet_pool.hpp"
+
+namespace sprayer::net {
+
+namespace {
+constexpr std::size_t align_up(std::size_t v, std::size_t a) noexcept {
+  return (v + a - 1) & ~(a - 1);
+}
+}  // namespace
+
+PacketPool::PacketPool(u32 num_packets, u32 buffer_size)
+    : num_packets_(num_packets),
+      buffer_size_(buffer_size),
+      slot_size_(align_up(sizeof(Packet) + buffer_size, kCacheLineSize)) {
+  SPRAYER_CHECK_MSG(num_packets > 0, "pool must hold at least one packet");
+  SPRAYER_CHECK_MSG(buffer_size >= 64, "buffers must fit a minimum frame");
+  slab_ = std::make_unique<u8[]>(slot_size_ * num_packets_);
+  freelist_.reserve(num_packets_);
+  // Construct descriptors in place; push in reverse so slot 0 pops first.
+  for (u32 i = 0; i < num_packets_; ++i) {
+    new (slab_.get() + i * slot_size_) Packet(this, i, buffer_size_);
+  }
+  for (u32 i = num_packets_; i > 0; --i) {
+    freelist_.push_back(i - 1);
+  }
+  free_count_.store(num_packets_, std::memory_order_relaxed);
+}
+
+PacketPool::~PacketPool() {
+  // Packets are trivially destructible aside from bookkeeping; nothing to do.
+}
+
+Packet* PacketPool::alloc_raw() noexcept {
+  lock();
+  if (SPRAYER_UNLIKELY(freelist_.empty())) {
+    unlock();
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  const u32 slot = freelist_.back();
+  freelist_.pop_back();
+  unlock();
+  free_count_.fetch_sub(1, std::memory_order_relaxed);
+  Packet* p = packet_at(slot);
+  p->reset_metadata();
+  return p;
+}
+
+void PacketPool::free(Packet* p) noexcept {
+  if (p == nullptr) return;
+  SPRAYER_DCHECK(p->pool() == this);
+  lock();
+  freelist_.push_back(p->slot());
+  unlock();
+  free_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PacketDeleter::operator()(Packet* p) const noexcept {
+  if (p != nullptr) p->pool()->free(p);
+}
+
+}  // namespace sprayer::net

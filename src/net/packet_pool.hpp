@@ -1,0 +1,75 @@
+// Fixed-capacity packet buffer pool.
+//
+// One contiguous slab of equal-size slots, each holding a Packet descriptor
+// followed by its data buffer. Allocation and free are O(1) via a LIFO
+// freelist (LIFO keeps hot buffers cache-resident). A tiny spinlock makes
+// the pool usable from the threaded executor; in the single-threaded
+// simulator it is uncontended and nearly free.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/compiler.hpp"
+#include "common/types.hpp"
+#include "net/packet.hpp"
+
+namespace sprayer::net {
+
+class PacketPool {
+ public:
+  /// `num_packets` slots, each with a `buffer_size`-byte data area.
+  PacketPool(u32 num_packets, u32 buffer_size = kDefaultBufferSize);
+  ~PacketPool();
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  static constexpr u32 kDefaultBufferSize = 2048;
+
+  /// Allocate a packet; returns nullptr when the pool is exhausted (the
+  /// normal backpressure signal, not an error).
+  [[nodiscard]] Packet* alloc_raw() noexcept;
+
+  /// RAII variant of alloc_raw().
+  [[nodiscard]] PacketPtr alloc() noexcept {
+    return PacketPtr{alloc_raw()};
+  }
+
+  void free(Packet* p) noexcept;
+
+  [[nodiscard]] u32 size() const noexcept { return num_packets_; }
+  [[nodiscard]] u32 buffer_size() const noexcept { return buffer_size_; }
+  [[nodiscard]] u32 available() const noexcept {
+    return static_cast<u32>(free_count_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] u32 in_use() const noexcept {
+    return num_packets_ - available();
+  }
+  [[nodiscard]] u64 alloc_failures() const noexcept {
+    return alloc_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] Packet* packet_at(u32 slot) noexcept {
+    return reinterpret_cast<Packet*>(slab_.get() + slot * slot_size_);
+  }
+
+  void lock() noexcept {
+    while (lock_.test_and_set(std::memory_order_acquire)) cpu_relax();
+  }
+  void unlock() noexcept { lock_.clear(std::memory_order_release); }
+
+  u32 num_packets_;
+  u32 buffer_size_;
+  std::size_t slot_size_;
+  std::unique_ptr<u8[]> slab_;
+  std::vector<u32> freelist_;
+  std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  std::atomic<u64> free_count_{0};
+  std::atomic<u64> alloc_failures_{0};
+};
+
+}  // namespace sprayer::net

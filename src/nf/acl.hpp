@@ -1,0 +1,59 @@
+// Access-control list used by the stateful firewall: ordered prefix/range
+// rules with first-match semantics and a default action.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/five_tuple.hpp"
+
+namespace sprayer::nf {
+
+struct AclRule {
+  net::Ipv4Addr src_net{};
+  u8 src_prefix_len = 0;  // 0 = any
+  net::Ipv4Addr dst_net{};
+  u8 dst_prefix_len = 0;
+  u16 dst_port_lo = 0;    // 0/0 = any
+  u16 dst_port_hi = 0;
+  u8 protocol = 0;        // 0 = any
+  bool allow = true;
+
+  [[nodiscard]] bool matches(const net::FiveTuple& t) const noexcept {
+    auto prefix_match = [](net::Ipv4Addr addr, net::Ipv4Addr nw,
+                           u8 len) noexcept {
+      if (len == 0) return true;
+      const u32 mask = len >= 32 ? ~0u : ~0u << (32 - len);
+      return (addr.host_order() & mask) == (nw.host_order() & mask);
+    };
+    if (!prefix_match(t.src_ip, src_net, src_prefix_len)) return false;
+    if (!prefix_match(t.dst_ip, dst_net, dst_prefix_len)) return false;
+    if (dst_port_lo != 0 || dst_port_hi != 0) {
+      if (t.dst_port < dst_port_lo || t.dst_port > dst_port_hi) return false;
+    }
+    if (protocol != 0 && t.protocol != protocol) return false;
+    return true;
+  }
+};
+
+class Acl {
+ public:
+  explicit Acl(bool default_allow = false) : default_allow_(default_allow) {}
+
+  void add_rule(const AclRule& rule) { rules_.push_back(rule); }
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+
+  /// First-match evaluation.
+  [[nodiscard]] bool allows(const net::FiveTuple& t) const noexcept {
+    for (const auto& r : rules_) {
+      if (r.matches(t)) return r.allow;
+    }
+    return default_allow_;
+  }
+
+ private:
+  std::vector<AclRule> rules_;
+  bool default_allow_;
+};
+
+}  // namespace sprayer::nf

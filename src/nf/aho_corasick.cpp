@@ -1,0 +1,94 @@
+#include "nf/aho_corasick.hpp"
+
+#include <deque>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace sprayer::nf {
+
+AhoCorasick::AhoCorasick(const std::vector<std::string>& patterns) {
+  // Phase 1: trie construction with sparse children.
+  struct TrieNode {
+    std::map<u8, u32> children;
+    u32 fail = 0;
+    u32 matches = 0;
+  };
+  std::vector<TrieNode> trie(1);
+  for (const auto& pat : patterns) {
+    SPRAYER_CHECK_MSG(!pat.empty(), "empty DPI pattern");
+    u32 node = 0;
+    for (const char ch : pat) {
+      const u8 b = static_cast<u8>(ch);
+      const auto it = trie[node].children.find(b);
+      if (it != trie[node].children.end()) {
+        node = it->second;
+      } else {
+        trie.push_back(TrieNode{});
+        const u32 child = static_cast<u32>(trie.size() - 1);
+        trie[node].children.emplace(b, child);
+        node = child;
+      }
+    }
+    ++trie[node].matches;
+  }
+
+  // Phase 2: BFS failure links + match-count propagation.
+  std::deque<u32> queue;
+  for (const auto& [b, child] : trie[0].children) {
+    trie[child].fail = 0;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    const u32 node = queue.front();
+    queue.pop_front();
+    trie[node].matches += trie[trie[node].fail].matches;
+    for (const auto& [b, child] : trie[node].children) {
+      // Follow failure links to find the longest proper suffix with b.
+      u32 f = trie[node].fail;
+      for (;;) {
+        const auto it = trie[f].children.find(b);
+        if (it != trie[f].children.end() && it->second != child) {
+          trie[child].fail = it->second;
+          break;
+        }
+        if (f == 0) {
+          trie[child].fail = 0;
+          break;
+        }
+        f = trie[f].fail;
+      }
+      queue.push_back(child);
+    }
+  }
+
+  // Phase 3: dense goto table (failure links compiled away).
+  num_states_ = static_cast<u32>(trie.size());
+  transitions_.assign(static_cast<std::size_t>(num_states_) * 256, 0);
+  match_counts_.resize(num_states_);
+  // BFS again so parents' dense rows exist before children need them.
+  std::deque<u32> order;
+  order.push_back(0);
+  std::vector<bool> seen(num_states_, false);
+  seen[0] = true;
+  while (!order.empty()) {
+    const u32 node = order.front();
+    order.pop_front();
+    match_counts_[node] = trie[node].matches;
+    for (u32 b = 0; b < 256; ++b) {
+      const auto it = trie[node].children.find(static_cast<u8>(b));
+      if (it != trie[node].children.end()) {
+        transitions_[node * 256 + b] = it->second;
+        if (!seen[it->second]) {
+          seen[it->second] = true;
+          order.push_back(it->second);
+        }
+      } else {
+        transitions_[node * 256 + b] =
+            node == 0 ? 0 : transitions_[trie[node].fail * 256 + b];
+      }
+    }
+  }
+}
+
+}  // namespace sprayer::nf

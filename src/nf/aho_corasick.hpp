@@ -1,0 +1,46 @@
+// Aho–Corasick multi-pattern matcher — the automaton behind the DPI NF.
+// Dense goto table (256 transitions per state) with failure links resolved
+// at build time, so matching is one table load per byte.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sprayer::nf {
+
+class AhoCorasick {
+ public:
+  explicit AhoCorasick(const std::vector<std::string>& patterns);
+
+  /// Advance from `state` over one byte.
+  [[nodiscard]] u32 next(u32 state, u8 byte) const noexcept {
+    return transitions_[state * 256 + byte];
+  }
+
+  /// Number of patterns ending at (or reachable by failure from) `state`.
+  [[nodiscard]] u32 matches_at(u32 state) const noexcept {
+    return match_counts_[state];
+  }
+
+  /// Scan a buffer from `state`; adds pattern hits to `*hits` (may be null).
+  [[nodiscard]] u32 scan(u32 state, std::span<const u8> data,
+                         u64* hits) const noexcept {
+    for (const u8 b : data) {
+      state = next(state, b);
+      if (hits != nullptr) *hits += matches_at(state);
+    }
+    return state;
+  }
+
+  [[nodiscard]] u32 num_states() const noexcept { return num_states_; }
+
+ private:
+  u32 num_states_ = 0;
+  std::vector<u32> transitions_;   // num_states x 256
+  std::vector<u32> match_counts_;  // per state
+};
+
+}  // namespace sprayer::nf

@@ -1,0 +1,66 @@
+#include "nf/firewall.hpp"
+
+namespace sprayer::nf {
+
+void FirewallNf::connection_packets(runtime::PacketBatch& batch,
+                                    core::NfContext& ctx,
+                                    core::BatchVerdicts& verdicts) {
+  for (u32 i = 0; i < batch.size(); ++i) {
+    net::Packet* pkt = batch[i];
+    const net::FiveTuple tuple = pkt->five_tuple();
+    const net::FiveTuple key = tuple.canonical();
+    net::TcpView tcp = pkt->tcp();
+
+    if (tcp.has(net::TcpFlags::kSyn) && !tcp.has(net::TcpFlags::kAck)) {
+      if (!acl_.allows(tuple)) {
+        ++counters_.rejected_by_acl;
+        verdicts.drop(i);
+        continue;
+      }
+      auto* e = static_cast<Entry*>(ctx.flows().insert_local_flow(key));
+      if (e == nullptr) {  // table full: fail closed
+        verdicts.drop(i);
+        continue;
+      }
+      if (!e->valid) {
+        e->valid = 1;
+        e->established_at = ctx.now();
+        ++counters_.admitted;
+      }
+      continue;
+    }
+
+    auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(key));
+    if (e == nullptr || !e->valid) {
+      ++counters_.dropped_no_state;
+      verdicts.drop(i);
+      continue;
+    }
+    if (tcp.has(net::TcpFlags::kRst)) {
+      (void)ctx.flows().remove_local_flow(key);
+      ++counters_.closed;
+    } else if (tcp.has(net::TcpFlags::kFin)) {
+      if (++e->fin_count >= 2) {
+        (void)ctx.flows().remove_local_flow(key);
+        ++counters_.closed;
+      }
+    }
+  }
+}
+
+void FirewallNf::regular_packets(runtime::PacketBatch& batch,
+                                 core::NfContext& ctx,
+                                 core::BatchVerdicts& verdicts) {
+  for (u32 i = 0; i < batch.size(); ++i) {
+    net::Packet* pkt = batch[i];
+    if (!pkt->is_tcp()) continue;  // non-TCP passes (out of scope here)
+    const auto* e = static_cast<const Entry*>(
+        ctx.flows().get_flow(pkt->five_tuple().canonical()));
+    if (e == nullptr || !e->valid) {
+      ++counters_.dropped_no_state;
+      verdicts.drop(i);
+    }
+  }
+}
+
+}  // namespace sprayer::nf

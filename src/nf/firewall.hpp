@@ -1,0 +1,57 @@
+// Stateful firewall (paper Table 1: "Connection context — per-flow — R at
+// every packet, RW at flow events").
+//
+// New connections are admitted through the ACL at SYN time; a per-connection
+// context (keyed by the canonical tuple, so both directions share it) is
+// installed on the designated core. Regular packets pass iff their
+// connection context exists — a pure read, from any core.
+#pragma once
+
+#include "common/units.hpp"
+#include "core/nf.hpp"
+#include "nf/acl.hpp"
+
+namespace sprayer::nf {
+
+class FirewallNf final : public core::INetworkFunction {
+ public:
+  explicit FirewallNf(Acl acl) : acl_(std::move(acl)) {}
+
+  void init(core::NfInitConfig& cfg, u32 /*num_cores*/) override {
+    cfg.flow_table_capacity = 1u << 16;
+    cfg.flow_entry_size = sizeof(Entry);
+  }
+
+  void connection_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
+                          core::BatchVerdicts& verdicts) override;
+  void regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
+                       core::BatchVerdicts& verdicts) override;
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "firewall";
+  }
+
+  struct FwCounters {
+    u64 admitted = 0;
+    u64 rejected_by_acl = 0;
+    u64 dropped_no_state = 0;
+    u64 closed = 0;
+  };
+  [[nodiscard]] const FwCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  struct Entry {
+    Time established_at = 0;
+    u8 valid = 0;
+    u8 fin_count = 0;
+    u8 pad[6] = {};
+  };
+  static_assert(sizeof(Entry) == 16);
+
+  Acl acl_;
+  FwCounters counters_;
+};
+
+}  // namespace sprayer::nf

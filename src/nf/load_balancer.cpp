@@ -1,0 +1,94 @@
+#include "nf/load_balancer.hpp"
+
+namespace sprayer::nf {
+
+LoadBalancerNf::LoadBalancerNf(LbConfig cfg) : cfg_(std::move(cfg)) {
+  SPRAYER_CHECK_MSG(!cfg_.backends.empty(), "load balancer needs backends");
+  SPRAYER_CHECK(cfg_.backends.size() <= kMaxBackends);
+}
+
+std::vector<i64> LoadBalancerNf::active_connections() const {
+  std::vector<i64> totals(cfg_.backends.size(), 0);
+  for (u32 c = 0; c < num_cores_ && c < kMaxCores; ++c) {
+    for (std::size_t b = 0; b < totals.size(); ++b) {
+      totals[b] += per_core_[c].delta[b];
+    }
+  }
+  return totals;
+}
+
+void LoadBalancerNf::connection_packets(runtime::PacketBatch& batch,
+                                        core::NfContext& ctx,
+                                        core::BatchVerdicts& verdicts) {
+  for (u32 i = 0; i < batch.size(); ++i) {
+    net::Packet* pkt = batch[i];
+    const net::FiveTuple tuple = pkt->five_tuple();
+    const net::FiveTuple key = tuple.canonical();
+    net::TcpView tcp = pkt->tcp();
+
+    if (tcp.has(net::TcpFlags::kSyn) && !tcp.has(net::TcpFlags::kAck)) {
+      if (!is_to_vip(tuple)) {
+        ++counters_.dropped_not_vip;
+        verdicts.drop(i);
+        continue;
+      }
+      auto* e = static_cast<Entry*>(ctx.flows().insert_local_flow(key));
+      if (e == nullptr) {
+        verdicts.drop(i);
+        continue;
+      }
+      if (!e->valid) {
+        e->backend =
+            static_cast<u16>(rr_next_++ % cfg_.backends.size());
+        e->valid = 1;
+        ++counters_.assigned;
+        per_core_[ctx.core()].delta[e->backend] += 1;
+      }
+      pkt->eth().set_dst(cfg_.backends[e->backend].mac);
+      continue;
+    }
+
+    auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(key));
+    if (e == nullptr || !e->valid) {
+      ++counters_.dropped_no_state;
+      verdicts.drop(i);
+      continue;
+    }
+    if (is_to_vip(tuple)) {
+      pkt->eth().set_dst(cfg_.backends[e->backend].mac);
+    }
+    const bool close =
+        tcp.has(net::TcpFlags::kRst) ||
+        (tcp.has(net::TcpFlags::kFin) && ++e->fin_count >= 2);
+    if (close) {
+      per_core_[ctx.core()].delta[e->backend] -= 1;
+      (void)ctx.flows().remove_local_flow(key);
+    }
+  }
+}
+
+void LoadBalancerNf::regular_packets(runtime::PacketBatch& batch,
+                                     core::NfContext& ctx,
+                                     core::BatchVerdicts& verdicts) {
+  for (u32 i = 0; i < batch.size(); ++i) {
+    net::Packet* pkt = batch[i];
+    if (!pkt->is_tcp()) continue;
+    const net::FiveTuple tuple = pkt->five_tuple();
+    if (is_from_vip(tuple)) continue;  // DSR return path: pass through
+    if (!is_to_vip(tuple)) {
+      ++counters_.dropped_not_vip;
+      verdicts.drop(i);
+      continue;
+    }
+    const auto* e =
+        static_cast<const Entry*>(ctx.flows().get_flow(tuple.canonical()));
+    if (e == nullptr || !e->valid) {
+      ++counters_.dropped_no_state;
+      verdicts.drop(i);
+      continue;
+    }
+    pkt->eth().set_dst(cfg_.backends[e->backend].mac);
+  }
+}
+
+}  // namespace sprayer::nf

@@ -1,0 +1,95 @@
+// L4 load balancer (paper Table 1: "Flow-server map — per-flow — R/RW;
+// Pool of servers — global — RW at flow events").
+//
+// Direct-server-return (DSR) style: connections to the virtual IP are
+// pinned to a backend at SYN time and forwarded by rewriting the
+// destination MAC (the backends host the VIP on a loopback, as in standard
+// DSR deployments). Return traffic carries the VIP as its source, so both
+// directions share one canonical tuple — which keeps the flow-server map
+// on a single designated core without any port gymnastics.
+//
+// Per-backend connection counts are global state with loose consistency:
+// each core counts locally and aggregate() sums (§3.4's statistics pattern).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/nf.hpp"
+#include "net/mac_addr.hpp"
+
+namespace sprayer::nf {
+
+struct LbBackend {
+  net::MacAddr mac;
+  net::Ipv4Addr ip;  // informational (DSR rewrites L2 only)
+};
+
+struct LbConfig {
+  net::Ipv4Addr vip{198, 51, 100, 1};
+  u16 vport = 80;
+  std::vector<LbBackend> backends;
+};
+
+class LoadBalancerNf final : public core::INetworkFunction {
+ public:
+  static constexpr u32 kMaxBackends = 64;
+  static constexpr u32 kMaxCores = 64;
+
+  explicit LoadBalancerNf(LbConfig cfg);
+
+  void init(core::NfInitConfig& init, u32 num_cores) override {
+    init.flow_table_capacity = 1u << 16;
+    init.flow_entry_size = sizeof(Entry);
+    num_cores_ = num_cores;
+  }
+
+  void connection_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
+                          core::BatchVerdicts& verdicts) override;
+  void regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
+                       core::BatchVerdicts& verdicts) override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "lb"; }
+
+  /// Loosely-consistent per-backend active-connection counts (sums the
+  /// per-core counters; may be momentarily stale, per the paper's model).
+  [[nodiscard]] std::vector<i64> active_connections() const;
+
+  struct LbCounters {
+    u64 assigned = 0;
+    u64 dropped_no_state = 0;
+    u64 dropped_not_vip = 0;
+  };
+  [[nodiscard]] const LbCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  struct Entry {
+    u16 backend = 0;
+    u8 valid = 0;
+    u8 fin_count = 0;
+    u8 pad[4] = {};
+  };
+  static_assert(sizeof(Entry) == 8);
+
+  /// Per-core, per-backend deltas; padded to avoid false sharing.
+  struct alignas(kCacheLineSize) CoreCounters {
+    std::array<i64, kMaxBackends> delta{};
+  };
+
+  [[nodiscard]] bool is_to_vip(const net::FiveTuple& t) const noexcept {
+    return t.dst_ip == cfg_.vip && t.dst_port == cfg_.vport;
+  }
+  [[nodiscard]] bool is_from_vip(const net::FiveTuple& t) const noexcept {
+    return t.src_ip == cfg_.vip && t.src_port == cfg_.vport;
+  }
+
+  LbConfig cfg_;
+  u32 num_cores_ = 0;
+  u32 rr_next_ = 0;  // round-robin cursor (flow events only)
+  std::array<CoreCounters, kMaxCores> per_core_{};
+  LbCounters counters_;
+};
+
+}  // namespace sprayer::nf

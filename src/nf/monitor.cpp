@@ -1,0 +1,56 @@
+#include "nf/monitor.hpp"
+
+namespace sprayer::nf {
+
+MonitorNf::Totals MonitorNf::aggregate() const {
+  Totals out;
+  for (u32 c = 0; c < num_cores_ && c < kMaxCores; ++c) {
+    const Totals& t = per_core_[c].t;
+    out.packets += t.packets;
+    out.bytes += t.bytes;
+    out.tcp_packets += t.tcp_packets;
+    out.udp_packets += t.udp_packets;
+    out.other_packets += t.other_packets;
+    out.connections_opened += t.connections_opened;
+    out.connections_closed += t.connections_closed;
+  }
+  return out;
+}
+
+void MonitorNf::connection_packets(runtime::PacketBatch& batch,
+                                   core::NfContext& ctx,
+                                   core::BatchVerdicts& /*verdicts*/) {
+  for (net::Packet* pkt : batch) {
+    const net::FiveTuple key = pkt->five_tuple().canonical();
+    net::TcpView tcp = pkt->tcp();
+    Totals& t = per_core_[ctx.core()].t;
+
+    if (tcp.has(net::TcpFlags::kSyn) && !tcp.has(net::TcpFlags::kAck)) {
+      auto* e = static_cast<Entry*>(ctx.flows().insert_local_flow(key));
+      if (e != nullptr && !e->valid) {
+        e->valid = 1;
+        e->first_seen = ctx.now();
+        ++t.connections_opened;
+      }
+    } else if (tcp.has(net::TcpFlags::kRst)) {
+      if (ctx.flows().remove_local_flow(key)) ++t.connections_closed;
+    } else if (tcp.has(net::TcpFlags::kFin)) {
+      auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(key));
+      const u8 fins_needed = close_on_single_fin_ ? 1 : 2;
+      if (e != nullptr && e->valid && ++e->fin_count >= fins_needed) {
+        if (ctx.flows().remove_local_flow(key)) ++t.connections_closed;
+      }
+    }
+    count_packet(pkt, ctx.core());
+  }
+}
+
+void MonitorNf::regular_packets(runtime::PacketBatch& batch,
+                                core::NfContext& ctx,
+                                core::BatchVerdicts& /*verdicts*/) {
+  for (net::Packet* pkt : batch) {
+    count_packet(pkt, ctx.core());
+  }
+}
+
+}  // namespace sprayer::nf

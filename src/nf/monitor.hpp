@@ -1,0 +1,86 @@
+// Traffic monitor (paper Table 1: "Connection context — per-flow — RW at
+// flow events; Statistics — global — RW at every packet").
+//
+// Per-packet statistics use the loose-consistency pattern the paper
+// recommends (§3.4, citing the Bro/Zeek cluster): every core counts into
+// its own cache-line-padded slots, and aggregate() folds them on demand.
+// Per-connection context is written only at connection events, on the
+// designated core.
+#pragma once
+
+#include <array>
+
+#include "common/units.hpp"
+#include "core/nf.hpp"
+
+namespace sprayer::nf {
+
+class MonitorNf final : public core::INetworkFunction {
+ public:
+  static constexpr u32 kMaxCores = 64;
+
+  /// `close_on_single_fin`: treat one FIN as end-of-connection — for
+  /// unidirectional feeds (e.g. trace replay) where the reverse direction
+  /// is not observed.
+  explicit MonitorNf(bool close_on_single_fin = false) noexcept
+      : close_on_single_fin_(close_on_single_fin) {}
+
+  void init(core::NfInitConfig& cfg, u32 num_cores) override {
+    cfg.flow_table_capacity = 1u << 16;
+    cfg.flow_entry_size = sizeof(Entry);
+    num_cores_ = num_cores;
+  }
+
+  void connection_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
+                          core::BatchVerdicts& verdicts) override;
+  void regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
+                       core::BatchVerdicts& verdicts) override;
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "monitor";
+  }
+
+  struct Totals {
+    u64 packets = 0;
+    u64 bytes = 0;
+    u64 tcp_packets = 0;
+    u64 udp_packets = 0;
+    u64 other_packets = 0;
+    u64 connections_opened = 0;
+    u64 connections_closed = 0;
+  };
+  /// Loosely-consistent aggregate across all cores.
+  [[nodiscard]] Totals aggregate() const;
+
+ private:
+  struct Entry {
+    Time first_seen = 0;
+    u8 valid = 0;
+    u8 fin_count = 0;
+    u8 pad[6] = {};
+  };
+  static_assert(sizeof(Entry) == 16);
+
+  struct alignas(kCacheLineSize) CoreSlot {
+    Totals t;
+  };
+
+  void count_packet(net::Packet* pkt, CoreId core) noexcept {
+    Totals& t = per_core_[core].t;
+    ++t.packets;
+    t.bytes += pkt->len();
+    if (pkt->is_tcp()) {
+      ++t.tcp_packets;
+    } else if (pkt->is_udp()) {
+      ++t.udp_packets;
+    } else {
+      ++t.other_packets;
+    }
+  }
+
+  bool close_on_single_fin_;
+  u32 num_cores_ = 0;
+  std::array<CoreSlot, kMaxCores> per_core_{};
+};
+
+}  // namespace sprayer::nf

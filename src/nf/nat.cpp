@@ -1,0 +1,224 @@
+#include "nf/nat.hpp"
+
+#include <vector>
+
+namespace sprayer::nf {
+
+net::FiveTuple NatNf::translated_tuple(const net::FiveTuple& t,
+                                       const Entry& e) noexcept {
+  net::FiveTuple out = t;
+  if (e.rewrite_dst) {
+    out.dst_ip = net::Ipv4Addr{e.new_ip};
+    out.dst_port = e.new_port;
+  } else {
+    out.src_ip = net::Ipv4Addr{e.new_ip};
+    out.src_port = e.new_port;
+  }
+  return out;
+}
+
+net::FiveTuple NatNf::pair_key(const net::FiveTuple& t,
+                               const Entry& e) noexcept {
+  return translated_tuple(t, e).reversed();
+}
+
+void NatNf::rewrite(net::Packet* pkt, const Entry& e) noexcept {
+  net::Ipv4View ip = pkt->ipv4();
+  net::TcpView tcp = pkt->tcp();
+  const u32 old_ip = e.rewrite_dst ? ip.dst().host_order()
+                                   : ip.src().host_order();
+  const u16 old_port = e.rewrite_dst ? tcp.dst_port() : tcp.src_port();
+
+  if (e.rewrite_dst) {
+    ip.set_dst(net::Ipv4Addr{e.new_ip});
+    tcp.set_dst_port(e.new_port);
+  } else {
+    ip.set_src(net::Ipv4Addr{e.new_ip});
+    tcp.set_src_port(e.new_port);
+  }
+  // Incremental checksum updates (RFC 1624): the IP header checksum covers
+  // the address; the TCP checksum covers the pseudo-header address and the
+  // port.
+  ip.set_checksum(net::checksum_update32(ip.checksum(), old_ip, e.new_ip));
+  u16 tcks = net::checksum_update32(tcp.checksum(), old_ip, e.new_ip);
+  tcks = net::checksum_update16(tcks, old_port, e.new_port);
+  tcp.set_checksum(tcks);
+}
+
+NatNf::Entry* NatNf::open_session(const net::FiveTuple& tuple,
+                                  core::NfContext& ctx) {
+  auto& flows = ctx.flows();
+  // Pick an external port whose return flow maps back to this core.
+  net::FiveTuple probe = tuple;
+  probe.src_ip = cfg_.external_ip;
+  const u16 port = ports_.claim_matching([&](u16 candidate) {
+    probe.src_port = candidate;
+    return flows.designated_core(probe.reversed()) == ctx.core();
+  });
+  if (port == 0) {
+    ++counters_.port_exhausted;
+    return nullptr;
+  }
+
+  auto* fwd = static_cast<Entry*>(flows.insert_local_flow(tuple));
+  if (fwd == nullptr) {
+    ports_.release(port);
+    return nullptr;
+  }
+  fwd->new_ip = cfg_.external_ip.host_order();
+  fwd->new_port = port;
+  fwd->rewrite_dst = 0;
+  fwd->state = SessionState::kActive;
+  fwd->fin_seen = 0;
+
+  // "We also include the other side" (Fig. 5 lines 22–25): the return flow.
+  const net::FiveTuple rev = pair_key(tuple, *fwd);
+  auto* bwd = static_cast<Entry*>(flows.insert_local_flow(rev));
+  if (bwd == nullptr) {
+    (void)flows.remove_local_flow(tuple);
+    ports_.release(port);
+    return nullptr;
+  }
+  bwd->new_ip = tuple.src_ip.host_order();
+  bwd->new_port = tuple.src_port;
+  bwd->rewrite_dst = 1;
+  bwd->state = SessionState::kActive;
+  bwd->fin_seen = 0;
+
+  ++counters_.sessions_opened;
+  return fwd;
+}
+
+void NatNf::close_session(const net::FiveTuple& tuple, Entry& e,
+                          core::NfContext& ctx) {
+  if (cfg_.time_wait == 0) {
+    abort_session(tuple, e, ctx);
+    return;
+  }
+  auto* pair =
+      static_cast<Entry*>(ctx.flows().get_local_flow(pair_key(tuple, e)));
+  const Time deadline = ctx.now() + cfg_.time_wait;
+  e.state = SessionState::kTimeWait;
+  e.expires = deadline;
+  if (pair != nullptr) {
+    pair->state = SessionState::kTimeWait;
+    pair->expires = deadline;
+  }
+  ++counters_.sessions_closed;
+}
+
+void NatNf::abort_session(const net::FiveTuple& tuple, Entry& e,
+                          core::NfContext& ctx) {
+  const u16 port = external_port(tuple, e);
+  const net::FiveTuple pair = pair_key(tuple, e);
+  (void)ctx.flows().remove_local_flow(tuple);
+  (void)ctx.flows().remove_local_flow(pair);
+  ports_.release(port);
+  ++counters_.sessions_closed;
+}
+
+void NatNf::housekeeping(core::NfContext& ctx) {
+  // Expire TIME_WAIT sessions owned by this core. Keys are collected
+  // first; each removal also drops the paired entry and frees the port
+  // exactly once (from the rewrite-source side).
+  const Time now = ctx.now();
+  std::vector<net::FiveTuple> expired;
+  ctx.flows().local().for_each([&](const net::FiveTuple& key, void* data) {
+    const auto* e = static_cast<const Entry*>(data);
+    if (e->state == SessionState::kTimeWait && e->expires <= now &&
+        e->rewrite_dst == 0) {
+      expired.push_back(key);
+    }
+  });
+  for (const auto& key : expired) {
+    auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(key));
+    if (e == nullptr || e->state != SessionState::kTimeWait) continue;
+    const u16 port = e->new_port;
+    const net::FiveTuple pair = pair_key(key, *e);
+    (void)ctx.flows().remove_local_flow(key);
+    (void)ctx.flows().remove_local_flow(pair);
+    ports_.release(port);
+  }
+}
+
+void NatNf::connection_packets(runtime::PacketBatch& batch,
+                               core::NfContext& ctx,
+                               core::BatchVerdicts& verdicts) {
+  for (u32 i = 0; i < batch.size(); ++i) {
+    net::Packet* pkt = batch[i];
+    const net::FiveTuple tuple = pkt->five_tuple();
+    net::TcpView tcp = pkt->tcp();
+
+    auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(tuple));
+    if (e == nullptr || e->state == SessionState::kInvalid) {
+      const bool bare_syn =
+          tcp.has(net::TcpFlags::kSyn) && !tcp.has(net::TcpFlags::kAck);
+      if (bare_syn && pkt->ingress_port == cfg_.inside_port) {
+        e = open_session(tuple, ctx);
+      }
+      if (e == nullptr) {
+        // Unsolicited inbound connection attempt, or pool exhausted.
+        ++counters_.unmatched_dropped;
+        verdicts.drop(i);
+        continue;
+      }
+    } else if (e->state == SessionState::kTimeWait &&
+               tcp.has(net::TcpFlags::kSyn) &&
+               !tcp.has(net::TcpFlags::kAck) &&
+               pkt->ingress_port == cfg_.inside_port) {
+      // Port reuse: a new connection on a TIME_WAIT tuple revives the
+      // session (same translation, fresh state).
+      auto* pair = static_cast<Entry*>(
+          ctx.flows().get_local_flow(pair_key(tuple, *e)));
+      e->state = SessionState::kActive;
+      e->fin_seen = 0;
+      if (pair != nullptr) {
+        pair->state = SessionState::kActive;
+        pair->fin_seen = 0;
+      }
+      ++counters_.sessions_opened;
+    }
+
+    if (tcp.has(net::TcpFlags::kRst)) {
+      rewrite(pkt, *e);
+      if (e->state == SessionState::kActive) {
+        abort_session(tuple, *e, ctx);
+      }
+      continue;
+    }
+    if (tcp.has(net::TcpFlags::kFin)) {
+      auto* pair =
+          static_cast<Entry*>(ctx.flows().get_local_flow(pair_key(tuple, *e)));
+      rewrite(pkt, *e);
+      if (e->state == SessionState::kActive) {
+        if (pair != nullptr && pair->fin_seen) {
+          close_session(tuple, *e, ctx);  // both directions closed
+        } else {
+          e->fin_seen = 1;
+        }
+      }
+      continue;
+    }
+    rewrite(pkt, *e);
+  }
+}
+
+void NatNf::regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
+                            core::BatchVerdicts& verdicts) {
+  for (u32 i = 0; i < batch.size(); ++i) {
+    net::Packet* pkt = batch[i];
+    if (!pkt->is_tcp()) continue;  // this NAT translates TCP only (§4)
+    const auto* e =
+        static_cast<const Entry*>(ctx.flows().get_flow(pkt->five_tuple()));
+    if (e == nullptr || e->state == SessionState::kInvalid) {
+      ++counters_.unmatched_dropped;
+      verdicts.drop(i);
+      continue;
+    }
+    // TIME_WAIT sessions still translate: the close handshake's trailing
+    // ACKs must reach their endpoints.
+    rewrite(pkt, *e);
+  }
+}
+
+}  // namespace sprayer::nf

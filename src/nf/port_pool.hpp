@@ -1,0 +1,83 @@
+// Global NAT port pool ("Pool of IPs/ports — Global — RW at flow events",
+// paper Table 1).
+//
+// Ports are claimed with a predicate so the NAT can pick a translated port
+// whose reverse flow hashes back to the claiming core — the detail that
+// makes the paper's Figure 5 NAT actually satisfy the writing partition for
+// return traffic. Claims happen only at connection setup, so a spinlock is
+// fine (the paper makes the same argument for global state, §3.2).
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/compiler.hpp"
+#include "common/types.hpp"
+
+namespace sprayer::nf {
+
+class PortPool {
+ public:
+  PortPool(u16 lo, u16 hi) : lo_(lo), hi_(hi), used_(hi - lo + 1u, false) {
+    SPRAYER_CHECK(lo > 0 && lo <= hi);
+    cursor_ = 0;
+  }
+
+  /// Claim the first free port p (scanning from a rotating cursor) for
+  /// which pred(p) holds. Returns 0 when none is available.
+  template <typename Pred>
+  [[nodiscard]] u16 claim_matching(Pred&& pred) {
+    lock();
+    const u32 n = static_cast<u32>(used_.size());
+    for (u32 i = 0; i < n; ++i) {
+      const u32 idx = (cursor_ + i) % n;
+      if (used_[idx]) continue;
+      const u16 port = static_cast<u16>(lo_ + idx);
+      if (!pred(port)) continue;
+      used_[idx] = true;
+      ++claimed_;
+      cursor_ = (idx + 1) % n;
+      unlock();
+      return port;
+    }
+    unlock();
+    return 0;
+  }
+
+  /// Claim any free port. Returns 0 when exhausted.
+  [[nodiscard]] u16 claim() {
+    return claim_matching([](u16) { return true; });
+  }
+
+  void release(u16 port) {
+    SPRAYER_CHECK_MSG(port >= lo_ && port <= hi_, "port outside pool range");
+    lock();
+    const u32 idx = static_cast<u32>(port - lo_);
+    SPRAYER_CHECK_MSG(used_[idx], "releasing a port that is not claimed");
+    used_[idx] = false;
+    --claimed_;
+    unlock();
+  }
+
+  [[nodiscard]] u32 size() const noexcept {
+    return static_cast<u32>(used_.size());
+  }
+  [[nodiscard]] u32 claimed() const noexcept { return claimed_; }
+  [[nodiscard]] u32 available() const noexcept { return size() - claimed_; }
+
+ private:
+  void lock() noexcept {
+    while (lock_.test_and_set(std::memory_order_acquire)) cpu_relax();
+  }
+  void unlock() noexcept { lock_.clear(std::memory_order_release); }
+
+  u16 lo_;
+  u16 hi_;
+  std::vector<bool> used_;
+  u32 cursor_ = 0;
+  u32 claimed_ = 0;
+  std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace sprayer::nf

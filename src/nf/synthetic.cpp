@@ -1,0 +1,58 @@
+#include "nf/synthetic.hpp"
+
+namespace sprayer::nf {
+
+void SyntheticNf::per_packet_work(net::Packet* pkt, core::NfContext& ctx) {
+  if (pkt->is_ipv4()) {
+    net::Ipv4View ip = pkt->ipv4();
+    const u8 old_ttl = ip.ttl();
+    if (old_ttl > 1) {
+      // "Modifies the header": TTL decrement with RFC 1624 checksum update.
+      ip.set_ttl(old_ttl - 1);
+      const u16 old_word = static_cast<u16>((old_ttl << 8) | ip.protocol());
+      const u16 new_word =
+          static_cast<u16>(((old_ttl - 1) << 8) | ip.protocol());
+      ip.set_checksum(
+          net::checksum_update16(ip.checksum(), old_word, new_word));
+    }
+  }
+  ctx.consume_cycles(busy_);
+}
+
+void SyntheticNf::connection_packets(runtime::PacketBatch& batch,
+                                     core::NfContext& ctx,
+                                     core::BatchVerdicts& /*verdicts*/) {
+  for (net::Packet* pkt : batch) {
+    const net::FiveTuple tuple = pkt->five_tuple();
+    net::TcpView tcp = pkt->tcp();
+    if (tcp.has(net::TcpFlags::kSyn) && !tcp.has(net::TcpFlags::kAck)) {
+      // New connection: create the flow entry (both directions share the
+      // canonical key and this designated core).
+      auto* entry = static_cast<Entry*>(
+          ctx.flows().insert_local_flow(tuple.canonical()));
+      if (entry != nullptr) {
+        entry->tag = tuple.canonical().pack();
+      }
+    } else if (tcp.has(net::TcpFlags::kRst)) {
+      (void)ctx.flows().remove_local_flow(tuple.canonical());
+    }
+    per_packet_work(pkt, ctx);
+  }
+}
+
+void SyntheticNf::regular_packets(runtime::PacketBatch& batch,
+                                  core::NfContext& ctx,
+                                  core::BatchVerdicts& /*verdicts*/) {
+  for (net::Packet* pkt : batch) {
+    if (pkt->is_tcp()) {
+      // "Retrieves the flow state": read from the designated core.
+      const void* entry = ctx.flows().get_flow(pkt->five_tuple().canonical());
+      if (entry == nullptr) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    per_packet_work(pkt, ctx);
+  }
+}
+
+}  // namespace sprayer::nf

@@ -1,0 +1,109 @@
+#include "nic/flow_director.hpp"
+
+#include <bit>
+
+#include "net/byte_order.hpp"
+
+namespace sprayer::nic {
+
+namespace {
+constexpr u16 kNoRule = 0xffff;
+}
+
+Status FlowDirector::add_exact_rule(const net::FiveTuple& tuple, u16 queue) {
+  if (rule_count() >= kMaxRules) {
+    return make_error(Error::Code::kExhausted,
+                      "Flow Director rule table full (8K)");
+  }
+  const auto [it, inserted] = exact_.emplace(tuple, queue);
+  if (!inserted) {
+    return make_error(Error::Code::kAlreadyExists,
+                      "duplicate Flow Director rule for " + tuple.to_string());
+  }
+  return {};
+}
+
+Status FlowDirector::add_checksum_rule(u16 mask, u16 value, u16 queue) {
+  if (rule_count() >= kMaxRules) {
+    return make_error(Error::Code::kExhausted,
+                      "Flow Director rule table full (8K)");
+  }
+  if ((value & ~mask) != 0) {
+    return make_error(Error::Code::kInvalidArgument,
+                      "rule value has bits outside the mask");
+  }
+  if (checksum_rule_count_ > 0 && mask != checksum_mask_) {
+    // The 82599 applies one global input mask to all perfect-match filters.
+    return make_error(Error::Code::kInvalidArgument,
+                      "all checksum rules must share one mask");
+  }
+  if (checksum_rule_count_ == 0) {
+    checksum_mask_ = mask;
+    checksum_queues_.assign(1u << std::popcount(mask), kNoRule);
+  }
+  // Compress (value & mask) into a dense index over the mask's bits.
+  u32 index = 0;
+  u32 bit_out = 0;
+  for (u32 bit = 0; bit < 16; ++bit) {
+    if (mask & (1u << bit)) {
+      if (value & (1u << bit)) index |= (1u << bit_out);
+      ++bit_out;
+    }
+  }
+  if (checksum_queues_[index] != kNoRule) {
+    return make_error(Error::Code::kAlreadyExists,
+                      "duplicate checksum rule value");
+  }
+  checksum_queues_[index] = queue;
+  ++checksum_rule_count_;
+  return {};
+}
+
+Status FlowDirector::program_checksum_spray(u32 num_queues) {
+  if (num_queues == 0 || num_queues > kMaxRules) {
+    return make_error(Error::Code::kInvalidArgument,
+                      "queue count out of range");
+  }
+  clear();
+  u32 bits = 0;
+  while ((1u << bits) < num_queues) ++bits;
+  if (bits == 0) bits = 1;  // at least one bit so the rule set is non-empty
+  const u16 mask = static_cast<u16>((1u << bits) - 1);
+  for (u32 v = 0; v < (1u << bits); ++v) {
+    const Status s = add_checksum_rule(mask, static_cast<u16>(v),
+                                       static_cast<u16>(v % num_queues));
+    if (!s.ok()) return s;
+  }
+  return {};
+}
+
+void FlowDirector::clear() noexcept {
+  exact_.clear();
+  checksum_mask_ = 0;
+  checksum_rule_count_ = 0;
+  checksum_queues_.clear();
+}
+
+std::optional<u16> FlowDirector::match(net::Packet& pkt) const noexcept {
+  if (!pkt.is_tcp()) return std::nullopt;
+  if (!exact_.empty()) {
+    const auto it = exact_.find(pkt.five_tuple());
+    if (it != exact_.end()) return it->second;
+  }
+  if (checksum_rule_count_ > 0) {
+    const u16 cks = pkt.tcp().checksum();
+    u32 index = 0;
+    u32 bit_out = 0;
+    for (u32 bit = 0; bit < 16; ++bit) {
+      if (checksum_mask_ & (1u << bit)) {
+        if (cks & (1u << bit)) index |= (1u << bit_out);
+        ++bit_out;
+      }
+    }
+    const u16 q = checksum_queues_[index];
+    if (q != 0xffff) return q;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sprayer::nic

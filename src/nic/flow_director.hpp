@@ -1,0 +1,62 @@
+// Flow Director model (Intel 82599 "perfect match" filters).
+//
+// Flow Director was designed to pin specific flows to queues by matching
+// header fields exactly. The paper's trick (§4) reprograms it to match on
+// the *low bits of the TCP checksum* — a field that looks random — so TCP
+// packets are uniformly distributed over queues with zero software work.
+// Two hardware limits matter and are modeled here:
+//   * the rule table holds at most 8 K perfect-match filters, which is why
+//     the trick masks down to ceil(log2(cores)) checksum bits and installs
+//     exactly 2^b rules, exhausting the match space;
+//   * FDIR lookups cap the NIC around 10 Mpps (the plateau in Fig. 6a).
+//     The rate cap itself is enforced by SimNic.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "net/five_tuple.hpp"
+#include "net/packet.hpp"
+
+namespace sprayer::nic {
+
+class FlowDirector {
+ public:
+  /// 82599 perfect-match filter capacity.
+  static constexpr u32 kMaxRules = 8192;
+
+  /// Exact five-tuple rule (the conventional use of Flow Director).
+  Status add_exact_rule(const net::FiveTuple& tuple, u16 queue);
+
+  /// Masked TCP-checksum rule (the Sprayer trick): packets whose
+  /// (checksum & mask) == value go to `queue`. All rules must share one mask.
+  Status add_checksum_rule(u16 mask, u16 value, u16 queue);
+
+  /// Install the full Sprayer configuration: 2^b checksum rules where
+  /// b = ceil(log2(num_queues)), exhausting the match space so every TCP
+  /// packet matches. Rule v routes to queue v % num_queues.
+  Status program_checksum_spray(u32 num_queues);
+
+  void clear() noexcept;
+
+  /// Match a parsed packet. Only TCP packets are considered (82599 FDIR
+  /// filters are per-L4-type; we model the TCP filter set the paper uses).
+  /// Returns the destination queue, or nullopt to fall back to RSS.
+  [[nodiscard]] std::optional<u16> match(net::Packet& pkt) const noexcept;
+
+  [[nodiscard]] u32 rule_count() const noexcept {
+    return static_cast<u32>(exact_.size()) + checksum_rule_count_;
+  }
+
+ private:
+  std::unordered_map<net::FiveTuple, u16, net::FiveTupleHash> exact_;
+  u16 checksum_mask_ = 0;
+  u32 checksum_rule_count_ = 0;
+  // Dense table indexed by (checksum & mask); 0xffff = no rule.
+  std::vector<u16> checksum_queues_;
+};
+
+}  // namespace sprayer::nic

@@ -1,0 +1,119 @@
+#include "nic/nic.hpp"
+
+namespace sprayer::nic {
+
+SimNic::SimNic(sim::Simulator& sim, NicConfig cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      rss_(cfg.num_queues),
+      queues_(cfg.num_queues),
+      per_queue_missed_(cfg.num_queues, 0),
+      tx_links_(cfg.num_ports, nullptr) {
+  SPRAYER_CHECK(cfg.num_queues >= 1);
+  SPRAYER_CHECK(cfg.num_ports >= 1);
+}
+
+void SimNic::attach_tx_link(u8 port, sim::Link& link) {
+  SPRAYER_CHECK(port < tx_links_.size());
+  tx_links_[port] = &link;
+}
+
+void SimNic::receive(net::Packet* pkt) {
+  pkt->parse();
+
+  u16 queue;
+  if (cfg_.hw_connection_steering && pkt->is_connection_packet()) {
+    // Programmable-NIC mode: connection packets go straight to the
+    // designated queue (which equals the symmetric-RSS queue).
+    ++counters_.rss_dispatched;
+    queue = rss_.queue_for(*pkt);
+    enqueue(queue, pkt);
+    return;
+  }
+  const std::optional<u16> fdir_queue = fdir_.match(*pkt);
+  if (fdir_queue.has_value()) {
+    // Enforce the FDIR classification ceiling: each lookup occupies the
+    // classifier for 1/fdir_max_pps; a bounded pipeline absorbs bursts.
+    if (cfg_.fdir_max_pps > 0) {
+      const Time per_pkt = static_cast<Time>(1e12 / cfg_.fdir_max_pps);
+      const Time now = sim_.now();
+      const Time backlog_start = now > fdir_busy_until_ ? now
+                                                        : fdir_busy_until_;
+      const Time max_backlog =
+          per_pkt * cfg_.fdir_pipeline_depth;
+      if (backlog_start - now > max_backlog) {
+        ++counters_.fdir_overload_drops;
+        pkt->pool()->free(pkt);
+        return;
+      }
+      fdir_busy_until_ = backlog_start + per_pkt;
+    }
+    ++counters_.fdir_matched;
+    queue = *fdir_queue;
+    if (cfg_.flowlet_gap > 0) {
+      // Flowlet mode: reuse the previous queue while the flow's packets
+      // arrive within the gap; re-spray (to the checksum-chosen queue) on
+      // a new flowlet.
+      const Time now = sim_.now();
+      auto [it, inserted] =
+          flowlets_.try_emplace(pkt->five_tuple().canonical());
+      FlowletState& st = it->second;
+      if (inserted || now - st.last_seen > cfg_.flowlet_gap) {
+        st.queue = queue;  // new flowlet: adopt the sprayed choice
+      }
+      st.last_seen = now;
+      queue = st.queue;
+    }
+    if (cfg_.spray_subset > 0 && cfg_.spray_subset < cfg_.num_queues) {
+      // Limited spraying: the flow's RSS queue anchors a window of
+      // `spray_subset` queues; the (random) checksum picks within it.
+      const u16 anchor = rss_.queue_for(*pkt);
+      const u16 offset =
+          static_cast<u16>(pkt->tcp().checksum() % cfg_.spray_subset);
+      queue = static_cast<u16>((anchor + offset) % cfg_.num_queues);
+    }
+  } else {
+    ++counters_.rss_dispatched;
+    queue = rss_.queue_for(*pkt);
+  }
+  enqueue(queue, pkt);
+}
+
+void SimNic::enqueue(u16 queue, net::Packet* pkt) {
+  SPRAYER_CHECK_MSG(queue < queues_.size(), "rule points at missing queue");
+
+  auto& q = queues_[queue];
+  if (q.size() >= cfg_.queue_depth) {
+    ++counters_.rx_missed;
+    ++per_queue_missed_[queue];
+    pkt->pool()->free(pkt);
+    return;
+  }
+  pkt->ts_rx = sim_.now();
+  const bool was_empty = q.empty();
+  q.push_back(pkt);
+  ++counters_.rx_packets;
+  if (was_empty && listener_ != nullptr) {
+    listener_->rx_ready(queue);
+  }
+}
+
+u32 SimNic::rx_burst(u16 queue, net::Packet** out, u32 max) {
+  SPRAYER_CHECK(queue < queues_.size());
+  auto& q = queues_[queue];
+  u32 n = 0;
+  while (n < max && !q.empty()) {
+    out[n++] = q.front();
+    q.pop_front();
+  }
+  return n;
+}
+
+void SimNic::tx(u8 port, net::Packet* pkt) {
+  SPRAYER_CHECK(port < tx_links_.size());
+  SPRAYER_CHECK_MSG(tx_links_[port] != nullptr, "tx port has no link");
+  ++counters_.tx_packets;
+  tx_links_[port]->send(pkt);
+}
+
+}  // namespace sprayer::nic

@@ -1,0 +1,142 @@
+// Simulated multi-queue NIC (modeled on the Intel 82599ES).
+//
+// Rx path: packets arriving from links are classified — Flow Director first,
+// RSS fallback — and enqueued on bounded per-queue FIFOs that cores poll
+// with rx_burst(). Tx path: cores hand packets to tx(port, pkt), which
+// forwards to the attached link (the link models serialization and its own
+// FIFO).
+//
+// Hardware limits modeled:
+//   * bounded rx descriptor rings (tail drop, per-queue rx_missed counters);
+//   * the Flow Director classification ceiling (~10.4 Mpps on the 82599),
+//     modeled as a leaky bucket with a small pipeline: TCP packets that
+//     would match FDIR rules are dropped beyond that rate — the cause of
+//     Sprayer's 10 Mpps plateau in the paper's Figure 6(a).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
+#include "nic/flow_director.hpp"
+#include "nic/rss.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace sprayer::nic {
+
+struct NicConfig {
+  u32 num_queues = 8;
+  u32 queue_depth = 512;  // default ixgbe rx ring size
+  u32 num_ports = 2;
+  /// Flow Director classification ceiling in packets/second (0 = unlimited).
+  /// Only applies to packets that are subject to FDIR lookup.
+  double fdir_max_pps = 10.4e6;
+  /// Depth of the internal classification pipeline feeding FDIR (absorbs
+  /// bursts below the ceiling without loss).
+  u32 fdir_pipeline_depth = 64;
+
+  // --- Programmable-NIC extensions (paper §7, future work) ---------------
+  /// Spray each flow over only a subset of `spray_subset` queues anchored
+  /// at its RSS queue (0 = spray over all queues). Trades parallelism for
+  /// less reordering ("it may be wise to only spray packets from a
+  /// particular flow to a limited subset of cores"). Not expressible on the
+  /// 82599; models a programmable NIC.
+  u32 spray_subset = 0;
+  /// Deliver TCP connection packets (SYN/FIN/RST) directly to the flow's
+  /// designated queue, removing Sprayer's software redirection ("we could
+  /// program NICs to direct connection packets to designated cores").
+  bool hw_connection_steering = false;
+  /// Flowlet spraying (inspired by CONGA/Presto, paper §7): packets of a
+  /// flow stick to one queue while they arrive back-to-back; after an idle
+  /// gap longer than this, the next burst is re-sprayed to a fresh random
+  /// queue. 0 disables (pure per-packet spraying). Reduces reordering at
+  /// the cost of shorter-timescale balancing.
+  Time flowlet_gap = 0;
+};
+
+/// Cores register to learn when an empty queue becomes non-empty.
+class IRxListener {
+ public:
+  virtual ~IRxListener() = default;
+  virtual void rx_ready(u16 queue) = 0;
+};
+
+class SimNic final : public sim::IPacketSink {
+ public:
+  SimNic(sim::Simulator& sim, NicConfig cfg);
+
+  SimNic(const SimNic&) = delete;
+  SimNic& operator=(const SimNic&) = delete;
+
+  /// Wire a transmit link to a port. Must be called for every port used.
+  void attach_tx_link(u8 port, sim::Link& link);
+  void set_rx_listener(IRxListener* listener) noexcept {
+    listener_ = listener;
+  }
+
+  [[nodiscard]] RssEngine& rss() noexcept { return rss_; }
+  [[nodiscard]] FlowDirector& fdir() noexcept { return fdir_; }
+  [[nodiscard]] const NicConfig& config() const noexcept { return cfg_; }
+
+  /// Ingress from a link. Classifies and enqueues (or drops).
+  void receive(net::Packet* pkt) override;
+
+  /// Poll up to `max` packets from a queue. Returns the count.
+  u32 rx_burst(u16 queue, net::Packet** out, u32 max);
+
+  /// Transmit a packet out of a port.
+  void tx(u8 port, net::Packet* pkt);
+
+  [[nodiscard]] u32 queue_depth(u16 queue) const {
+    return static_cast<u32>(queues_[queue].size());
+  }
+
+  struct Counters {
+    u64 rx_packets = 0;          // accepted into some queue
+    u64 rx_missed = 0;           // dropped: queue full
+    u64 fdir_matched = 0;        // dispatched by Flow Director
+    u64 fdir_overload_drops = 0; // dropped: FDIR pps ceiling
+    u64 rss_dispatched = 0;      // dispatched by RSS fallback
+    u64 tx_packets = 0;
+  };
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+  [[nodiscard]] u64 queue_rx_missed(u16 queue) const {
+    return per_queue_missed_[queue];
+  }
+  void reset_counters() noexcept {
+    counters_ = Counters{};
+    std::fill(per_queue_missed_.begin(), per_queue_missed_.end(), 0);
+  }
+
+ private:
+  /// Place a classified packet on its queue (tail drop + wakeup).
+  void enqueue(u16 queue, net::Packet* pkt);
+
+  struct FlowletState {
+    u16 queue = 0;
+    Time last_seen = 0;
+  };
+
+  sim::Simulator& sim_;
+  NicConfig cfg_;
+  RssEngine rss_;
+  FlowDirector fdir_;
+  std::vector<std::deque<net::Packet*>> queues_;
+  std::vector<u64> per_queue_missed_;
+  std::unordered_map<net::FiveTuple, FlowletState, net::FiveTupleHash>
+      flowlets_;
+  std::vector<sim::Link*> tx_links_;
+  IRxListener* listener_ = nullptr;
+  Counters counters_;
+  /// Leaky-bucket state for the FDIR ceiling: virtual completion time of the
+  /// last classified packet.
+  Time fdir_busy_until_ = 0;
+};
+
+}  // namespace sprayer::nic

@@ -1,0 +1,111 @@
+#include "nic/pktgen.hpp"
+
+#include "net/headers.hpp"
+
+namespace sprayer::nic {
+
+std::vector<net::FiveTuple> random_tcp_flows(u32 n, u64 seed) {
+  Rng rng(seed);
+  std::vector<net::FiveTuple> flows;
+  flows.reserve(n);
+  while (flows.size() < n) {
+    net::FiveTuple t;
+    t.src_ip = net::Ipv4Addr{static_cast<u32>(
+        0x0a000000u | rng.uniform(1u << 24))};            // 10.0.0.0/8
+    t.dst_ip = net::Ipv4Addr{static_cast<u32>(
+        0xc0a80000u | rng.uniform(1u << 16))};            // 192.168/16
+    t.src_port = static_cast<u16>(rng.uniform_range(1024, 65535));
+    t.dst_port = static_cast<u16>(rng.uniform_range(1024, 65535));
+    t.protocol = net::kProtoTcp;
+    flows.push_back(t);
+  }
+  return flows;
+}
+
+PacketGen::PacketGen(sim::Simulator& sim, net::PacketPool& pool,
+                     sim::Link& out, PktGenConfig cfg)
+    : sim_(sim),
+      pool_(pool),
+      out_(out),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      flows_(random_tcp_flows(cfg.num_flows, cfg.seed ^ 0xf10f10f1ULL)),
+      flow_seq_(cfg.num_flows, 1) {
+  SPRAYER_CHECK(cfg.num_flows >= 1);
+  SPRAYER_CHECK(cfg.rate_pps > 0);
+  SPRAYER_CHECK_MSG(cfg.frame_len >= net::kMinFrameLen,
+                    "frame below Ethernet minimum");
+}
+
+void PacketGen::start() {
+  if (cfg_.send_initial_syns) {
+    // One SYN per flow, back-to-back at t=0: lets stateful NFs install
+    // per-flow state at the designated cores before the measured traffic.
+    for (const auto& flow : flows_) {
+      net::TcpSegmentSpec spec;
+      spec.tuple = flow;
+      spec.flags = net::TcpFlags::kSyn;
+      spec.seq = 0;
+      net::Packet* pkt = net::build_tcp_raw(pool_, spec);
+      if (pkt != nullptr) {
+        pkt->ts_gen = sim_.now();
+        out_.send(pkt);
+      }
+    }
+  }
+  sim_.schedule_in(0, this);
+}
+
+void PacketGen::handle_event(u64 /*tag*/) {
+  if (cfg_.stop_at != 0 && sim_.now() >= cfg_.stop_at) return;
+  emit_packet();
+  const Time gap =
+      cfg_.poisson
+          ? static_cast<Time>(rng_.exponential(1e12 / cfg_.rate_pps))
+          : static_cast<Time>(1e12 / cfg_.rate_pps);
+  sim_.schedule_in(gap, this);
+}
+
+void PacketGen::emit_packet() {
+  if (cfg_.new_flow_every != 0 && sent_ % cfg_.new_flow_every == 0) {
+    // Connection churn: open a fresh flow with a SYN.
+    const auto churn = random_tcp_flows(1, rng_.next());
+    net::TcpSegmentSpec spec;
+    spec.tuple = churn[0];
+    spec.flags = net::TcpFlags::kSyn;
+    net::Packet* pkt = net::build_tcp_raw(pool_, spec);
+    if (pkt != nullptr) {
+      pkt->ts_gen = sim_.now();
+      out_.send(pkt);
+      ++sent_;
+      return;
+    }
+  }
+  const u32 flow_index = next_flow_;
+  next_flow_ = (next_flow_ + 1) % cfg_.num_flows;
+
+  // Randomized payload: its bytes make the TCP checksum uniformly random.
+  u8 payload[16];
+  const u64 r1 = rng_.next();
+  const u64 r2 = rng_.next();
+  std::memcpy(payload, &r1, 8);
+  std::memcpy(payload + 8, &r2, 8);
+
+  net::TcpSegmentSpec spec;
+  spec.tuple = flows_[flow_index];
+  spec.flags = net::TcpFlags::kAck;
+  spec.seq = flow_seq_[flow_index]++;
+  const u32 payload_len = cfg_.frame_len - net::kTcpHeadersLen;
+  spec.payload_len = payload_len;
+  spec.payload = std::span<const u8>{
+      payload, std::min<std::size_t>(sizeof(payload), payload_len)};
+
+  net::Packet* pkt = net::build_tcp_raw(pool_, spec);
+  if (pkt == nullptr) return;  // pool exhausted: generator backpressure
+  pkt->ts_gen = sim_.now();
+  pkt->user_tag = flow_index;
+  out_.send(pkt);
+  ++sent_;
+}
+
+}  // namespace sprayer::nic

@@ -1,0 +1,108 @@
+// MoonGen-like packet generator and measurement sink (the paper's traffic-
+// generator server).
+//
+// Generates minimum-size TCP packets with randomized trailing payload bytes
+// — hence uniformly distributed TCP checksums, the property the Flow
+// Director spraying trick depends on — across a configurable set of flows,
+// at a configurable rate (CBR like MoonGen, or Poisson for the latency
+// experiment). Optionally sends one SYN per flow up front so stateful NFs
+// can install flow state at the designated cores.
+#pragma once
+
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "net/packet_builder.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace sprayer::nic {
+
+/// Deterministically generate `n` random TCP five-tuples from a seed.
+[[nodiscard]] std::vector<net::FiveTuple> random_tcp_flows(u32 n, u64 seed);
+
+struct PktGenConfig {
+  double rate_pps = line_rate_pps(10e9, 60);  // saturate by default
+  u32 frame_len = 60;                         // "64 B" packets (incl. FCS)
+  u32 num_flows = 1;
+  u64 seed = 1;
+  bool poisson = false;       // exponential inter-arrivals instead of CBR
+  bool send_initial_syns = true;
+  Time stop_at = 0;           // 0 = run forever (caller bounds the sim)
+  /// Connection churn: when non-zero, every Nth packet is the SYN of a
+  /// brand-new random flow (models connection-rate-heavy workloads; used
+  /// by the redirection-cost ablation).
+  u32 new_flow_every = 0;
+};
+
+class PacketGen final : public sim::IEventTarget {
+ public:
+  PacketGen(sim::Simulator& sim, net::PacketPool& pool, sim::Link& out,
+            PktGenConfig cfg);
+
+  /// Schedule the first transmission.
+  void start();
+
+  void handle_event(u64 tag) override;
+
+  [[nodiscard]] u64 sent() const noexcept { return sent_; }
+  [[nodiscard]] const std::vector<net::FiveTuple>& flows() const noexcept {
+    return flows_;
+  }
+
+ private:
+  void emit_packet();
+
+  sim::Simulator& sim_;
+  net::PacketPool& pool_;
+  sim::Link& out_;
+  PktGenConfig cfg_;
+  Rng rng_;
+  std::vector<net::FiveTuple> flows_;
+  std::vector<u32> flow_seq_;
+  u64 sent_ = 0;
+  u32 next_flow_ = 0;
+};
+
+/// Terminal sink: counts packets/bytes and records one-way latency from
+/// Packet::ts_gen. Used to measure processed rate (Figs. 6a/7a) and the
+/// latency distribution (Fig. 8).
+class MeasureSink final : public sim::IPacketSink {
+ public:
+  explicit MeasureSink(sim::Simulator& sim) : sim_(sim) {}
+
+  void receive(net::Packet* pkt) override {
+    ++packets_;
+    bytes_ += pkt->len();
+    if (pkt->ts_gen != 0) {
+      latency_.add(sim_.now() - pkt->ts_gen);
+    }
+    pkt->pool()->free(pkt);
+  }
+
+  /// Reset counters (e.g. after warmup) without clearing identity.
+  void reset() noexcept {
+    packets_ = 0;
+    bytes_ = 0;
+    latency_.reset();
+  }
+
+  [[nodiscard]] u64 packets() const noexcept { return packets_; }
+  [[nodiscard]] u64 bytes() const noexcept { return bytes_; }
+  /// Latency histogram in picoseconds.
+  [[nodiscard]] const LogHistogram& latency() const noexcept {
+    return latency_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  u64 packets_ = 0;
+  u64 bytes_ = 0;
+  LogHistogram latency_{10};
+};
+
+}  // namespace sprayer::nic

@@ -1,0 +1,62 @@
+// Receive-Side Scaling engine: Toeplitz hash + 128-entry indirection table,
+// as implemented by the Intel 82599 (the paper's NIC and its baseline
+// dispatch mechanism).
+#pragma once
+
+#include <array>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "hash/toeplitz.hpp"
+#include "net/packet.hpp"
+
+namespace sprayer::nic {
+
+class RssEngine {
+ public:
+  static constexpr u32 kIndirectionEntries = 128;
+
+  /// Round-robin indirection table over `num_queues`, symmetric key by
+  /// default (the paper configures the symmetric key so both directions of
+  /// a connection reach the same core, §5 [44]).
+  explicit RssEngine(u32 num_queues,
+                     const hash::ToeplitzKey& key = hash::kSymmetricKey)
+      : key_(key) {
+    SPRAYER_CHECK(num_queues >= 1);
+    for (u32 i = 0; i < kIndirectionEntries; ++i) {
+      table_[i] = static_cast<u16>(i % num_queues);
+    }
+  }
+
+  void set_indirection(u32 entry, u16 queue) {
+    SPRAYER_CHECK(entry < kIndirectionEntries);
+    table_[entry] = queue;
+  }
+
+  /// RSS hash of a parsed packet: 4-tuple input for TCP/UDP, 2-tuple for
+  /// other IPv4, 0 (queue 0) for non-IP.
+  [[nodiscard]] u32 hash_of(net::Packet& pkt) const noexcept {
+    if (!pkt.is_ipv4()) return 0;
+    const net::FiveTuple t = pkt.five_tuple();
+    if (pkt.is_tcp() || pkt.is_udp()) {
+      return hash::toeplitz_v4_l4(t, key_);
+    }
+    return hash::toeplitz_v4(t, key_);
+  }
+
+  [[nodiscard]] u16 queue_for_hash(u32 hash) const noexcept {
+    return table_[hash % kIndirectionEntries];
+  }
+
+  [[nodiscard]] u16 queue_for(net::Packet& pkt) const noexcept {
+    return queue_for_hash(hash_of(pkt));
+  }
+
+  [[nodiscard]] const hash::ToeplitzKey& key() const noexcept { return key_; }
+
+ private:
+  hash::ToeplitzKey key_;
+  std::array<u16, kIndirectionEntries> table_{};
+};
+
+}  // namespace sprayer::nic

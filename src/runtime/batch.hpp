@@ -1,0 +1,64 @@
+// Fixed-capacity packet batch — the unit of work everywhere in the fast
+// path, mirroring the paper's batched processing (§3.3): cores poll batches
+// from queues, transfer descriptor batches over rings, and hand NF handlers
+// pre-classified batches.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "net/packet.hpp"
+
+namespace sprayer::runtime {
+
+inline constexpr u32 kMaxBatchSize = 64;
+
+class PacketBatch {
+ public:
+  PacketBatch() = default;
+
+  [[nodiscard]] u32 size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == kMaxBatchSize; }
+
+  void push(net::Packet* p) noexcept {
+    SPRAYER_DCHECK(size_ < kMaxBatchSize);
+    pkts_[size_++] = p;
+  }
+
+  [[nodiscard]] net::Packet* operator[](u32 i) const noexcept {
+    SPRAYER_DCHECK(i < size_);
+    return pkts_[i];
+  }
+
+  [[nodiscard]] std::span<net::Packet*> packets() noexcept {
+    return {pkts_.data(), size_};
+  }
+  [[nodiscard]] std::span<net::Packet* const> packets() const noexcept {
+    return {pkts_.data(), size_};
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  /// Adopt `n` packets written directly into data() (e.g. by rx_burst).
+  void set_size(u32 n) noexcept {
+    SPRAYER_DCHECK(n <= kMaxBatchSize);
+    size_ = n;
+  }
+
+  [[nodiscard]] net::Packet** data() noexcept { return pkts_.data(); }
+
+  // Range support.
+  [[nodiscard]] auto begin() noexcept { return pkts_.begin(); }
+  [[nodiscard]] auto end() noexcept { return pkts_.begin() + size_; }
+  [[nodiscard]] auto begin() const noexcept { return pkts_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return pkts_.begin() + size_; }
+
+ private:
+  std::array<net::Packet*, kMaxBatchSize> pkts_{};
+  u32 size_ = 0;
+};
+
+}  // namespace sprayer::runtime

@@ -1,0 +1,102 @@
+// Bounded lock-free multi-producer / multi-consumer ring (Vyukov's design,
+// the same family as DPDK's rte_ring). Used where several cores feed one
+// consumer — e.g. aggregating transmit descriptors to a NIC port in the
+// threaded executor.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/compiler.hpp"
+#include "common/types.hpp"
+
+namespace sprayer::runtime {
+
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(u32 capacity)
+      : capacity_(capacity), mask_(capacity - 1),
+        cells_(std::make_unique<Cell[]>(capacity)) {
+    SPRAYER_CHECK_MSG(capacity >= 2 && std::has_single_bit(capacity),
+                      "ring capacity must be a power of two >= 2");
+    for (u32 i = 0; i < capacity; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  [[nodiscard]] u32 capacity() const noexcept { return capacity_; }
+
+  bool push(T item) noexcept {
+    Cell* cell;
+    u64 pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const u64 seq = cell->sequence.load(std::memory_order_acquire);
+      const i64 diff = static_cast<i64>(seq) - static_cast<i64>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(item);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool pop(T& out) noexcept {
+    Cell* cell;
+    u64 pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const u64 seq = cell->sequence.load(std::memory_order_acquire);
+      const i64 diff =
+          static_cast<i64>(seq) - static_cast<i64>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->sequence.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] u32 size_approx() const noexcept {
+    const u64 enq = enqueue_pos_.load(std::memory_order_acquire);
+    const u64 deq = dequeue_pos_.load(std::memory_order_acquire);
+    return enq > deq ? static_cast<u32>(enq - deq) : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<u64> sequence;
+    T value;
+  };
+
+  const u32 capacity_;
+  const u32 mask_;
+  std::unique_ptr<Cell[]> cells_;
+
+  alignas(kCacheLineSize) std::atomic<u64> enqueue_pos_{0};
+  alignas(kCacheLineSize) std::atomic<u64> dequeue_pos_{0};
+};
+
+}  // namespace sprayer::runtime

@@ -1,0 +1,114 @@
+// Lock-free single-producer / single-consumer ring of pointers.
+//
+// This is the transfer channel Sprayer uses to move connection-packet
+// descriptors to their designated core: each (source, destination) core pair
+// gets its own SPSC ring, so no CAS is ever needed (§3.3 of the paper uses
+// per-core rings the same way). Indices are cached on each side to avoid
+// ping-ponging the counterpart's cache line on every operation.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <memory>
+#include <span>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sprayer::runtime {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity must be a power of two (one slot is NOT lost: full/empty are
+  /// disambiguated by free-running indices).
+  explicit SpscRing(u32 capacity)
+      : capacity_(capacity), mask_(capacity - 1),
+        slots_(std::make_unique<T[]>(capacity)) {
+    SPRAYER_CHECK_MSG(capacity >= 2 && std::has_single_bit(capacity),
+                      "ring capacity must be a power of two >= 2");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] u32 capacity() const noexcept { return capacity_; }
+
+  /// Producer side. Returns false when full.
+  bool push(T item) noexcept {
+    const u64 head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ >= capacity_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ >= capacity_) return false;
+    }
+    slots_[head & mask_] = std::move(item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Bulk push; returns the number of items actually enqueued (prefix).
+  u32 push_bulk(std::span<const T> items) noexcept {
+    const u64 head = head_.load(std::memory_order_relaxed);
+    u64 free = capacity_ - (head - cached_tail_);
+    if (free < items.size()) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      free = capacity_ - (head - cached_tail_);
+    }
+    const u32 n = static_cast<u32>(std::min<u64>(free, items.size()));
+    for (u32 i = 0; i < n; ++i) {
+      slots_[(head + i) & mask_] = items[i];
+    }
+    if (n > 0) head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool pop(T& out) noexcept {
+    const u64 tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Bulk pop into `out`; returns the number of items dequeued.
+  u32 pop_bulk(std::span<T> out) noexcept {
+    const u64 tail = tail_.load(std::memory_order_relaxed);
+    u64 avail = cached_head_ - tail;
+    if (avail < out.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      avail = cached_head_ - tail;
+    }
+    const u32 n = static_cast<u32>(std::min<u64>(avail, out.size()));
+    for (u32 i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(tail + i) & mask_]);
+    }
+    if (n > 0) tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Approximate occupancy (exact when called from either endpoint thread
+  /// while the other is quiescent).
+  [[nodiscard]] u32 size_approx() const noexcept {
+    return static_cast<u32>(head_.load(std::memory_order_acquire) -
+                            tail_.load(std::memory_order_acquire));
+  }
+  [[nodiscard]] bool empty_approx() const noexcept {
+    return size_approx() == 0;
+  }
+
+ private:
+  const u32 capacity_;
+  const u32 mask_;
+  std::unique_ptr<T[]> slots_;
+
+  alignas(kCacheLineSize) std::atomic<u64> head_{0};  // producer writes
+  u64 cached_tail_ = 0;                               // producer-local
+  alignas(kCacheLineSize) std::atomic<u64> tail_{0};  // consumer writes
+  u64 cached_head_ = 0;                               // consumer-local
+};
+
+}  // namespace sprayer::runtime

@@ -1,0 +1,36 @@
+#include "runtime/worker_group.hpp"
+
+#include "common/compiler.hpp"
+
+namespace sprayer::runtime {
+
+void WorkerGroup::start(u32 num_workers, Body body) {
+  SPRAYER_CHECK_MSG(threads_.empty(), "worker group already started");
+  SPRAYER_CHECK(num_workers > 0);
+  stop_.store(false, std::memory_order_relaxed);
+  threads_.reserve(num_workers);
+  for (u32 i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this, body, i] {
+      const CoreId core = static_cast<CoreId>(i);
+      while (!stop_.load(std::memory_order_relaxed)) {
+        if (!body(core)) {
+          // Nothing to do: relax, then yield so single-CPU hosts make
+          // progress on the other workers.
+          cpu_relax();
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+}
+
+void WorkerGroup::stop() {
+  if (threads_.empty()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace sprayer::runtime

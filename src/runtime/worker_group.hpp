@@ -1,0 +1,46 @@
+// A group of polling worker threads, one per core — the real-thread
+// counterpart of the simulator's virtual cores. Workers run a user loop
+// until stop() is called; join on destruction (RAII, no detached threads).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sprayer::runtime {
+
+class WorkerGroup {
+ public:
+  /// The body is called repeatedly as (core_id) until stop() is requested;
+  /// it should perform one bounded unit of work (e.g. poll one batch) and
+  /// return true if it did anything (false lets the worker relax briefly).
+  using Body = std::function<bool(CoreId)>;
+
+  WorkerGroup() = default;
+  ~WorkerGroup() { stop(); }
+
+  WorkerGroup(const WorkerGroup&) = delete;
+  WorkerGroup& operator=(const WorkerGroup&) = delete;
+
+  void start(u32 num_workers, Body body);
+
+  /// Request stop and join all workers. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return !threads_.empty();
+  }
+  [[nodiscard]] u32 size() const noexcept {
+    return static_cast<u32>(threads_.size());
+  }
+
+ private:
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace sprayer::runtime

@@ -1,0 +1,68 @@
+// Discrete-event scheduler core.
+//
+// Events are (time, sequence, target, tag): allocation-free, delivered to an
+// IEventTarget virtual handler. The sequence number makes simultaneous
+// events FIFO-ordered, which keeps runs deterministic.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace sprayer::sim {
+
+/// Anything that can receive scheduled events. The tag disambiguates
+/// multiple pending events on one target.
+class IEventTarget {
+ public:
+  virtual ~IEventTarget() = default;
+  virtual void handle_event(u64 tag) = 0;
+};
+
+class EventQueue {
+ public:
+  void schedule(Time at, IEventTarget* target, u64 tag = 0) {
+    SPRAYER_DCHECK(target != nullptr);
+    heap_.push(Event{at, next_seq_++, target, tag});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] Time next_time() const {
+    SPRAYER_CHECK(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  /// Pop the earliest event. Caller dispatches it.
+  struct Popped {
+    Time time;
+    IEventTarget* target;
+    u64 tag;
+  };
+  Popped pop() {
+    SPRAYER_CHECK(!heap_.empty());
+    const Event e = heap_.top();
+    heap_.pop();
+    return Popped{e.time, e.target, e.tag};
+  }
+
+ private:
+  struct Event {
+    Time time;
+    u64 seq;
+    IEventTarget* target;
+    u64 tag;
+
+    bool operator>(const Event& o) const noexcept {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  u64 next_seq_ = 0;
+};
+
+}  // namespace sprayer::sim

@@ -1,0 +1,57 @@
+#include "sim/link.hpp"
+
+#include "net/packet_pool.hpp"
+
+namespace sprayer::sim {
+
+bool Link::send(net::Packet* pkt) {
+  SPRAYER_DCHECK(pkt != nullptr);
+  if (!busy_) {
+    start_transmission(pkt);
+    return true;
+  }
+  if (fifo_.size() >= cfg_.queue_packets) {
+    ++counters_.dropped;
+    pkt->pool()->free(pkt);
+    return false;
+  }
+  fifo_.push_back(pkt);
+  return true;
+}
+
+void Link::start_transmission(net::Packet* pkt) {
+  busy_ = true;
+  in_flight_ = pkt;
+  const Time ser = serialization_time(pkt->len() + kEthernetWireOverhead,
+                                      cfg_.rate_bps);
+  sim_.schedule_in(ser, this, kTagTxDone);
+}
+
+void Link::handle_event(u64 tag) {
+  if (tag == kTagTxDone) {
+    net::Packet* pkt = in_flight_;
+    in_flight_ = nullptr;
+    ++counters_.tx_packets;
+    counters_.tx_bytes += pkt->len();
+    // The packet now propagates; delivery after the cable delay. Serialization
+    // already ordered packets, so the propagating queue is FIFO.
+    propagating_.push_back(pkt);
+    sim_.schedule_in(cfg_.propagation_delay, this, kTagDeliver);
+    if (!fifo_.empty()) {
+      net::Packet* next = fifo_.front();
+      fifo_.pop_front();
+      start_transmission(next);
+    } else {
+      busy_ = false;
+    }
+  } else {
+    SPRAYER_DCHECK(tag == kTagDeliver);
+    SPRAYER_DCHECK(!propagating_.empty());
+    net::Packet* pkt = propagating_.front();
+    propagating_.pop_front();
+    pkt->ingress_port = cfg_.egress_port_label;
+    sink_.receive(pkt);
+  }
+}
+
+}  // namespace sprayer::sim

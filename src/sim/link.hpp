@@ -1,0 +1,71 @@
+// Point-to-point simulated link: serialization at a configured rate, a
+// bounded FIFO transmit queue (tail drop), and propagation delay. Two links
+// in opposite directions model one cable.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace sprayer::sim {
+
+/// Receives packets at the far end of a link (or out of a NIC queue).
+class IPacketSink {
+ public:
+  virtual ~IPacketSink() = default;
+  virtual void receive(net::Packet* pkt) = 0;
+};
+
+struct LinkConfig {
+  double rate_bps = 10e9;            // 10 GbE by default
+  Time propagation_delay = 500 * kNanosecond;  // short DAC cable + PHY/DMA
+  u32 queue_packets = 1024;          // transmit FIFO depth
+  /// Ingress port value stamped on delivered packets.
+  u8 egress_port_label = 0;
+};
+
+class Link final : public IEventTarget {
+ public:
+  Link(Simulator& sim, LinkConfig cfg, IPacketSink& sink, std::string name)
+      : sim_(sim), cfg_(cfg), sink_(sink), name_(std::move(name)) {}
+
+  /// Enqueue a packet for transmission. Takes ownership; frees the packet
+  /// (back to its pool) when the transmit FIFO is full. Returns false on
+  /// such a tail drop.
+  bool send(net::Packet* pkt);
+
+  void handle_event(u64 tag) override;
+
+  struct Counters {
+    u64 tx_packets = 0;
+    u64 tx_bytes = 0;
+    u64 dropped = 0;
+  };
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] u32 queue_depth() const noexcept {
+    return static_cast<u32>(fifo_.size()) + (busy_ ? 1u : 0u);
+  }
+
+ private:
+  enum : u64 { kTagTxDone = 1, kTagDeliver = 2 };
+
+  void start_transmission(net::Packet* pkt);
+
+  Simulator& sim_;
+  LinkConfig cfg_;
+  IPacketSink& sink_;
+  std::string name_;
+
+  std::deque<net::Packet*> fifo_;   // waiting behind the wire
+  net::Packet* in_flight_ = nullptr;  // being serialized
+  std::deque<net::Packet*> propagating_;  // serialized, in the cable (FIFO)
+  bool busy_ = false;
+  Counters counters_;
+};
+
+}  // namespace sprayer::sim

@@ -1,0 +1,61 @@
+// The simulation kernel: a virtual clock plus the event queue.
+//
+// Replaces the paper's physical testbed (§5): components — links, NIC, cores,
+// TCP endpoints — schedule events against this clock; per-core CPU time is
+// accounted in cycles and converted to simulated time (units.hpp).
+#pragma once
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sprayer::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  void schedule_at(Time at, IEventTarget* target, u64 tag = 0) {
+    SPRAYER_CHECK_MSG(at >= now_, "cannot schedule into the past");
+    queue_.schedule(at, target, tag);
+  }
+  void schedule_in(Time delay, IEventTarget* target, u64 tag = 0) {
+    queue_.schedule(now_ + delay, target, tag);
+  }
+
+  /// Run until the queue drains or the clock passes `end` (inclusive).
+  void run_until(Time end) {
+    while (!queue_.empty() && queue_.next_time() <= end) {
+      step();
+    }
+    if (now_ < end) now_ = end;
+  }
+
+  /// Run until the event queue is empty.
+  void run() {
+    while (!queue_.empty()) step();
+  }
+
+  /// Dispatch exactly one event; returns false if the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    const auto e = queue_.pop();
+    SPRAYER_DCHECK(e.time >= now_);
+    now_ = e.time;
+    ++events_dispatched_;
+    e.target->handle_event(e.tag);
+    return true;
+  }
+
+  [[nodiscard]] u64 events_dispatched() const noexcept {
+    return events_dispatched_;
+  }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+  u64 events_dispatched_ = 0;
+};
+
+}  // namespace sprayer::sim

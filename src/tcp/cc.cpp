@@ -1,0 +1,79 @@
+#include "tcp/cc.hpp"
+
+#include <cmath>
+
+namespace sprayer::tcp {
+
+void Cubic::on_ack(u64 acked_bytes, Time now, Time srtt) {
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += acked_bytes;  // slow start
+    return;
+  }
+  if (srtt == 0) srtt = 100 * kMicrosecond;  // no sample yet: assume LAN
+  if (epoch_start_ == 0) {
+    epoch_start_ = now;
+    const double cwnd_seg = static_cast<double>(cwnd_) / mss_;
+    if (w_max_segments_ < cwnd_seg) w_max_segments_ = cwnd_seg;
+    k_ = std::cbrt(w_max_segments_ * (1.0 - kBeta) / kC);
+    w_est_start_ = cwnd_seg;
+  }
+  const double t = to_seconds(now - epoch_start_);
+  // Cubic target one SRTT into the future (RFC 8312 §4.1).
+  const double tc = t + to_seconds(srtt);
+  const double w_cubic =
+      kC * (tc - k_) * (tc - k_) * (tc - k_) + w_max_segments_;
+  // TCP-friendly estimate (RFC 8312 §4.2): grows per-RTT like AIMD, which
+  // dominates at the microsecond RTTs of this testbed.
+  const double w_est =
+      w_est_start_ +
+      (3.0 * (1.0 - kBeta) / (1.0 + kBeta)) * (t / to_seconds(srtt));
+  const double target = std::max(w_cubic, w_est);
+  const double cwnd_seg = static_cast<double>(cwnd_) / mss_;
+  if (target > cwnd_seg) {
+    // Approach the target over the next window's worth of ACKs.
+    const double increment = (target - cwnd_seg) / cwnd_seg;
+    cwnd_ += std::max<u64>(1, static_cast<u64>(increment * mss_));
+  }
+}
+
+void Cubic::on_loss(u64 flight, Time /*now*/) {
+  const double cwnd_seg = static_cast<double>(cwnd_) / mss_;
+  // Fast convergence: release bandwidth faster when the window shrank.
+  if (cwnd_seg < w_max_segments_) {
+    w_max_segments_ = cwnd_seg * (2.0 - kBeta) / 2.0;
+  } else {
+    w_max_segments_ = cwnd_seg;
+  }
+  epoch_start_ = 0;
+  (void)flight;
+  ssthresh_ = std::max<u64>(static_cast<u64>(kBeta * static_cast<double>(cwnd_)),
+                            2ull * mss_);
+  cwnd_ = ssthresh_;
+}
+
+void Cubic::on_rto(u64 flight, Time /*now*/) {
+  const double cwnd_seg = static_cast<double>(cwnd_) / mss_;
+  if (cwnd_seg < w_max_segments_) {
+    w_max_segments_ = cwnd_seg * (2.0 - kBeta) / 2.0;
+  } else {
+    w_max_segments_ = cwnd_seg;
+  }
+  epoch_start_ = 0;
+  (void)flight;
+  ssthresh_ = std::max<u64>(static_cast<u64>(kBeta * static_cast<double>(cwnd_)),
+                            2ull * mss_);
+  cwnd_ = mss_;
+}
+
+std::unique_ptr<ICongestionControl> make_cc(CcKind kind, u32 mss,
+                                            u32 initial_cwnd_segments) {
+  switch (kind) {
+    case CcKind::kNewReno:
+      return std::make_unique<NewReno>(mss, initial_cwnd_segments);
+    case CcKind::kCubic:
+      return std::make_unique<Cubic>(mss, initial_cwnd_segments);
+  }
+  return nullptr;
+}
+
+}  // namespace sprayer::tcp

@@ -1,0 +1,102 @@
+// Congestion-control algorithms: NewReno and CUBIC (the paper's experiments
+// use stock Linux CUBIC, §5). The connection machinery handles duplicate
+// ACKs, fast retransmit / recovery and RTO; these classes own only the
+// window arithmetic.
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace sprayer::tcp {
+
+enum class CcKind { kNewReno, kCubic };
+
+class ICongestionControl {
+ public:
+  virtual ~ICongestionControl() = default;
+
+  /// New data cumulatively acknowledged outside loss recovery.
+  virtual void on_ack(u64 acked_bytes, Time now, Time srtt) = 0;
+  /// Entering fast recovery: cut the window. `flight` is bytes in flight.
+  virtual void on_loss(u64 flight, Time now) = 0;
+  /// Retransmission timeout: collapse to one segment.
+  virtual void on_rto(u64 flight, Time now) = 0;
+
+  [[nodiscard]] virtual u64 cwnd() const noexcept = 0;
+  [[nodiscard]] virtual u64 ssthresh() const noexcept = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+class NewReno final : public ICongestionControl {
+ public:
+  NewReno(u32 mss, u32 initial_cwnd_segments) noexcept
+      : mss_(mss), cwnd_(static_cast<u64>(mss) * initial_cwnd_segments) {}
+
+  void on_ack(u64 acked_bytes, Time /*now*/, Time /*srtt*/) override {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += std::min<u64>(acked_bytes, mss_);  // slow start
+    } else {
+      // Congestion avoidance: ~1 MSS per RTT.
+      cwnd_ += std::max<u64>(1, static_cast<u64>(mss_) * mss_ / cwnd_);
+    }
+  }
+
+  void on_loss(u64 flight, Time /*now*/) override {
+    ssthresh_ = std::max<u64>(flight / 2, 2ull * mss_);
+    cwnd_ = ssthresh_;
+  }
+
+  void on_rto(u64 flight, Time /*now*/) override {
+    ssthresh_ = std::max<u64>(flight / 2, 2ull * mss_);
+    cwnd_ = mss_;
+  }
+
+  [[nodiscard]] u64 cwnd() const noexcept override { return cwnd_; }
+  [[nodiscard]] u64 ssthresh() const noexcept override { return ssthresh_; }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "newreno";
+  }
+
+ private:
+  u32 mss_;
+  u64 cwnd_;
+  u64 ssthresh_ = ~0ull;
+};
+
+/// CUBIC per RFC 8312 (with fast convergence), window in bytes.
+class Cubic final : public ICongestionControl {
+ public:
+  Cubic(u32 mss, u32 initial_cwnd_segments) noexcept
+      : mss_(mss), cwnd_(static_cast<u64>(mss) * initial_cwnd_segments) {}
+
+  void on_ack(u64 acked_bytes, Time now, Time srtt) override;
+  void on_loss(u64 flight, Time now) override;
+  void on_rto(u64 flight, Time now) override;
+
+  [[nodiscard]] u64 cwnd() const noexcept override { return cwnd_; }
+  [[nodiscard]] u64 ssthresh() const noexcept override { return ssthresh_; }
+  [[nodiscard]] const char* name() const noexcept override { return "cubic"; }
+
+ private:
+  static constexpr double kC = 0.4;     // cubic scaling constant
+  static constexpr double kBeta = 0.7;  // multiplicative decrease
+
+  u32 mss_;
+  u64 cwnd_;
+  u64 ssthresh_ = ~0ull;
+  double w_max_segments_ = 0.0;  // window before the last reduction
+  double w_est_start_ = 0.0;     // window at epoch start (TCP-friendly est.)
+  Time epoch_start_ = 0;
+  double k_ = 0.0;  // time (seconds) to regrow to w_max
+};
+
+[[nodiscard]] std::unique_ptr<ICongestionControl> make_cc(
+    CcKind kind, u32 mss, u32 initial_cwnd_segments);
+
+[[nodiscard]] constexpr const char* to_string(CcKind k) noexcept {
+  return k == CcKind::kNewReno ? "newreno" : "cubic";
+}
+
+}  // namespace sprayer::tcp

@@ -1,0 +1,750 @@
+#include "tcp/connection.hpp"
+
+#include <algorithm>
+
+#include "net/headers.hpp"
+
+namespace sprayer::tcp {
+
+namespace {
+/// Extended sequence numbers start well away from zero so that unwrap can
+/// never underflow on stray old segments.
+constexpr u64 kExtBase = 1ull << 33;
+
+constexpr u64 ext_init(u32 wire) noexcept { return kExtBase + wire; }
+}  // namespace
+
+const char* to_string(TcpState s) noexcept {
+  switch (s) {
+    case TcpState::kClosed: return "closed";
+    case TcpState::kSynSent: return "syn-sent";
+    case TcpState::kSynRcvd: return "syn-rcvd";
+    case TcpState::kEstablished: return "established";
+    case TcpState::kFinWait: return "fin-wait";
+    case TcpState::kFinWait2: return "fin-wait-2";
+    case TcpState::kLastAck: return "last-ack";
+    case TcpState::kDone: return "done";
+  }
+  return "?";
+}
+
+TcpConnection::TcpConnection(sim::Simulator& sim, net::PacketPool& pool,
+                             ISegmentOut& out, const net::FiveTuple& tuple,
+                             const TcpConfig& cfg, bool active, u64 seed)
+    : sim_(sim),
+      pool_(pool),
+      out_(out),
+      tuple_(tuple),
+      cfg_(cfg),
+      active_(active),
+      rng_(seed),
+      cc_(make_cc(cfg.cc, cfg.mss, cfg.initial_cwnd_segments)),
+      rtt_(cfg.min_rto, cfg.initial_rto, cfg.max_rto),
+      iss_(static_cast<u32>(rng_.next())) {
+  reordering_ = cfg.dupack_threshold;
+  snd_una_ = ext_init(iss_);
+  snd_nxt_ = snd_una_;
+  highest_sent_ = snd_una_;
+  data_start_ = snd_una_ + 1;  // SYN occupies iss_
+}
+
+u64 TcpConnection::bytes_acked() const noexcept {
+  if (snd_una_ <= data_start_) return 0;
+  u64 acked = snd_una_ - data_start_;
+  if (fin_sent_ && snd_una_ > fin_seq_) acked -= 1;  // exclude the FIN
+  return acked;
+}
+
+u64 TcpConnection::data_limit() const noexcept {
+  if (!active_) return data_start_;  // passive side streams no data
+  if (cfg_.bytes_to_send == 0) return ~0ull;
+  return data_start_ + cfg_.bytes_to_send;
+}
+
+u64 TcpConnection::usable_window() const noexcept {
+  u64 w = cc_->cwnd();
+  if (cfg_.max_cwnd != 0) w = std::min(w, cfg_.max_cwnd);
+  return std::min(w, cfg_.rcv_wnd);
+}
+
+// --- open / accept ------------------------------------------------------
+
+void TcpConnection::open() {
+  SPRAYER_CHECK_MSG(state_ == TcpState::kClosed, "open() on used connection");
+  SPRAYER_CHECK_MSG(active_, "open() on a passive connection");
+  state_ = TcpState::kSynSent;
+  send_syn();
+  snd_nxt_ = snd_una_ + 1;
+  highest_sent_ = snd_nxt_;
+  arm_rto();
+}
+
+void TcpConnection::accept_syn(u32 peer_iss, u32 peer_tsval) {
+  SPRAYER_CHECK_MSG(state_ == TcpState::kClosed && !active_,
+                    "accept_syn() on a non-listening connection");
+  rcv_nxt_ = ext_init(peer_iss) + 1;
+  rcv_data_start_ = rcv_nxt_;
+  ts_recent_ = peer_tsval;
+  state_ = TcpState::kSynRcvd;
+  send_synack();
+  snd_nxt_ = snd_una_ + 1;
+  highest_sent_ = snd_nxt_;
+  arm_rto();
+}
+
+// --- segment emission -----------------------------------------------------
+
+void TcpConnection::emit(net::TcpSegmentSpec& spec, bool count_data,
+                         u32 data_len, bool is_retransmit, bool include_sack) {
+  OptionsBuilder opts(now_ts(), ts_recent_);
+  if (include_sack && cfg_.sack_enabled && !ooo_.empty()) {
+    SackBlock blocks[kMaxSackBlocks];
+    const u32 n = build_sack_blocks(blocks);
+    opts.add_sack(std::span<const SackBlock>{blocks, n});
+  }
+  spec.options = opts.span();
+  spec.tuple = tuple_;
+  net::Packet* pkt = net::build_tcp_raw(pool_, spec);
+  if (pkt == nullptr) return;  // pool exhausted: RTO will recover
+  ++stats_.segments_sent;
+  if (count_data) {
+    stats_.data_bytes_sent += data_len;
+    if (is_retransmit) ++stats_.retransmits;
+  }
+  out_.output(pkt);
+}
+
+void TcpConnection::send_syn() {
+  net::TcpSegmentSpec spec;
+  spec.seq = static_cast<u32>(snd_una_);
+  spec.flags = net::TcpFlags::kSyn;
+  emit(spec, false, 0, false, false);
+}
+
+void TcpConnection::send_synack() {
+  net::TcpSegmentSpec spec;
+  spec.seq = static_cast<u32>(snd_una_);
+  spec.ack = static_cast<u32>(rcv_nxt_);
+  spec.flags = net::TcpFlags::kSyn | net::TcpFlags::kAck;
+  emit(spec, false, 0, false, false);
+}
+
+void TcpConnection::send_pure_ack() {
+  net::TcpSegmentSpec spec;
+  spec.seq = static_cast<u32>(snd_nxt_);
+  spec.ack = static_cast<u32>(rcv_nxt_);
+  spec.flags = net::TcpFlags::kAck;
+  emit(spec, false, 0, false, true);
+  ++stats_.acks_sent;
+}
+
+void TcpConnection::send_data_segment(u64 ext_seq, u32 len,
+                                      bool is_retransmit) {
+  net::TcpSegmentSpec spec;
+  spec.seq = static_cast<u32>(ext_seq);
+  spec.ack = static_cast<u32>(rcv_nxt_);
+  spec.flags = net::TcpFlags::kAck;
+  spec.payload_len = len;
+  // Random leading payload bytes: models real application data, and gives
+  // the TCP checksum the uniformity checksum-spraying relies on.
+  u8 head[8];
+  const u64 r = rng_.next();
+  std::memcpy(head, &r, sizeof(head));
+  spec.payload = std::span<const u8>{
+      head, std::min<std::size_t>(sizeof(head), len)};
+  emit(spec, true, len, is_retransmit, true);
+}
+
+void TcpConnection::send_fin(u64 ext_seq) {
+  net::TcpSegmentSpec spec;
+  spec.seq = static_cast<u32>(ext_seq);
+  spec.ack = static_cast<u32>(rcv_nxt_);
+  spec.flags = net::TcpFlags::kFin | net::TcpFlags::kAck;
+  emit(spec, false, 0, false, false);
+}
+
+// --- sender ---------------------------------------------------------------
+
+void TcpConnection::try_send() {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kSynRcvd) {
+    return;
+  }
+  if (in_recovery_) {
+    recovery_send();
+    return;
+  }
+  const u64 wnd = usable_window();
+  const u64 limit = data_limit();
+  while (snd_nxt_ < limit && flight() < wnd) {
+    const u32 len =
+        static_cast<u32>(std::min<u64>(cfg_.mss, limit - snd_nxt_));
+    // Sender-side silly-window avoidance: wait for the window to fit a full
+    // segment rather than emitting runts as cwnd creeps up byte by byte.
+    if (flight() + len > wnd) break;
+    // Below the high-water mark means this range was sent before (we are
+    // clocking out a go-back-N resend after an RTO).
+    send_data_segment(snd_nxt_, len, snd_nxt_ < highest_sent_);
+    snd_nxt_ += len;
+    if (snd_nxt_ > highest_sent_) highest_sent_ = snd_nxt_;
+  }
+  // Finite active transfers close with a FIN once all data is out.
+  if (active_ && cfg_.bytes_to_send != 0 && !fin_sent_ &&
+      snd_nxt_ == limit && state_ == TcpState::kEstablished) {
+    fin_seq_ = snd_nxt_;
+    send_fin(fin_seq_);
+    snd_nxt_ += 1;
+    if (snd_nxt_ > highest_sent_) highest_sent_ = snd_nxt_;
+    fin_sent_ = true;
+    state_ = TcpState::kFinWait;
+  }
+  if (flight() > 0 && !timer_armed_) arm_rto();
+}
+
+bool TcpConnection::next_hole(u64& start, u32& len) const {
+  u64 cursor = std::max(hole_cursor_, snd_una_);
+  // Only bytes below the forward-most SACKed byte can be presumed lost;
+  // anything above it is merely in flight and must not be retransmitted.
+  const u64 fack = sacked_.empty() ? snd_una_ : sacked_.rbegin()->second;
+  const u64 limit = std::min(
+      {recover_point_, fack, fin_sent_ ? fin_seq_ : ~u64{0}});
+  while (cursor < limit) {
+    // Find the SACK interval covering or following `cursor`.
+    auto it = sacked_.upper_bound(cursor);
+    if (it != sacked_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > cursor) {
+        cursor = prev->second;  // inside a SACKed range: skip it
+        continue;
+      }
+    }
+    const u64 hole_end =
+        (it != sacked_.end()) ? std::min(it->first, limit) : limit;
+    if (cursor >= hole_end) return false;
+    start = cursor;
+    len = static_cast<u32>(std::min<u64>(cfg_.mss, hole_end - cursor));
+    return true;
+  }
+  return false;
+}
+
+void TcpConnection::recovery_send() {
+  const u64 wnd = usable_window();
+  const u64 limit = data_limit();
+  for (;;) {
+    if (pipe() >= wnd) break;
+    u64 hole_start;
+    u32 hole_len;
+    if (cfg_.sack_enabled && next_hole(hole_start, hole_len)) {
+      send_data_segment(hole_start, hole_len, true);
+      hole_cursor_ = hole_start + hole_len;
+      retx_out_ += hole_len;
+      continue;
+    }
+    // No retransmittable hole: send new data to keep the ACK clock going.
+    if (snd_nxt_ < limit) {
+      const u32 len =
+          static_cast<u32>(std::min<u64>(cfg_.mss, limit - snd_nxt_));
+      if (pipe() + len > wnd) break;  // no runt segments (SWS avoidance)
+      send_data_segment(snd_nxt_, len, snd_nxt_ < highest_sent_);
+      snd_nxt_ += len;
+      if (snd_nxt_ > highest_sent_) highest_sent_ = snd_nxt_;
+      continue;
+    }
+    break;
+  }
+  if (flight() > 0 && !timer_armed_) arm_rto();
+}
+
+void TcpConnection::retransmit_front() {
+  if (fin_sent_ && snd_una_ == fin_seq_) {
+    send_fin(fin_seq_);
+    ++stats_.retransmits;
+    return;
+  }
+  const u64 seg_end = fin_sent_ ? fin_seq_ : snd_nxt_;
+  if (seg_end <= snd_una_) return;
+  const u32 len =
+      static_cast<u32>(std::min<u64>(cfg_.mss, seg_end - snd_una_));
+  send_data_segment(snd_una_, len, true);
+}
+
+void TcpConnection::enter_recovery() {
+  in_recovery_ = true;
+  ++rack_gen_;  // cancel any pending RACK timer
+  rack_armed_ = false;
+  recover_point_ = snd_nxt_;
+  hole_cursor_ = snd_una_;
+  cc_->on_loss(flight(), sim_.now());
+  ++stats_.fast_retransmits;
+  // Always retransmit the front segment immediately (it is the presumed
+  // loss), then fill further holes pipe-limited.
+  const u64 front_len = std::min<u64>(cfg_.mss, snd_nxt_ - snd_una_);
+  retransmit_front();
+  retx_out_ += front_len;
+  hole_cursor_ = std::max(hole_cursor_, snd_una_ + front_len);
+  arm_rto();
+  recovery_send();
+}
+
+void TcpConnection::exit_recovery() {
+  in_recovery_ = false;
+  dupacks_ = 0;
+  hole_cursor_ = 0;
+  retx_out_ = 0;
+}
+
+void TcpConnection::add_sacked_range(u64 start, u64 end) {
+  if (start >= end) return;
+  auto it = sacked_.lower_bound(start);
+  if (it != sacked_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      sacked_total_ -= prev->second - prev->first;
+      it = sacked_.erase(prev);
+    }
+  }
+  while (it != sacked_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    sacked_total_ -= it->second - it->first;
+    it = sacked_.erase(it);
+  }
+  sacked_[start] = end;
+  sacked_total_ += end - start;
+}
+
+void TcpConnection::prune_sacked_below(u64 seq) {
+  auto it = sacked_.begin();
+  while (it != sacked_.end() && it->first < seq) {
+    if (it->second <= seq) {
+      sacked_total_ -= it->second - it->first;
+      it = sacked_.erase(it);
+    } else {
+      sacked_total_ -= seq - it->first;
+      sacked_.emplace(seq, it->second);
+      sacked_.erase(it);
+      break;
+    }
+  }
+}
+
+bool TcpConnection::apply_sack_blocks(const ParsedOptions& opts) {
+  if (!cfg_.sack_enabled) return false;
+  bool new_data = false;
+  for (u32 i = 0; i < opts.num_sack; ++i) {
+    const u64 s = seq_unwrap(opts.sack[i].start, snd_una_);
+    const u64 e = seq_unwrap(opts.sack[i].end, snd_una_);
+    if (s >= e || s < snd_una_ || e > snd_nxt_) continue;  // stale/bogus
+    ++stats_.sack_blocks_received;
+    const u64 before = sacked_total_;
+    add_sacked_range(s, e);
+    if (sacked_total_ > before) new_data = true;
+  }
+  return new_data;
+}
+
+void TcpConnection::on_ack_segment(u64 ext_ack, bool has_payload, u32 tsecr,
+                                   const ParsedOptions& opts) {
+  if (ext_ack > highest_sent_) return;  // acks data we never sent: ignore
+
+  const bool new_sack = apply_sack_blocks(opts);
+
+  // Reordering detection (Linux-style): a cumulative ACK that covers the
+  // hole in front of already-SACKed data, while nothing was retransmitted,
+  // means the hole was filled by a late *original* — reordering, not loss.
+  // Raise the duplicate-ACK threshold to the observed displacement (the
+  // FACK distance, in segments, that the late packet was overtaken by).
+  if (cfg_.adaptive_reordering && !in_recovery_ && retx_out_ == 0 &&
+      !sacked_.empty() && ext_ack > snd_una_ &&
+      sacked_.begin()->first > snd_una_ &&
+      ext_ack >= sacked_.begin()->first) {
+    const u64 fack_end = sacked_.rbegin()->second;
+    ++stats_.reordering_events;
+    const u32 dist =
+        static_cast<u32>((fack_end - snd_una_) / cfg_.mss) + 1;
+    reordering_ =
+        std::min(std::max(reordering_, dist), cfg_.max_reordering);
+  }
+
+  if (ext_ack > snd_una_) {
+    const u64 acked = ext_ack - snd_una_;
+    snd_una_ = ext_ack;
+    // After an RTO go-back-N rewind an ACK can land above snd_nxt_ (the
+    // original transmission arrived after all): never let flight underflow.
+    if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+    retx_out_ = retx_out_ > acked ? retx_out_ - acked : 0;
+    prune_sacked_below(snd_una_);
+    ++stats_.acks_received;
+
+    if (tsecr != 0) {
+      const u32 delta_ns = now_ts() - tsecr;
+      const Time rtt_sample = static_cast<Time>(delta_ns) * kNanosecond;
+      if (rtt_sample > 0 && rtt_sample < 2 * kSecond) rtt_.sample(rtt_sample);
+    }
+
+    if (in_recovery_) {
+      if (ext_ack >= recover_point_) {
+        exit_recovery();
+      } else {
+        // Partial ack: keep filling holes (the cursor skips what was
+        // already retransmitted this episode).
+        recovery_send();
+      }
+    } else {
+      dupacks_ = 0;
+      cc_->on_ack(acked, sim_.now(), rtt_.srtt());
+    }
+
+    if (fin_sent_ && snd_una_ > fin_seq_) {
+      if (state_ == TcpState::kFinWait) {
+        state_ = peer_fin_received_ && rcv_nxt_ > peer_fin_seq_
+                     ? TcpState::kDone
+                     : TcpState::kFinWait2;
+        if (state_ == TcpState::kDone) stats_.closed_at = sim_.now();
+      } else if (state_ == TcpState::kLastAck) {
+        state_ = TcpState::kDone;
+        stats_.closed_at = sim_.now();
+      }
+    }
+
+    if (flight() == 0) {
+      cancel_rto();
+    } else {
+      arm_rto();  // restart on forward progress
+    }
+    try_send();
+    // Holes may remain above the new snd_una_: restart the RACK window so
+    // a real loss among them is still detected promptly.
+    ++rack_gen_;
+    rack_armed_ = false;
+    maybe_arm_rack();
+    return;
+  }
+
+  if (ext_ack == snd_una_ && flight() > 0 && !has_payload) {
+    ++stats_.dupacks_received;
+    // RFC 6675: with SACK, a duplicate ACK is a loss signal only when it
+    // reports previously-unknown data. ACKs elicited by our own spurious
+    // retransmissions carry no new SACK info and must not re-trigger
+    // recovery (they otherwise feed a self-sustaining retransmit loop).
+    if (cfg_.sack_enabled && !new_sack) return;
+    if (in_recovery_) {
+      recovery_send();
+    } else if (++dupacks_ >= reordering_) {
+      enter_recovery();
+    } else {
+      maybe_arm_rack();
+    }
+  }
+}
+
+void TcpConnection::arm_rto() {
+  ++timer_gen_;
+  timer_armed_ = true;
+  sim_.schedule_in(rtt_.rto(), this, (timer_gen_ << 2) | 0);
+}
+
+void TcpConnection::cancel_rto() {
+  ++timer_gen_;  // invalidates any pending event
+  timer_armed_ = false;
+}
+
+void TcpConnection::maybe_arm_rack() {
+  if (!cfg_.rack_enabled || rack_armed_ || in_recovery_ ||
+      sacked_total_ == 0) {
+    return;
+  }
+  // A hole is declared lost once it is older than an RTT plus a reorder
+  // allowance (RACK's rule). We arm from the latest delivery signal, so the
+  // window must cover a full SRTT (the natural ACK spacing at small cwnd)
+  // plus the allowance — otherwise the timer beats the ACK clock and cuts
+  // healthy low-rate flows forever.
+  const Time srtt = rtt_.has_sample() ? rtt_.srtt() : 100 * kMicrosecond;
+  const Time wnd =
+      srtt + std::max(srtt / cfg_.rack_reo_wnd_den, cfg_.rack_min_wnd);
+  ++rack_gen_;
+  rack_armed_ = true;
+  rack_snd_una_ = snd_una_;
+  sim_.schedule_in(wnd, this, (rack_gen_ << 2) | 2);
+}
+
+void TcpConnection::handle_event(u64 tag) {
+  const u64 kind = tag & 3;
+  if (kind == 1) {
+    // Delayed-ACK timer.
+    if ((tag >> 2) != delack_gen_) return;  // stale
+    delack_armed_ = false;
+    if (unacked_segments_ > 0) ack_now();
+    return;
+  }
+  if (kind == 2) {
+    // RACK reorder window expired: a hole outlived the window with SACKed
+    // data above it — that is a loss, not reordering.
+    if ((tag >> 2) != rack_gen_) return;  // stale
+    rack_armed_ = false;
+    if (!in_recovery_ && sacked_total_ > 0 && snd_una_ == rack_snd_una_ &&
+        state_ != TcpState::kDone) {
+      enter_recovery();
+    }
+    return;
+  }
+  if ((tag >> 2) != timer_gen_) return;  // stale timer
+  timer_armed_ = false;
+  if (flight() == 0 || state_ == TcpState::kDone) return;
+
+  ++stats_.rtos;
+  rtt_.backoff();
+  cc_->on_rto(flight(), sim_.now());
+  exit_recovery();
+  sacked_.clear();
+  sacked_total_ = 0;
+  retx_out_ = 0;
+
+  if (state_ == TcpState::kSynSent) {
+    send_syn();
+    arm_rto();
+    return;
+  }
+  if (state_ == TcpState::kSynRcvd && snd_una_ < data_start_) {
+    send_synack();
+    arm_rto();
+    return;
+  }
+
+  if (fin_sent_ && fin_seq_ == snd_una_) {
+    // Only the FIN is outstanding: resend it directly.
+    send_fin(fin_seq_);
+    ++stats_.retransmits;
+    snd_nxt_ = fin_seq_ + 1;
+    arm_rto();
+    return;
+  }
+
+  // Go-back-N: rewind and let the collapsed window clock out the resend.
+  snd_nxt_ = snd_una_;
+  if (fin_sent_) {
+    fin_sent_ = false;  // try_send() re-emits data and then the FIN
+    if (state_ == TcpState::kFinWait) state_ = TcpState::kEstablished;
+  }
+  try_send();
+  arm_rto();
+}
+
+// --- receiver ---------------------------------------------------------
+
+void TcpConnection::ack_now() {
+  send_pure_ack();
+  unacked_segments_ = 0;
+  ++delack_gen_;  // cancel any pending delayed-ACK timer
+  delack_armed_ = false;
+}
+
+void TcpConnection::maybe_delay_ack() {
+  if (unacked_segments_ >= cfg_.ack_every) {
+    ack_now();
+    return;
+  }
+  if (!delack_armed_) {
+    ++delack_gen_;
+    delack_armed_ = true;
+    sim_.schedule_in(cfg_.delayed_ack_timeout, this, (delack_gen_ << 2) | 1);
+  }
+}
+
+u32 TcpConnection::build_sack_blocks(SackBlock* out) const {
+  // RFC 2018: the block containing the most recent arrival first.
+  u32 n = 0;
+  const auto recent = ooo_.find(last_ooo_start_);
+  if (recent != ooo_.end()) {
+    out[n++] = SackBlock{static_cast<u32>(recent->first),
+                         static_cast<u32>(recent->second)};
+  }
+  for (auto it = ooo_.begin(); it != ooo_.end() && n < kMaxSackBlocks; ++it) {
+    if (it == recent) continue;
+    out[n++] = SackBlock{static_cast<u32>(it->first),
+                         static_cast<u32>(it->second)};
+  }
+  return n;
+}
+
+void TcpConnection::on_segment(net::Packet* pkt) {
+  if (!pkt->is_tcp()) {
+    pkt->pool()->free(pkt);
+    return;
+  }
+  net::TcpView tcp = pkt->tcp();
+  const u8 flags = tcp.flags();
+  const u32 wire_seq = tcp.seq();
+  const u32 wire_ack = tcp.ack();
+  const u32 payload_len = pkt->l4_payload_len();
+  const ParsedOptions opts = parse_options(tcp);
+  const u32 tsecr = opts.ts ? opts.ts->tsecr : 0;
+
+  switch (state_) {
+    case TcpState::kClosed:
+    case TcpState::kDone:
+      break;
+
+    case TcpState::kSynSent: {
+      if ((flags & net::TcpFlags::kSyn) && (flags & net::TcpFlags::kAck)) {
+        const u64 ext_ack = seq_unwrap(wire_ack, snd_nxt_);
+        if (ext_ack == snd_nxt_) {
+          snd_una_ = ext_ack;
+          rcv_nxt_ = ext_init(wire_seq) + 1;
+          rcv_data_start_ = rcv_nxt_;
+          if (opts.ts) ts_recent_ = opts.ts->tsval;
+          state_ = TcpState::kEstablished;
+          stats_.established_at = sim_.now();
+          if (tsecr != 0) {
+            const u32 d = now_ts() - tsecr;
+            rtt_.sample(static_cast<Time>(d) * kNanosecond);
+          }
+          cancel_rto();
+          send_pure_ack();
+          try_send();
+        }
+      }
+      break;
+    }
+
+    case TcpState::kSynRcvd: {
+      if (flags & net::TcpFlags::kSyn) {
+        send_synack();  // peer retransmitted its SYN: our SYN-ACK was lost
+        break;
+      }
+      if (flags & net::TcpFlags::kAck) {
+        const u64 ext_ack = seq_unwrap(wire_ack, snd_nxt_);
+        if (ext_ack == snd_nxt_) {
+          snd_una_ = ext_ack;
+          state_ = TcpState::kEstablished;
+          stats_.established_at = sim_.now();
+          cancel_rto();
+        }
+        // The ACK may carry data (or a FIN) — process it below.
+        if (state_ == TcpState::kEstablished &&
+            (payload_len > 0 || (flags & net::TcpFlags::kFin))) {
+          if (opts.ts) ts_recent_ = opts.ts->tsval;
+          on_data(seq_unwrap(wire_seq, rcv_nxt_), payload_len,
+                  (flags & net::TcpFlags::kFin) != 0);
+        }
+      }
+      break;
+    }
+
+    default: {  // established and closing states
+      if (flags & net::TcpFlags::kRst) {
+        state_ = TcpState::kDone;
+        stats_.closed_at = sim_.now();
+        break;
+      }
+      if (flags & net::TcpFlags::kSyn) {
+        // Duplicate SYN-ACK (our handshake ACK was lost): re-ack it.
+        send_pure_ack();
+        break;
+      }
+      const u64 ext_seq = seq_unwrap(wire_seq, rcv_nxt_);
+      if (opts.ts && ext_seq <= rcv_nxt_) ts_recent_ = opts.ts->tsval;
+      if (flags & net::TcpFlags::kAck) {
+        on_ack_segment(seq_unwrap(wire_ack, snd_una_), payload_len > 0,
+                       tsecr, opts);
+      }
+      if (payload_len > 0 || (flags & net::TcpFlags::kFin)) {
+        on_data(ext_seq, payload_len, (flags & net::TcpFlags::kFin) != 0);
+      }
+      break;
+    }
+  }
+  pkt->pool()->free(pkt);
+}
+
+void TcpConnection::on_data(u64 ext_seq, u32 payload_len, bool fin) {
+  ++stats_.segments_received;
+  const u64 seg_start = ext_seq;
+  const u64 seg_end = ext_seq + payload_len;
+  if (fin) {
+    peer_fin_received_ = true;
+    peer_fin_seq_ = seg_end;
+  }
+
+  if (seg_end < rcv_nxt_ ||
+      (seg_end == rcv_nxt_ && !(fin && peer_fin_seq_ == rcv_nxt_))) {
+    // Entirely old data (a retransmission that already arrived).
+    ++stats_.dup_segments;
+    ack_now();
+    return;
+  }
+
+  if (seg_start > rcv_nxt_) {
+    // Hole before this segment: buffer and emit a duplicate ACK (with SACK).
+    ++stats_.ooo_segments;
+    if (payload_len > 0) {
+      // Insert [seg_start, seg_end) into the interval set, merging.
+      auto it = ooo_.lower_bound(seg_start);
+      u64 start = seg_start, end = seg_end;
+      if (it != ooo_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= start) {
+          start = prev->first;
+          end = std::max(end, prev->second);
+          it = ooo_.erase(prev);
+        }
+      }
+      while (it != ooo_.end() && it->first <= end) {
+        end = std::max(end, it->second);
+        it = ooo_.erase(it);
+      }
+      ooo_[start] = end;
+      last_ooo_start_ = start;
+    }
+    ack_now();  // immediate duplicate ACK (RFC 5681)
+    return;
+  }
+
+  // In-order (possibly overlapping the already-received prefix).
+  const u64 before = rcv_nxt_;
+  if (seg_end > rcv_nxt_) rcv_nxt_ = seg_end;
+  deliver_in_order();
+  stats_.bytes_delivered += rcv_nxt_ - before;
+
+  if (peer_fin_received_ && rcv_nxt_ == peer_fin_seq_) {
+    rcv_nxt_ += 1;  // consume the FIN
+    ack_now();
+    maybe_passive_close();
+    return;
+  }
+  if (!ooo_.empty()) {
+    // Still holes above: ack immediately so the sender keeps SACK state.
+    ack_now();
+    return;
+  }
+  ++unacked_segments_;
+  maybe_delay_ack();
+}
+
+void TcpConnection::deliver_in_order() {
+  auto it = ooo_.begin();
+  while (it != ooo_.end() && it->first <= rcv_nxt_) {
+    if (it->second > rcv_nxt_) rcv_nxt_ = it->second;
+    it = ooo_.erase(it);
+  }
+}
+
+void TcpConnection::maybe_passive_close() {
+  if (state_ == TcpState::kEstablished) {
+    // Passive close: we received the peer's FIN; send ours.
+    fin_seq_ = snd_nxt_;
+    send_fin(fin_seq_);
+    snd_nxt_ += 1;
+    if (snd_nxt_ > highest_sent_) highest_sent_ = snd_nxt_;
+    fin_sent_ = true;
+    state_ = TcpState::kLastAck;
+    arm_rto();
+  } else if (state_ == TcpState::kFinWait2) {
+    state_ = TcpState::kDone;
+    stats_.closed_at = sim_.now();
+  }
+  // kFinWait: wait for our FIN's ack; the transition happens there.
+}
+
+}  // namespace sprayer::tcp

@@ -1,0 +1,245 @@
+// Packet-level TCP connection endpoint.
+//
+// Implements what the paper's evaluation actually exercises in Linux TCP:
+// three-way handshake, cumulative ACKs with SACK blocks, duplicate-ACK fast
+// retransmit with SACK-scoreboard (pipe-limited) loss recovery,
+// retransmission timeouts with go-back-N, timestamp-based RTT sampling, and
+// pluggable congestion control (NewReno / CUBIC). Sequence numbers are
+// 64-bit extended wire sequence numbers internally (no wrap bugs on > 4 GB
+// transfers).
+//
+// One-directional data: an active (client) connection streams bytes to the
+// passive (server) side, which acknowledges every segment — the iperf3
+// workload of §5. Packet reordering — the phenomenon Sprayer introduces —
+// appears as out-of-order arrivals producing duplicate ACKs; three of them
+// trigger a (possibly spurious) fast retransmit and a window reduction,
+// which is exactly the mechanism behind the throughput gap in Figure 7(b).
+#pragma once
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "net/packet_builder.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/cc.hpp"
+#include "tcp/options.hpp"
+#include "tcp/rtt.hpp"
+#include "tcp/seq.hpp"
+
+namespace sprayer::tcp {
+
+struct TcpConfig {
+  u32 mss = 1460;
+  u32 initial_cwnd_segments = 10;  // RFC 6928
+  u32 dupack_threshold = 3;
+  CcKind cc = CcKind::kCubic;
+  Time min_rto = 10 * kMillisecond;   // see rtt.hpp header comment
+  Time initial_rto = 20 * kMillisecond;
+  Time max_rto = 2 * kSecond;
+  u64 rcv_wnd = 1ull << 30;           // effectively unlimited (WS assumed)
+  /// Bytes the active side streams; 0 = unlimited (duration-bounded runs).
+  u64 bytes_to_send = 0;
+  /// Cap on cwnd in bytes; models the socket send-buffer limit (Linux
+  /// tcp_wmem-style). 0 = uncapped.
+  u64 max_cwnd = 4ull << 20;
+  bool sack_enabled = true;
+  /// Linux-style reordering adaptation: when a SACK hole is filled by a
+  /// late *original* arrival (not a retransmission), raise the duplicate-ACK
+  /// threshold to the observed reordering distance. This is what lets
+  /// stock Linux tolerate packet spraying (paper §1, [15]).
+  bool adaptive_reordering = true;
+  u32 max_reordering = 300;  // Linux sysctl tcp_max_reordering
+  /// RACK-style time-based loss detection: once SACKed data sits above a
+  /// hole for a quarter of an SRTT, treat the hole as lost and enter
+  /// recovery even if the (adapted) dupACK threshold was never reached.
+  /// Keeps loss detection working when reordering has inflated the
+  /// threshold — the combination Linux uses.
+  bool rack_enabled = true;
+  u32 rack_reo_wnd_den = 4;  // reorder window = srtt / den
+  Time rack_min_wnd = 10 * kMicrosecond;
+  /// Delayed ACKs: acknowledge every Nth in-order segment (1 = every
+  /// segment); out-of-order arrivals are always acked immediately.
+  u32 ack_every = 2;
+  Time delayed_ack_timeout = 1 * kMillisecond;
+};
+
+struct TcpStats {
+  // Sender side.
+  u64 segments_sent = 0;
+  u64 data_bytes_sent = 0;       // includes retransmitted bytes
+  u64 retransmits = 0;           // segments retransmitted (any cause)
+  u64 fast_retransmits = 0;      // fast-retransmit (recovery entry) events
+  u64 rtos = 0;                  // timeout events
+  u64 acks_received = 0;
+  u64 dupacks_received = 0;
+  u64 sack_blocks_received = 0;
+  u64 reordering_events = 0;   // SACK holes filled by late originals
+  // Receiver side.
+  u64 segments_received = 0;
+  u64 bytes_delivered = 0;       // in-order goodput
+  u64 ooo_segments = 0;          // arrived above rcv_nxt
+  u64 dup_segments = 0;          // arrived entirely below rcv_nxt
+  u64 acks_sent = 0;
+  Time established_at = 0;
+  Time closed_at = 0;
+};
+
+enum class TcpState {
+  kClosed,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait,    // our FIN sent, not yet acked
+  kFinWait2,   // our FIN acked, waiting for peer FIN
+  kLastAck,    // passive close: our FIN sent after receiving peer's
+  kDone,
+};
+
+[[nodiscard]] const char* to_string(TcpState s) noexcept;
+
+/// Where this connection's segments go (the host's egress link).
+class ISegmentOut {
+ public:
+  virtual ~ISegmentOut() = default;
+  virtual void output(net::Packet* pkt) = 0;
+};
+
+class TcpConnection final : public sim::IEventTarget {
+ public:
+  /// `tuple` is from this endpoint's perspective (src = local).
+  TcpConnection(sim::Simulator& sim, net::PacketPool& pool, ISegmentOut& out,
+                const net::FiveTuple& tuple, const TcpConfig& cfg,
+                bool active, u64 seed);
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Active open: send the SYN.
+  void open();
+
+  /// Passive open: process the incoming SYN that created this connection.
+  void accept_syn(u32 peer_iss, u32 peer_tsval);
+
+  /// Deliver an incoming segment (takes ownership of the packet).
+  void on_segment(net::Packet* pkt);
+
+  // sim::IEventTarget — RTO timer.
+  void handle_event(u64 tag) override;
+
+  [[nodiscard]] TcpState state() const noexcept { return state_; }
+  [[nodiscard]] const TcpStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const net::FiveTuple& tuple() const noexcept { return tuple_; }
+  /// Bytes of application data cumulatively acknowledged (sender side).
+  [[nodiscard]] u64 bytes_acked() const noexcept;
+  [[nodiscard]] const ICongestionControl& cc() const noexcept { return *cc_; }
+  [[nodiscard]] const RttEstimator& rtt() const noexcept { return rtt_; }
+  [[nodiscard]] bool in_recovery() const noexcept { return in_recovery_; }
+  /// Current duplicate-ACK threshold (grows under detected reordering).
+  [[nodiscard]] u32 reordering_threshold() const noexcept {
+    return reordering_;
+  }
+
+ private:
+  // --- segment emission ---
+  void send_syn();
+  void send_synack();
+  void send_pure_ack();
+  void send_data_segment(u64 ext_seq, u32 len, bool is_retransmit);
+  void send_fin(u64 ext_seq);
+  void emit(net::TcpSegmentSpec& spec, bool count_data, u32 data_len,
+            bool is_retransmit, bool include_sack);
+
+  // --- sender machinery ---
+  void try_send();
+  void recovery_send();
+  void enter_recovery();
+  void exit_recovery();
+  void on_ack_segment(u64 ext_ack, bool has_payload, u32 tsecr,
+                      const ParsedOptions& opts);
+  /// Returns true if the blocks added previously-unknown SACKed data.
+  bool apply_sack_blocks(const ParsedOptions& opts);
+  void add_sacked_range(u64 start, u64 end);
+  void prune_sacked_below(u64 seq);
+  /// First unsacked, not-yet-retransmitted hole at/after hole_cursor_ and
+  /// below recover_point_; false if none.
+  [[nodiscard]] bool next_hole(u64& start, u32& len) const;
+  void retransmit_front();
+  void arm_rto();
+  void cancel_rto();
+  void maybe_arm_rack();
+  [[nodiscard]] u64 flight() const noexcept { return snd_nxt_ - snd_una_; }
+  /// FACK-style estimate of bytes actually in the network: everything above
+  /// the forward-most SACKed byte, plus retransmissions still out. Holes
+  /// below the FACK point are presumed lost and not counted — without this,
+  /// recovery deadlocks waiting for bytes that will never be acked.
+  [[nodiscard]] u64 pipe() const noexcept {
+    u64 fack = snd_una_;
+    if (!sacked_.empty()) fack = std::max(fack, sacked_.rbegin()->second);
+    return (snd_nxt_ - fack) + retx_out_;
+  }
+  [[nodiscard]] u64 data_limit() const noexcept;
+  [[nodiscard]] u64 usable_window() const noexcept;
+  [[nodiscard]] u32 now_ts() const noexcept {
+    return static_cast<u32>(sim_.now() / kNanosecond);
+  }
+
+  // --- receiver machinery ---
+  void on_data(u64 ext_seq, u32 payload_len, bool fin);
+  void deliver_in_order();
+  void maybe_passive_close();
+  void ack_now();
+  void maybe_delay_ack();
+  [[nodiscard]] u32 build_sack_blocks(SackBlock* out) const;
+
+  sim::Simulator& sim_;
+  net::PacketPool& pool_;
+  ISegmentOut& out_;
+  net::FiveTuple tuple_;
+  TcpConfig cfg_;
+  bool active_;
+  Rng rng_;
+
+  TcpState state_ = TcpState::kClosed;
+  std::unique_ptr<ICongestionControl> cc_;
+  RttEstimator rtt_;
+  TcpStats stats_;
+
+  // Sender (extended wire sequence space; the SYN occupies iss_).
+  u32 iss_;
+  u64 snd_una_ = 0;
+  u64 snd_nxt_ = 0;
+  u64 highest_sent_ = 0;  // high-water mark of snd_nxt_ (retransmit acctg)
+  u64 data_start_ = 0;    // iss_ + 1
+  bool fin_sent_ = false;
+  u64 fin_seq_ = 0;       // extended seq the FIN occupies (valid if fin_sent_)
+  u32 dupacks_ = 0;
+  u32 reordering_ = 3;    // adaptive dupack threshold (init from config)
+  bool in_recovery_ = false;
+  u64 recover_point_ = 0;
+  u64 hole_cursor_ = 0;   // holes below this were already retransmitted
+  u64 retx_out_ = 0;      // retransmitted bytes not yet acked (this episode)
+  std::map<u64, u64> sacked_;  // scoreboard: SACKed intervals [start, end)
+  u64 sacked_total_ = 0;       // sum of interval lengths in sacked_
+  u64 timer_gen_ = 0;     // invalidates stale RTO events
+  bool timer_armed_ = false;
+  u64 delack_gen_ = 0;    // invalidates stale delayed-ACK events
+  bool delack_armed_ = false;
+  u64 rack_gen_ = 0;      // invalidates stale RACK reorder-window events
+  bool rack_armed_ = false;
+  u64 rack_snd_una_ = 0;  // snd_una_ when the RACK timer was armed
+
+  // Receiver (extended wire sequence space of the peer).
+  u64 rcv_nxt_ = 0;       // next expected extended seq
+  u64 rcv_data_start_ = 0;
+  std::map<u64, u64> ooo_;  // out-of-order intervals [start, end)
+  u64 last_ooo_start_ = 0;  // interval of the most recent OOO arrival
+  u32 unacked_segments_ = 0;  // in-order segments since the last ACK sent
+  bool peer_fin_received_ = false;
+  u64 peer_fin_seq_ = 0;
+  u32 ts_recent_ = 0;     // last peer tsval (echoed in tsecr)
+};
+
+}  // namespace sprayer::tcp

@@ -1,0 +1,65 @@
+#include "tcp/host.hpp"
+
+#include "tcp/options.hpp"
+
+namespace sprayer::tcp {
+
+TcpConnection& Host::open(const net::FiveTuple& tuple, const TcpConfig& cfg,
+                          Time at, u64 seed) {
+  auto conn = std::make_unique<TcpConnection>(sim_, pool_, *this, tuple, cfg,
+                                              /*active=*/true, seed);
+  TcpConnection* raw = conn.get();
+  conns_.push_back(std::move(conn));
+  by_tuple_.emplace(tuple, raw);
+  pending_opens_.push_back(static_cast<u32>(conns_.size() - 1));
+  sim_.schedule_at(at, this, pending_opens_.size() - 1);
+  return *raw;
+}
+
+void Host::handle_event(u64 tag) {
+  SPRAYER_CHECK(tag < pending_opens_.size());
+  conns_[pending_opens_[tag]]->open();
+}
+
+void Host::output(net::Packet* pkt) {
+  SPRAYER_CHECK_MSG(out_ != nullptr, "host has no attached link");
+  pkt->ts_gen = sim_.now();
+  out_->send(pkt);
+}
+
+void Host::receive(net::Packet* pkt) {
+  if (!pkt->parse() || !pkt->is_tcp()) {
+    ++unmatched_;
+    pkt->pool()->free(pkt);
+    return;
+  }
+  // The connection tuple from our perspective is the reverse of the
+  // incoming packet's tuple.
+  const net::FiveTuple local_tuple = pkt->five_tuple().reversed();
+  const auto it = by_tuple_.find(local_tuple);
+  if (it != by_tuple_.end()) {
+    it->second->on_segment(pkt);
+    return;
+  }
+
+  net::TcpView tcp = pkt->tcp();
+  const bool bare_syn = (tcp.flags() & net::TcpFlags::kSyn) != 0 &&
+                        (tcp.flags() & net::TcpFlags::kAck) == 0;
+  if (listening_ && bare_syn) {
+    auto conn = std::make_unique<TcpConnection>(
+        sim_, pool_, *this, local_tuple, server_cfg_, /*active=*/false,
+        seed_counter_++);
+    TcpConnection* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    by_tuple_.emplace(local_tuple, raw);
+    const auto ts = parse_ts(tcp);
+    raw->accept_syn(tcp.seq(), ts ? ts->tsval : 0);
+    pkt->pool()->free(pkt);
+    return;
+  }
+
+  ++unmatched_;
+  pkt->pool()->free(pkt);
+}
+
+}  // namespace sprayer::tcp

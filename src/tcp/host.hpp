@@ -1,0 +1,75 @@
+// A simulated end host: owns TCP connections, demultiplexes incoming
+// segments to them by five-tuple, accepts new connections on listening
+// ports, and transmits through its attached link. Plays the role of the
+// iperf3 client / server machines of the paper's testbed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet_pool.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/connection.hpp"
+
+namespace sprayer::tcp {
+
+class Host final : public sim::IPacketSink,
+                   public sim::IEventTarget,
+                   public ISegmentOut {
+ public:
+  Host(sim::Simulator& sim, net::PacketPool& pool, std::string name)
+      : sim_(sim), pool_(pool), name_(std::move(name)) {}
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  void attach_out(sim::Link& link) noexcept { out_ = &link; }
+
+  /// Accept any incoming SYN (to any address/port) with this config.
+  void listen_all(const TcpConfig& server_cfg) {
+    listening_ = true;
+    server_cfg_ = server_cfg;
+  }
+
+  /// Create an active connection (`tuple`: src = this host) and schedule
+  /// its SYN at absolute time `at`.
+  TcpConnection& open(const net::FiveTuple& tuple, const TcpConfig& cfg,
+                      Time at, u64 seed);
+
+  // sim::IPacketSink — ingress from the link.
+  void receive(net::Packet* pkt) override;
+
+  // sim::IEventTarget — delayed active opens.
+  void handle_event(u64 tag) override;
+
+  // ISegmentOut — connection egress.
+  void output(net::Packet* pkt) override;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<TcpConnection>>&
+  connections() const noexcept {
+    return conns_;
+  }
+  [[nodiscard]] u64 unmatched_packets() const noexcept { return unmatched_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::PacketPool& pool_;
+  std::string name_;
+  sim::Link* out_ = nullptr;
+
+  bool listening_ = false;
+  TcpConfig server_cfg_;
+  std::vector<std::unique_ptr<TcpConnection>> conns_;
+  // Demux key: the connection tuple as seen from this host (src = local).
+  std::unordered_map<net::FiveTuple, TcpConnection*, net::FiveTupleHash>
+      by_tuple_;
+  std::vector<u32> pending_opens_;  // indices into conns_, by event tag
+  u64 unmatched_ = 0;
+  u64 seed_counter_ = 0x1057;
+};
+
+}  // namespace sprayer::tcp

@@ -1,0 +1,92 @@
+#include "tcp/iperf.hpp"
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "nic/pktgen.hpp"
+
+namespace sprayer::tcp {
+
+IperfResult run_iperf(core::INetworkFunction& nf,
+                      const IperfScenario& sc) {
+  sim::Simulator sim;
+  net::PacketPool pool(sc.pool_packets, sc.pool_buffer);
+
+  tcp::Host client(sim, pool, "client");
+  tcp::Host server(sim, pool, "server");
+  core::SimMiddlebox mbox(sim, sc.mbox, nf, sc.nic);
+
+  sim::LinkConfig to_mbox0;
+  to_mbox0.rate_bps = sc.link_rate_bps;
+  to_mbox0.propagation_delay = sc.link_delay;
+  to_mbox0.queue_packets = sc.host_link_queue;
+  to_mbox0.egress_port_label = 0;  // arrives on middlebox port 0
+
+  sim::LinkConfig to_mbox1 = to_mbox0;
+  to_mbox1.egress_port_label = 1;  // arrives on middlebox port 1
+
+  sim::LinkConfig to_host = to_mbox0;  // label ignored by hosts
+
+  sim::Link l_client_mbox(sim, to_mbox0, mbox.ingress(), "client->mbox");
+  sim::Link l_mbox_server(sim, to_host, server, "mbox->server");
+  sim::Link l_server_mbox(sim, to_mbox1, mbox.ingress(), "server->mbox");
+  sim::Link l_mbox_client(sim, to_host, client, "mbox->client");
+
+  client.attach_out(l_client_mbox);
+  server.attach_out(l_server_mbox);
+  mbox.attach_tx_link(0, l_mbox_client);  // egress port 0 → client side
+  mbox.attach_tx_link(1, l_mbox_server);  // egress port 1 → server side
+
+  server.listen_all(sc.tcp);
+
+  // "Sources and destinations change randomly at every execution" (§5).
+  const auto tuples = sc.tuples.empty()
+                          ? nic::random_tcp_flows(sc.num_flows, sc.seed)
+                          : sc.tuples;
+  SPRAYER_CHECK_MSG(tuples.size() == sc.num_flows,
+                    "tuple override must match num_flows");
+  Rng rng(sc.seed ^ 0x1be4f);
+  std::vector<TcpConnection*> flows;
+  flows.reserve(sc.num_flows);
+  for (u32 i = 0; i < sc.num_flows; ++i) {
+    const Time start =
+        sc.start_spread > 0 ? rng.uniform(sc.start_spread) : 0;
+    flows.push_back(&client.open(tuples[i], sc.tcp, start,
+                                 sc.seed * 7919 + i));
+  }
+
+  // Warmup, then snapshot and measure.
+  sim.run_until(sc.warmup);
+  std::vector<u64> base_bytes;
+  base_bytes.reserve(flows.size());
+  for (const auto* f : flows) base_bytes.push_back(f->bytes_acked());
+  mbox.reset_stats();
+
+  sim.run_until(sc.warmup + sc.duration);
+
+  IperfResult result;
+  const double secs = to_seconds(sc.duration);
+  std::vector<double> goodputs;
+  goodputs.reserve(flows.size());
+  for (u32 i = 0; i < flows.size(); ++i) {
+    IperfFlowResult fr;
+    fr.tuple = tuples[i];
+    fr.bytes = flows[i]->bytes_acked() - base_bytes[i];
+    fr.goodput_bps = static_cast<double>(fr.bytes) * 8.0 / secs;
+    fr.stats = flows[i]->stats();
+    fr.final_state = flows[i]->state();
+    fr.srtt_us = to_micros(flows[i]->rtt().srtt());
+    result.total_goodput_bps += fr.goodput_bps;
+    goodputs.push_back(fr.goodput_bps);
+    result.flows.push_back(fr);
+  }
+  result.jain = jain_fairness(goodputs);
+  result.mbox = mbox.report();
+  for (const auto& c : server.connections()) {
+    result.server_ooo_segments += c->stats().ooo_segments;
+  }
+  result.client_unmatched = client.unmatched_packets();
+  result.server_unmatched = server.unmatched_packets();
+  return result;
+}
+
+}  // namespace sprayer::tcp

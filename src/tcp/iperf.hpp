@@ -1,0 +1,62 @@
+// Iperf3-like multi-flow TCP throughput harness (paper §5).
+//
+// Builds the full testbed: client host — link — middlebox — link — server
+// host (both directions), runs `num_flows` bulk TCP connections through the
+// middlebox NF for a fixed duration, and reports per-flow goodput, loss
+// recovery statistics, Jain's fairness index, and the middlebox-side
+// counters. Used by the Figure 6(b), 7(b) and 9 benches.
+#pragma once
+
+#include <vector>
+
+#include "core/middlebox.hpp"
+#include "net/packet_pool.hpp"
+#include "tcp/host.hpp"
+
+namespace sprayer::tcp {
+
+struct IperfScenario {
+  u32 num_flows = 1;
+  Time warmup = 200 * kMillisecond;   // excluded from goodput measurement
+  Time duration = 1 * kSecond;        // measured interval
+  Time start_spread = 1 * kMillisecond;  // connection start jitter
+  TcpConfig tcp;
+  u64 seed = 1;
+  /// Optional explicit flow tuples (client-side view). When empty, random
+  /// tuples are generated from the seed. Must have num_flows entries if set.
+  std::vector<net::FiveTuple> tuples;
+
+  core::SprayerConfig mbox;
+  nic::NicConfig nic;
+
+  double link_rate_bps = 10e9;
+  Time link_delay = 500 * kNanosecond;
+  u32 host_link_queue = 1024;  // qdisc depth on the end hosts (~txqueuelen 1000)
+  u32 pool_packets = 1u << 16;
+  u32 pool_buffer = 1600;
+};
+
+struct IperfFlowResult {
+  net::FiveTuple tuple;
+  u64 bytes = 0;             // acked during the measured interval
+  double goodput_bps = 0.0;
+  TcpStats stats;            // cumulative (includes warmup)
+  TcpState final_state = TcpState::kClosed;
+  double srtt_us = 0.0;
+};
+
+struct IperfResult {
+  std::vector<IperfFlowResult> flows;
+  double total_goodput_bps = 0.0;
+  double jain = 1.0;
+  core::MiddleboxReport mbox;        // counters over the measured interval
+  u64 server_ooo_segments = 0;       // reordering observed at the receiver
+  u64 client_unmatched = 0;
+  u64 server_unmatched = 0;
+};
+
+/// Run the scenario against `nf` on the middlebox. Deterministic per seed.
+[[nodiscard]] IperfResult run_iperf(core::INetworkFunction& nf,
+                                    const IperfScenario& scenario);
+
+}  // namespace sprayer::tcp

@@ -1,0 +1,122 @@
+// TCP timestamp option (RFC 7323) encode/parse.
+//
+// Every segment the stack emits carries timestamps, as real Linux TCP does.
+// They serve two purposes here: RTT sampling (tsecr), and — relevant to
+// Sprayer — they make every segment's checksum vary with time, contributing
+// to the uniformity of checksum-based spraying for ACK streams.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <optional>
+#include <span>
+
+#include "common/types.hpp"
+#include "net/byte_order.hpp"
+#include "net/headers.hpp"
+
+namespace sprayer::tcp {
+
+struct TsOption {
+  u32 tsval = 0;
+  u32 tsecr = 0;
+};
+
+inline constexpr u32 kTsOptionLen = 12;  // NOP NOP TS(10)
+
+[[nodiscard]] inline std::array<u8, kTsOptionLen> encode_ts(
+    u32 tsval, u32 tsecr) noexcept {
+  std::array<u8, kTsOptionLen> out{};
+  out[0] = 1;  // NOP
+  out[1] = 1;  // NOP
+  out[2] = 8;  // kind: timestamps
+  out[3] = 10; // length
+  net::store_be32(out.data() + 4, tsval);
+  net::store_be32(out.data() + 8, tsecr);
+  return out;
+}
+
+/// A SACK block in wire sequence numbers: [start, end).
+struct SackBlock {
+  u32 start = 0;
+  u32 end = 0;
+};
+
+inline constexpr u32 kMaxSackBlocks = 3;  // fits alongside timestamps
+
+struct ParsedOptions {
+  std::optional<TsOption> ts;
+  std::array<SackBlock, kMaxSackBlocks> sack{};
+  u32 num_sack = 0;
+};
+
+/// Scan a TCP header's options for timestamps and SACK blocks.
+[[nodiscard]] inline ParsedOptions parse_options(
+    const net::TcpView& tcp) noexcept {
+  ParsedOptions out;
+  const u32 hlen = tcp.header_len();
+  const u8* p = tcp.bytes() + net::TcpView::kMinSize;
+  const u8* end = tcp.bytes() + hlen;
+  while (p < end) {
+    const u8 kind = *p;
+    if (kind == 0) break;        // end of options
+    if (kind == 1) { ++p; continue; }  // NOP
+    if (p + 1 >= end) break;
+    const u8 len = p[1];
+    if (len < 2 || p + len > end) break;  // malformed
+    if (kind == 8 && len == 10) {
+      out.ts = TsOption{net::load_be32(p + 2), net::load_be32(p + 6)};
+    } else if (kind == 5 && len >= 10 && (len - 2) % 8 == 0) {
+      const u32 blocks = std::min<u32>((len - 2) / 8, kMaxSackBlocks);
+      for (u32 i = 0; i < blocks; ++i) {
+        out.sack[out.num_sack++] = SackBlock{
+            net::load_be32(p + 2 + 8 * i), net::load_be32(p + 6 + 8 * i)};
+      }
+    }
+    p += len;
+  }
+  return out;
+}
+
+[[nodiscard]] inline std::optional<TsOption> parse_ts(
+    const net::TcpView& tcp) noexcept {
+  return parse_options(tcp).ts;
+}
+
+/// Encode timestamps plus up to 3 SACK blocks into one options area.
+/// Layout: [NOP NOP TS(10)] [NOP NOP SACK(2+8k)] — always 4-byte aligned.
+class OptionsBuilder {
+ public:
+  OptionsBuilder(u32 tsval, u32 tsecr) noexcept {
+    const auto ts = encode_ts(tsval, tsecr);
+    std::memcpy(bytes_.data(), ts.data(), ts.size());
+    len_ = kTsOptionLen;
+  }
+
+  void add_sack(std::span<const SackBlock> blocks) noexcept {
+    const u32 n = std::min<u32>(static_cast<u32>(blocks.size()),
+                                kMaxSackBlocks);
+    if (n == 0) return;
+    u8* p = bytes_.data() + len_;
+    p[0] = 1;  // NOP
+    p[1] = 1;  // NOP
+    p[2] = 5;  // kind: SACK
+    p[3] = static_cast<u8>(2 + 8 * n);
+    for (u32 i = 0; i < n; ++i) {
+      net::store_be32(p + 4 + 8 * i, blocks[i].start);
+      net::store_be32(p + 8 + 8 * i, blocks[i].end);
+    }
+    len_ += 4 + 8 * n;
+  }
+
+  [[nodiscard]] std::span<const u8> span() const noexcept {
+    return {bytes_.data(), len_};
+  }
+
+ private:
+  std::array<u8, 40> bytes_{};
+  u32 len_ = 0;
+};
+
+}  // namespace sprayer::tcp

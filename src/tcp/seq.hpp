@@ -1,0 +1,35 @@
+// 32-bit TCP sequence-number arithmetic (RFC 793 comparisons) and the
+// wrap-free 64-bit stream offsets the stack uses internally.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace sprayer::tcp {
+
+[[nodiscard]] constexpr bool seq_lt(u32 a, u32 b) noexcept {
+  return static_cast<i32>(a - b) < 0;
+}
+[[nodiscard]] constexpr bool seq_le(u32 a, u32 b) noexcept {
+  return static_cast<i32>(a - b) <= 0;
+}
+[[nodiscard]] constexpr bool seq_gt(u32 a, u32 b) noexcept {
+  return static_cast<i32>(a - b) > 0;
+}
+[[nodiscard]] constexpr bool seq_ge(u32 a, u32 b) noexcept {
+  return static_cast<i32>(a - b) >= 0;
+}
+
+/// Unwrap a 32-bit wire sequence number into the 64-bit stream offset
+/// closest to `reference` (a recent 64-bit offset, e.g. rcv_nxt).
+[[nodiscard]] constexpr u64 seq_unwrap(u32 wire, u64 reference) noexcept {
+  const u32 ref32 = static_cast<u32>(reference);
+  const i64 delta = static_cast<i32>(wire - ref32);
+  return reference + static_cast<u64>(delta);
+}
+
+/// Map a 64-bit stream offset to its 32-bit wire value given the ISS.
+[[nodiscard]] constexpr u32 seq_wrap(u64 offset, u32 iss) noexcept {
+  return static_cast<u32>(offset) + iss;
+}
+
+}  // namespace sprayer::tcp

@@ -1,0 +1,60 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+
+namespace sprayer::trace {
+
+FlowSizeAnalysis analyze_flow_sizes(std::span<const FlowRecord> flows) {
+  FlowSizeAnalysis a;
+  a.total_flows = flows.size();
+  for (const auto& f : flows) {
+    const auto bytes = static_cast<double>(f.bytes);
+    a.flow_sizes.add(bytes);
+    a.bytes_by_size.add(bytes, bytes);
+    a.total_bytes += bytes;
+  }
+  a.flow_sizes.finalize();
+  a.bytes_by_size.finalize();
+  return a;
+}
+
+ConcurrencyAnalysis analyze_concurrency(WorkloadGenerator& generator,
+                                        Time window,
+                                        u64 large_threshold_bytes) {
+  ConcurrencyAnalysis out;
+  PacketRecord pkt;
+  Time window_end = window;
+  std::vector<u32> seen;        // flow ids observed in this window
+  std::vector<u32> seen_large;
+
+  auto flush_window = [&]() {
+    auto distinct = [](std::vector<u32>& v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      return static_cast<double>(v.size());
+    };
+    out.all_flows.add(distinct(seen));
+    out.large_flows.add(distinct(seen_large));
+    ++out.windows;
+    seen.clear();
+    seen_large.clear();
+  };
+
+  while (generator.next_packet(pkt)) {
+    while (pkt.time >= window_end) {
+      flush_window();
+      window_end += window;
+    }
+    seen.push_back(pkt.flow_id);
+    if (generator.flows()[pkt.flow_id].bytes > large_threshold_bytes) {
+      seen_large.push_back(pkt.flow_id);
+    }
+  }
+  flush_window();
+
+  out.all_flows.finalize();
+  out.large_flows.finalize();
+  return out;
+}
+
+}  // namespace sprayer::trace

@@ -1,0 +1,44 @@
+// Trace analyses reproducing the paper's motivation figures:
+//   Figure 1 — CDF of TCP flow sizes, and distribution of bytes across
+//              flow sizes;
+//   Figure 2 — CDF of the number of concurrent flows per 150 µs window,
+//              for all flows and for flows > 10 MB.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/cdf.hpp"
+#include "common/units.hpp"
+#include "trace/workload.hpp"
+
+namespace sprayer::trace {
+
+struct FlowSizeAnalysis {
+  EmpiricalCdf flow_sizes;   // CDF over flows
+  WeightedCdf bytes_by_size; // fraction of bytes from flows of size <= x
+  u64 total_flows = 0;
+  double total_bytes = 0.0;
+  /// Fraction of bytes carried by flows strictly larger than `threshold`.
+  [[nodiscard]] double byte_share_above(double threshold) const {
+    return 1.0 - bytes_by_size.at(threshold);
+  }
+};
+
+[[nodiscard]] FlowSizeAnalysis analyze_flow_sizes(
+    std::span<const FlowRecord> flows);
+
+struct ConcurrencyAnalysis {
+  EmpiricalCdf all_flows;    // distinct flows per window
+  EmpiricalCdf large_flows;  // distinct >threshold flows per window
+  u64 windows = 0;
+};
+
+/// Stream a workload and count distinct flows per fixed window. `generator`
+/// is consumed. Flows whose total size exceeds `large_threshold_bytes`
+/// contribute to the large-flow CDF.
+[[nodiscard]] ConcurrencyAnalysis analyze_concurrency(
+    WorkloadGenerator& generator, Time window = 150 * kMicrosecond,
+    u64 large_threshold_bytes = 10'000'000);
+
+}  // namespace sprayer::trace

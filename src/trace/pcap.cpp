@@ -1,0 +1,107 @@
+#include "trace/pcap.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sprayer::trace {
+
+namespace {
+
+constexpr u32 kMagic = 0xa1b2c3d4;  // microsecond timestamps, native order
+constexpr u32 kLinktypeEthernet = 1;
+constexpr u32 kSnaplen = 65535;
+
+struct GlobalHeader {
+  u32 magic;
+  u16 version_major;
+  u16 version_minor;
+  i32 thiszone;
+  u32 sigfigs;
+  u32 snaplen;
+  u32 network;
+};
+static_assert(sizeof(GlobalHeader) == 24);
+
+struct RecordHeader {
+  u32 ts_sec;
+  u32 ts_usec;
+  u32 incl_len;
+  u32 orig_len;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+}  // namespace
+
+Result<PcapWriter> PcapWriter::open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return make_error(Error::Code::kInvalidArgument,
+                      "cannot open pcap file for writing: " + path);
+  }
+  const GlobalHeader header{kMagic, 2, 4, 0, 0, kSnaplen, kLinktypeEthernet};
+  if (std::fwrite(&header, sizeof(header), 1, file) != 1) {
+    std::fclose(file);
+    return make_error(Error::Code::kInvalidArgument,
+                      "cannot write pcap header to " + path);
+  }
+  return PcapWriter(file);
+}
+
+PcapWriter::~PcapWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status PcapWriter::write(Time timestamp, const u8* data, u32 len) {
+  SPRAYER_CHECK_MSG(file_ != nullptr, "writer was moved from");
+  const u64 usec_total = timestamp / kMicrosecond;
+  const RecordHeader rec{static_cast<u32>(usec_total / 1'000'000),
+                         static_cast<u32>(usec_total % 1'000'000), len, len};
+  if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1 ||
+      std::fwrite(data, 1, len, file_) != len) {
+    return make_error(Error::Code::kExhausted, "pcap write failed");
+  }
+  ++packets_;
+  return {};
+}
+
+Result<std::vector<PcapRecord>> read_pcap(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return make_error(Error::Code::kNotFound,
+                      "cannot open pcap file: " + path);
+  }
+  GlobalHeader header;
+  if (std::fread(&header, sizeof(header), 1, file) != 1 ||
+      header.magic != kMagic) {
+    std::fclose(file);
+    return make_error(Error::Code::kUnsupported,
+                      "not a microsecond little-endian pcap file: " + path);
+  }
+
+  std::vector<PcapRecord> records;
+  for (;;) {
+    RecordHeader rec;
+    if (std::fread(&rec, sizeof(rec), 1, file) != 1) break;  // EOF
+    if (rec.incl_len > header.snaplen) {
+      std::fclose(file);
+      return make_error(Error::Code::kTruncated,
+                        "corrupt pcap record in " + path);
+    }
+    PcapRecord out;
+    out.timestamp = (static_cast<Time>(rec.ts_sec) * 1'000'000 +
+                     rec.ts_usec) *
+                    kMicrosecond;
+    out.bytes.resize(rec.incl_len);
+    if (std::fread(out.bytes.data(), 1, rec.incl_len, file) !=
+        rec.incl_len) {
+      std::fclose(file);
+      return make_error(Error::Code::kTruncated,
+                        "truncated pcap record in " + path);
+    }
+    records.push_back(std::move(out));
+  }
+  std::fclose(file);
+  return records;
+}
+
+}  // namespace sprayer::trace

@@ -1,0 +1,51 @@
+// Classic libpcap file I/O (the 0xa1b2c3d4 microsecond format) so synthetic
+// workloads and middlebox traffic can be exported to — and imported from —
+// standard tools (tcpdump, Wireshark, real MAWI excerpts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "net/packet_pool.hpp"
+
+namespace sprayer::trace {
+
+/// Sequentially writes packets to a pcap file (linktype Ethernet).
+class PcapWriter {
+ public:
+  /// Opens (truncates) the file and writes the global header.
+  static Result<PcapWriter> open(const std::string& path);
+
+  PcapWriter(PcapWriter&& o) noexcept : file_(o.file_) { o.file_ = nullptr; }
+  PcapWriter& operator=(PcapWriter&&) = delete;
+  PcapWriter(const PcapWriter&) = delete;
+  ~PcapWriter();
+
+  /// Append one frame with the given timestamp.
+  Status write(Time timestamp, const u8* data, u32 len);
+  Status write(Time timestamp, net::Packet& pkt) {
+    return write(timestamp, pkt.data(), pkt.len());
+  }
+
+  [[nodiscard]] u64 packets_written() const noexcept { return packets_; }
+
+ private:
+  explicit PcapWriter(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+  u64 packets_ = 0;
+};
+
+struct PcapRecord {
+  Time timestamp = 0;
+  std::vector<u8> bytes;
+};
+
+/// Reads a whole pcap file into memory (traces here are modest).
+[[nodiscard]] Result<std::vector<PcapRecord>> read_pcap(
+    const std::string& path);
+
+}  // namespace sprayer::trace

@@ -1,0 +1,44 @@
+#include "trace/replay.hpp"
+
+#include <cstring>
+
+namespace sprayer::trace {
+
+void TraceReplayer::handle_event(u64 /*tag*/) {
+  if (!has_pending_) return;
+
+  const FlowRecord& flow = gen_.flows()[pending_.flow_id];
+  net::TcpSegmentSpec spec;
+  spec.tuple = flow.tuple;
+  if (pending_.first) {
+    spec.flags = net::TcpFlags::kSyn;
+  } else if (pending_.last) {
+    spec.flags = net::TcpFlags::kFin | net::TcpFlags::kAck;
+  } else {
+    spec.flags = net::TcpFlags::kAck;
+  }
+  spec.seq = static_cast<u32>(rng_.next());
+  // Cap the payload to one MSS worth of frame.
+  spec.payload_len = std::min<u32>(pending_.bytes, 1460);
+  u8 head[8];
+  const u64 r = rng_.next();
+  std::memcpy(head, &r, sizeof(head));
+  spec.payload = std::span<const u8>{
+      head, std::min<std::size_t>(sizeof(head), spec.payload_len)};
+
+  net::Packet* pkt = net::build_tcp_raw(pool_, spec);
+  if (pkt != nullptr) {
+    pkt->ts_gen = sim_.now();
+    pkt->user_tag = pending_.flow_id;
+    out_.send(pkt);
+    ++sent_;
+  }
+
+  if (gen_.next_packet(pending_)) {
+    sim_.schedule_at(std::max(pending_.time, sim_.now()), this);
+  } else {
+    has_pending_ = false;
+  }
+}
+
+}  // namespace sprayer::trace

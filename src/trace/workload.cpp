@@ -1,0 +1,72 @@
+#include "trace/workload.hpp"
+
+namespace sprayer::trace {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig cfg)
+    : cfg_(cfg), model_(cfg.model), rng_(cfg.seed) {
+  SPRAYER_CHECK(cfg.utilization > 0 && cfg.utilization <= 1.0);
+  // Flow arrival rate so that lambda * E[size] * 8 = utilization * capacity.
+  const double lambda =
+      cfg.utilization * cfg.link_rate_bps / (8.0 * model_.mean_bytes());
+  mean_interarrival_ = static_cast<Time>(1e12 / lambda);
+  next_arrival_ = static_cast<Time>(
+      rng_.exponential(static_cast<double>(mean_interarrival_)));
+}
+
+void WorkloadGenerator::start_new_flow() {
+  const FlowSample s = model_.sample(rng_);
+  FlowRecord rec;
+  rec.id = static_cast<u32>(flows_.size());
+  rec.start = next_arrival_;
+  rec.bytes = s.bytes;
+  rec.rate_bps = s.rate_bps;
+  rec.tuple.src_ip = net::Ipv4Addr{static_cast<u32>(rng_.next())};
+  rec.tuple.dst_ip = net::Ipv4Addr{static_cast<u32>(rng_.next())};
+  rec.tuple.src_port = static_cast<u16>(rng_.uniform_range(1024, 65535));
+  rec.tuple.dst_port = static_cast<u16>(rng_.uniform_range(1, 65535));
+  rec.tuple.protocol = net::kProtoTcp;
+  flows_.push_back(rec);
+
+  ActiveFlow af;
+  af.next_time = rec.start;
+  af.id = rec.id;
+  af.remaining = rec.bytes;
+  // Inter-packet gap at the flow's application rate.
+  af.packet_gap = static_cast<Time>(
+      static_cast<double>(cfg_.mtu_payload) * 8.0 * 1e12 / rec.rate_bps);
+  af.first_pending = true;
+  active_.push(af);
+
+  next_arrival_ += static_cast<Time>(
+      rng_.exponential(static_cast<double>(mean_interarrival_)));
+}
+
+bool WorkloadGenerator::next_packet(PacketRecord& out) {
+  // Admit every flow that arrives before the earliest queued packet.
+  while (next_arrival_ <= cfg_.duration &&
+         (active_.empty() || next_arrival_ <= active_.top().next_time)) {
+    start_new_flow();
+  }
+  if (active_.empty()) return false;
+
+  ActiveFlow af = active_.top();
+  active_.pop();
+
+  const u32 bytes = static_cast<u32>(
+      std::min<u64>(af.remaining, cfg_.mtu_payload));
+  out.time = af.next_time;
+  out.flow_id = af.id;
+  out.bytes = bytes;
+  out.first = af.first_pending;
+  af.remaining -= bytes;
+  out.last = (af.remaining == 0);
+  af.first_pending = false;
+
+  if (af.remaining > 0) {
+    af.next_time += af.packet_gap;
+    active_.push(af);
+  }
+  return true;
+}
+
+}  // namespace sprayer::trace

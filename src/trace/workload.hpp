@@ -1,0 +1,89 @@
+// Packet-level workload generator over the flow model.
+//
+// Flows arrive as a Poisson process with rate calibrated to hit a target
+// link utilization; each flow emits MTU-sized packets at its rate until its
+// size is exhausted. Packets are produced strictly in timestamp order via a
+// heap of active flows, so analyses (and the replayer) can stream without
+// materializing the whole trace.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/five_tuple.hpp"
+#include "trace/flow_model.hpp"
+
+namespace sprayer::trace {
+
+struct WorkloadConfig {
+  FlowModelConfig model;
+  double link_rate_bps = 1e9;  // the MAWI link is 1 Gbps
+  double utilization = 0.8;    // "highly-utilized"
+  Time duration = 10 * kSecond;
+  u32 mtu_payload = 1500;      // bytes of flow data per full packet
+  u64 seed = 1;
+};
+
+struct FlowRecord {
+  u32 id = 0;
+  Time start = 0;
+  u64 bytes = 0;
+  double rate_bps = 0.0;
+  net::FiveTuple tuple;
+};
+
+struct PacketRecord {
+  Time time = 0;
+  u32 flow_id = 0;
+  u32 bytes = 0;
+  bool first = false;  // flow's first packet (SYN position)
+  bool last = false;   // flow's last packet (FIN position)
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig cfg);
+
+  /// Produce the next packet in time order; false when the trace ended.
+  bool next_packet(PacketRecord& out);
+
+  /// Flows generated so far (fully known once their first packet appears).
+  [[nodiscard]] const std::vector<FlowRecord>& flows() const noexcept {
+    return flows_;
+  }
+
+  /// Mean flow inter-arrival time from the calibration.
+  [[nodiscard]] Time mean_interarrival() const noexcept {
+    return mean_interarrival_;
+  }
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct ActiveFlow {
+    Time next_time;
+    u32 id;
+    u64 remaining;
+    Time packet_gap;   // time between this flow's packets
+    bool first_pending;
+
+    bool operator>(const ActiveFlow& o) const noexcept {
+      return next_time != o.next_time ? next_time > o.next_time : id > o.id;
+    }
+  };
+
+  void start_new_flow();
+
+  WorkloadConfig cfg_;
+  FlowSizeModel model_;
+  Rng rng_;
+  Time mean_interarrival_;
+  Time next_arrival_ = 0;
+  std::vector<FlowRecord> flows_;
+  std::priority_queue<ActiveFlow, std::vector<ActiveFlow>, std::greater<>>
+      active_;
+};
+
+}  // namespace sprayer::trace

@@ -1,0 +1,261 @@
+// Common utilities: RNG distributions, streaming stats, Jain's index,
+// log-bucket histogram, CDFs, result types, CLI config, table printer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/cdf.hpp"
+#include "common/config.hpp"
+#include "common/histogram.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace sprayer {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const u64 va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng d(42), e(43);
+  EXPECT_NE(d.next(), e.next());
+}
+
+TEST(Rng, Uniform01InRangeAndCentered) {
+  Rng rng(7);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBoundIsUnbiased) {
+  Rng rng(9);
+  std::array<u64, 7> counts{};
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) counts[rng.uniform(7)]++;
+  for (const u64 count : counts) {
+    EXPECT_NEAR(static_cast<double>(count), kN / 7.0, 0.08 * kN / 7.0);
+  }
+}
+
+TEST(Rng, ExponentialHasConfiguredMean) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(5.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 5.0, 0.2);  // exp: stddev == mean
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ParetoTailAndScale) {
+  Rng rng(17);
+  double min_seen = 1e18;
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.pareto(2.0, 1.5);
+    min_seen = std::min(min_seen, v);
+    s.add(v);
+  }
+  EXPECT_GE(min_seen, 2.0);                 // scale = lower bound
+  EXPECT_NEAR(s.mean(), 2.0 * 1.5 / 0.5, 1.0);  // alpha/(alpha-1)*xm = 6
+}
+
+TEST(RunningStats, WelfordMatchesDirectComputation) {
+  RunningStats s;
+  const std::vector<double> xs = {1, 2, 2, 3, 10, -4, 0.5};
+  double sum = 0;
+  for (const double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double var = 0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_EQ(s.min(), -4);
+  EXPECT_EQ(s.max(), 10);
+  EXPECT_EQ(s.count(), xs.size());
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(3);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3 + 1;
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.count(), all.count());
+}
+
+TEST(Jain, KnownValues) {
+  const std::vector<double> equal = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(jain_fairness(equal), 1.0);
+
+  const std::vector<double> one_hog = {1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_fairness(one_hog), 0.25);  // 1/n
+
+  const std::vector<double> halves = {2, 1};  // (3)^2 / (2*5)
+  EXPECT_DOUBLE_EQ(jain_fairness(halves), 0.9);
+
+  const std::vector<double> zeros = {0, 0};
+  EXPECT_DOUBLE_EQ(jain_fairness(zeros), 1.0);
+}
+
+TEST(Jain, RejectsInvalidInput) {
+  EXPECT_THROW((void)jain_fairness({}), std::logic_error);
+  const std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW((void)jain_fairness(negative), std::logic_error);
+}
+
+TEST(LogHistogram, ExactForSmallValues) {
+  LogHistogram h(7);
+  for (u64 v = 0; v < 100; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 99u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 99u);
+  // Values below 2^7 are exact (nearest-rank of 0..99 at q=0.5 is 49).
+  EXPECT_EQ(h.p50(), 49u);
+}
+
+TEST(LogHistogram, BoundedRelativeErrorForLargeValues) {
+  LogHistogram h(7);
+  Rng rng(5);
+  std::vector<u64> values;
+  for (int i = 0; i < 20000; ++i) {
+    const u64 v = 1 + (rng.next() % 100'000'000);
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const u64 exact = values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const u64 approx = h.quantile(q);
+    // Effective resolution: bits-1 significant bits → ~1/64 relative error.
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.03)
+        << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, MergeAndReset) {
+  LogHistogram a(7), b(7);
+  a.add(10, 5);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 6u);
+  EXPECT_EQ(a.max(), 1000u);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.quantile(0.5), 0u);
+}
+
+TEST(EmpiricalCdf, QuantilesAndFractions) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  cdf.finalize();
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(50), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(1000), 1.0);
+  EXPECT_EQ(cdf.median(), 51);  // nearest-rank: round(0.5*99)=50 -> value 51
+  EXPECT_EQ(cdf.quantile(0.99), 99);
+}
+
+TEST(WeightedCdf, ByteShares) {
+  WeightedCdf cdf;
+  cdf.add(10, 100);    // small flow, 100 bytes
+  cdf.add(1000, 900);  // big flow, 900 bytes
+  cdf.finalize();
+  EXPECT_DOUBLE_EQ(cdf.at(10), 0.1);
+  EXPECT_DOUBLE_EQ(cdf.at(999), 0.1);
+  EXPECT_DOUBLE_EQ(cdf.at(1000), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.total_weight(), 1000);
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  Result<int> bad = make_error(Error::Code::kNotFound, "nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, Error::Code::kNotFound);
+  EXPECT_EQ(bad.value_or(7), 7);
+  EXPECT_THROW((void)bad.value(), std::logic_error);
+
+  Status good;
+  EXPECT_TRUE(good.ok());
+  Status fail = make_error(Error::Code::kExhausted, "full");
+  EXPECT_FALSE(fail.ok());
+  EXPECT_STREQ(to_string(fail.error().code), "exhausted");
+}
+
+TEST(CliConfig, ParsesOverrides) {
+  const char* argv[] = {"prog", "cores=16", "rate=2.5", "name=foo",
+                        "flag=true"};
+  CliConfig cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_u64("cores", 8), 16u);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 1.0), 2.5);
+  EXPECT_EQ(cli.get("name", "bar"), "foo");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_u64("missing", 99), 99u);
+  EXPECT_TRUE(cli.has("cores"));
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(CliConfig, RejectsMalformedArguments) {
+  const char* argv[] = {"prog", "noequals"};
+  EXPECT_THROW(CliConfig(2, const_cast<char**>(argv)),
+               std::invalid_argument);
+}
+
+TEST(ConsoleTable, AlignsAndValidates) {
+  ConsoleTable t({"a", "long header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a      | long header |"), std::string::npos);
+  EXPECT_NE(out.find("| 333333 | 4           |"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only one"}), std::logic_error);
+}
+
+TEST(Units, ConversionsAndLineRate) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000'000ull);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_EQ(cycles_to_time(2'000'000'000ull, 2e9), kSecond);
+  // 10 GbE, minimum frames: the canonical 14.88 Mpps.
+  EXPECT_NEAR(line_rate_pps(10e9, 60), 14.88e6, 0.01e6);
+  EXPECT_EQ(serialization_time(84, 10e9), 67'200ull);  // 67.2 ns in ps
+}
+
+}  // namespace
+}  // namespace sprayer

@@ -1,0 +1,84 @@
+// FiveTuple: canonicalization, reversal, hashing, parsing, addresses.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/five_tuple.hpp"
+#include "net/ip_addr.hpp"
+
+namespace sprayer::net {
+namespace {
+
+TEST(Ipv4Addr, ParseAndFormatRoundTrip) {
+  const auto r = Ipv4Addr::parse("192.168.1.200");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().to_string(), "192.168.1.200");
+  EXPECT_EQ(r.value().host_order(), 0xc0a801c8u);
+  EXPECT_EQ(Ipv4Addr(10, 0, 0, 1).to_string(), "10.0.0.1");
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.256").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2..4").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 ").ok());
+}
+
+TEST(FiveTuple, ReverseIsInvolution) {
+  const FiveTuple t{Ipv4Addr{1, 2, 3, 4}, Ipv4Addr{5, 6, 7, 8}, 100, 200,
+                    kProtoTcp};
+  EXPECT_EQ(t.reversed().reversed(), t);
+  EXPECT_NE(t.reversed(), t);
+}
+
+TEST(FiveTuple, CanonicalIsDirectionFree) {
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    FiveTuple t;
+    t.src_ip = Ipv4Addr{static_cast<u32>(rng.next())};
+    t.dst_ip = Ipv4Addr{static_cast<u32>(rng.next())};
+    t.src_port = static_cast<u16>(rng.next());
+    t.dst_port = static_cast<u16>(rng.next());
+    t.protocol = kProtoTcp;
+    EXPECT_EQ(t.canonical(), t.reversed().canonical());
+    EXPECT_TRUE(t.canonical().is_canonical());
+    // Canonical preserves the endpoint set.
+    const FiveTuple c = t.canonical();
+    EXPECT_TRUE(c == t || c == t.reversed());
+  }
+}
+
+TEST(FiveTuple, CanonicalTieBreaksOnPortWhenIpsEqual) {
+  const FiveTuple t{Ipv4Addr{9, 9, 9, 9}, Ipv4Addr{9, 9, 9, 9}, 5000, 80,
+                    kProtoTcp};
+  EXPECT_EQ(t.canonical().src_port, 80);
+  EXPECT_EQ(t.canonical(), t.reversed().canonical());
+}
+
+TEST(FiveTuple, PackIsDeterministicAndSpreads) {
+  Rng rng(13);
+  FiveTuple a;
+  a.src_ip = Ipv4Addr{10, 0, 0, 1};
+  a.dst_ip = Ipv4Addr{10, 0, 0, 2};
+  a.src_port = 1;
+  a.dst_port = 2;
+  a.protocol = kProtoTcp;
+  EXPECT_EQ(a.pack(), a.pack());
+
+  // Single-bit port change should flip roughly half the hash bits.
+  FiveTuple b = a;
+  b.src_port = 3;
+  const u64 diff = a.pack() ^ b.pack();
+  EXPECT_GT(__builtin_popcountll(diff), 16);
+}
+
+TEST(FiveTuple, ToStringIsReadable) {
+  const FiveTuple t{Ipv4Addr{1, 2, 3, 4}, Ipv4Addr{5, 6, 7, 8}, 100, 200,
+                    kProtoTcp};
+  EXPECT_EQ(t.to_string(), "1.2.3.4:100 -> 5.6.7.8:200 proto=6");
+}
+
+}  // namespace
+}  // namespace sprayer::net

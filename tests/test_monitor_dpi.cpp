@@ -1,0 +1,196 @@
+// Traffic monitor (loose-consistency statistics) and DPI (Aho–Corasick,
+// per-packet per-flow state — the spray-incompatible NF).
+#include <gtest/gtest.h>
+
+#include "nf/aho_corasick.hpp"
+#include "nf/dpi.hpp"
+#include "nf/monitor.hpp"
+#include "nic/pktgen.hpp"
+#include "tcp/iperf.hpp"
+
+namespace sprayer::nf {
+namespace {
+
+// --- Aho–Corasick ---------------------------------------------------------
+
+u64 count_matches(const AhoCorasick& ac, const std::string& text) {
+  u64 hits = 0;
+  (void)ac.scan(0,
+                std::span<const u8>{
+                    reinterpret_cast<const u8*>(text.data()), text.size()},
+                &hits);
+  return hits;
+}
+
+TEST(AhoCorasick, FindsAllOverlappingPatterns) {
+  AhoCorasick ac({"he", "she", "his", "hers"});
+  EXPECT_EQ(count_matches(ac, "ushers"), 3u);  // she, he, hers
+  EXPECT_EQ(count_matches(ac, "his"), 1u);
+  EXPECT_EQ(count_matches(ac, "xyz"), 0u);
+  EXPECT_EQ(count_matches(ac, "hehehe"), 3u);
+}
+
+TEST(AhoCorasick, StateCarriesAcrossChunks) {
+  AhoCorasick ac({"attack"});
+  u64 hits = 0;
+  const std::string part1 = "zzat";
+  const std::string part2 = "tackzz";
+  u32 state = ac.scan(
+      0,
+      std::span<const u8>{reinterpret_cast<const u8*>(part1.data()),
+                          part1.size()},
+      &hits);
+  state = ac.scan(
+      state,
+      std::span<const u8>{reinterpret_cast<const u8*>(part2.data()),
+                          part2.size()},
+      &hits);
+  EXPECT_EQ(hits, 1u);  // the pattern straddles the chunk boundary
+  // Without carried state, the same bytes match nothing.
+  hits = 0;
+  (void)ac.scan(0,
+                std::span<const u8>{
+                    reinterpret_cast<const u8*>(part2.data()), part2.size()},
+                &hits);
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST(AhoCorasick, BinaryPatterns) {
+  AhoCorasick ac({std::string("\x00\xff\x00", 3)});
+  // Built char-by-char: "\x00b" in a literal would parse as one hex escape.
+  std::string data;
+  data.push_back('a');
+  data.push_back('\0');
+  data.push_back('\xff');
+  data.push_back('\0');
+  data.push_back('b');
+  EXPECT_EQ(count_matches(ac, data), 1u);
+}
+
+TEST(AhoCorasick, DuplicateAndNestedPatterns) {
+  AhoCorasick ac({"ab", "ab", "abc"});
+  EXPECT_EQ(count_matches(ac, "abc"), 3u);  // ab twice + abc
+  EXPECT_GT(ac.num_states(), 1u);
+}
+
+// --- Monitor ----------------------------------------------------------
+
+TEST(Monitor, CountsMatchTraffic) {
+  MonitorNf monitor;
+  tcp::IperfScenario sc;
+  sc.num_flows = 4;
+  sc.warmup = from_seconds(0.0);
+  sc.duration = from_seconds(0.08);
+  sc.tcp.bytes_to_send = 200000;
+  sc.mbox.mode = core::DispatchMode::kSpray;
+  sc.seed = 37;
+  const auto result = run_iperf(monitor, sc);
+
+  const auto totals = monitor.aggregate();
+  EXPECT_EQ(totals.connections_opened, 4u);
+  EXPECT_EQ(totals.connections_closed, 4u);
+  // The monitor sees every packet the middlebox processed.
+  EXPECT_EQ(totals.packets, result.mbox.total.rx_packets +
+                                result.mbox.total.conn_foreign_in -
+                                result.mbox.total.conn_transferred_out);
+  EXPECT_GT(totals.tcp_packets, 100u);
+  EXPECT_EQ(totals.udp_packets, 0u);
+}
+
+TEST(Monitor, PerCoreCountersActuallySpread) {
+  MonitorNf monitor;
+  tcp::IperfScenario sc;
+  sc.num_flows = 2;
+  sc.warmup = from_seconds(0.0);
+  sc.duration = from_seconds(0.05);
+  sc.mbox.mode = core::DispatchMode::kSpray;
+  sc.seed = 41;
+  (void)run_iperf(monitor, sc);
+  // Loose consistency only makes sense because multiple cores counted;
+  // aggregate() must be the only way to get totals.
+  EXPECT_GT(monitor.aggregate().packets, 0u);
+}
+
+// --- DPI -------------------------------------------------------------
+
+TEST(Dpi, StateAvailableUnderRssMissingUnderSpray) {
+  for (const auto mode :
+       {core::DispatchMode::kRss, core::DispatchMode::kSpray}) {
+    DpiNf dpi({"attack"});
+    tcp::IperfScenario sc;
+    sc.num_flows = 4;
+    sc.warmup = from_seconds(0.0);
+    sc.duration = from_seconds(0.05);
+    sc.mbox.mode = mode;
+    sc.seed = 43;
+    (void)run_iperf(dpi, sc);
+
+    if (mode == core::DispatchMode::kRss) {
+      // Per-flow RSS: every packet reaches its automaton.
+      EXPECT_EQ(dpi.state_unavailable(), 0u);
+    } else {
+      // Sprayed: most packets land away from their automaton (the paper's
+      // DPI incompatibility, §7).
+      EXPECT_GT(dpi.state_unavailable(), 100u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sprayer::nf
+
+#include "nf/redundancy.hpp"
+
+namespace sprayer::nf {
+namespace {
+
+TEST(Redundancy, DetectsRepeatedPayloadsAcrossFlows) {
+  sim::Simulator sim;
+  net::PacketPool pool(4096, 1600);
+  RedundancyNf re;
+  core::SprayerConfig cfg;
+  cfg.mode = core::DispatchMode::kSpray;
+  core::SimMiddlebox mbox(sim, cfg, re);
+
+  class NullSink final : public sim::IPacketSink {
+   public:
+    void receive(net::Packet* pkt) override { pkt->pool()->free(pkt); }
+  } sink;
+  sim::LinkConfig in_cfg;
+  in_cfg.egress_port_label = 0;
+  in_cfg.queue_packets = 8192;
+  sim::Link in_link(sim, in_cfg, mbox.ingress(), "in");
+  sim::Link o1(sim, sim::LinkConfig{}, sink, "o1");
+  sim::Link o0(sim, sim::LinkConfig{}, sink, "o0");
+  mbox.attach_tx_link(1, o1);
+  mbox.attach_tx_link(0, o0);
+
+  // 100 distinct payloads, each sent 5 times across different flows.
+  const auto flows = nic::random_tcp_flows(5, 77);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (int p = 0; p < 100; ++p) {
+      net::TcpSegmentSpec spec;
+      spec.tuple = flows[rep % flows.size()];
+      spec.flags = net::TcpFlags::kAck;
+      spec.payload_len = 200;
+      u8 payload[200];
+      std::memset(payload, p, sizeof(payload));
+      spec.payload = payload;
+      in_link.send(net::build_tcp_raw(pool, spec));
+    }
+  }
+  sim.run_until(sim.now() + 5 * kMillisecond);
+
+  // First occurrence of each payload misses; the other 4 repeats hit —
+  // across flows and cores (the cache is global).
+  EXPECT_EQ(re.misses(), 100u);
+  EXPECT_EQ(re.hits(), 400u);
+  EXPECT_EQ(re.bytes_saved(), 400u * 200u);
+  // Stateless: nothing was redirected, no flow state was created.
+  const auto report = mbox.report();
+  EXPECT_EQ(report.total.conn_transferred_out, 0u);
+  EXPECT_EQ(report.flow_entries, 0u);
+}
+
+}  // namespace
+}  // namespace sprayer::nf

@@ -1,0 +1,208 @@
+// Packet parsing and construction: round trips, truncation robustness,
+// options, header views.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/checksum.hpp"
+#include "net/packet_builder.hpp"
+#include "net/packet_pool.hpp"
+#include "tcp/options.hpp"
+
+namespace sprayer::net {
+namespace {
+
+FiveTuple test_tuple() {
+  return {Ipv4Addr{10, 1, 2, 3}, Ipv4Addr{172, 16, 9, 8}, 40000, 443,
+          kProtoTcp};
+}
+
+TEST(Packet, BuildParseTcpRoundTrip) {
+  PacketPool pool(4);
+  TcpSegmentSpec spec;
+  spec.tuple = test_tuple();
+  spec.seq = 0xdeadbeef;
+  spec.ack = 0x01020304;
+  spec.flags = TcpFlags::kAck | TcpFlags::kPsh;
+  spec.window = 4321;
+  spec.payload_len = 200;
+  PacketPtr pkt = build_tcp(pool, spec);
+  ASSERT_NE(pkt, nullptr);
+
+  EXPECT_TRUE(pkt->is_ipv4());
+  EXPECT_TRUE(pkt->is_tcp());
+  EXPECT_FALSE(pkt->is_udp());
+  EXPECT_EQ(pkt->five_tuple(), test_tuple());
+  EXPECT_EQ(pkt->tcp().seq(), 0xdeadbeefu);
+  EXPECT_EQ(pkt->tcp().ack(), 0x01020304u);
+  EXPECT_EQ(pkt->tcp().window(), 4321);
+  EXPECT_EQ(pkt->l4_payload_len(), 200u);
+  EXPECT_EQ(pkt->len(), 54u + 200u);
+  EXPECT_FALSE(pkt->is_connection_packet());
+}
+
+TEST(Packet, ConnectionPacketClassification) {
+  PacketPool pool(8);
+  for (const u8 flags :
+       {TcpFlags::kSyn, TcpFlags::kFin,
+        static_cast<u8>(TcpFlags::kRst | TcpFlags::kAck),
+        static_cast<u8>(TcpFlags::kSyn | TcpFlags::kAck)}) {
+    TcpSegmentSpec spec;
+    spec.tuple = test_tuple();
+    spec.flags = flags;
+    PacketPtr pkt = build_tcp(pool, spec);
+    ASSERT_NE(pkt, nullptr);
+    EXPECT_TRUE(pkt->is_connection_packet()) << int(flags);
+  }
+  for (const u8 flags :
+       {TcpFlags::kAck, static_cast<u8>(TcpFlags::kAck | TcpFlags::kPsh)}) {
+    TcpSegmentSpec spec;
+    spec.tuple = test_tuple();
+    spec.flags = flags;
+    PacketPtr pkt = build_tcp(pool, spec);
+    ASSERT_NE(pkt, nullptr);
+    EXPECT_FALSE(pkt->is_connection_packet()) << int(flags);
+  }
+}
+
+TEST(Packet, MinimumFramePadding) {
+  PacketPool pool(4);
+  TcpSegmentSpec spec;
+  spec.tuple = test_tuple();
+  spec.payload_len = 0;
+  PacketPtr pkt = build_tcp(pool, spec);
+  ASSERT_NE(pkt, nullptr);
+  EXPECT_EQ(pkt->len(), kMinFrameLen);  // padded to the Ethernet minimum
+  EXPECT_EQ(pkt->l4_payload_len(), 0u); // IP total length excludes padding
+}
+
+TEST(Packet, TcpOptionsCarriedAndParsed) {
+  PacketPool pool(4);
+  TcpSegmentSpec spec;
+  spec.tuple = test_tuple();
+  const auto ts = tcp::encode_ts(0xaabbccdd, 0x11223344);
+  spec.options = ts;
+  spec.payload_len = 10;
+  PacketPtr pkt = build_tcp(pool, spec);
+  ASSERT_NE(pkt, nullptr);
+
+  EXPECT_EQ(pkt->tcp().header_len(), 32u);
+  const auto parsed = tcp::parse_ts(pkt->tcp());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tsval, 0xaabbccddu);
+  EXPECT_EQ(parsed->tsecr, 0x11223344u);
+  EXPECT_EQ(pkt->l4_payload_len(), 10u);
+
+  Ipv4View ip = pkt->ipv4();
+  EXPECT_TRUE(l4_checksum_valid(ip.src(), ip.dst(), kProtoTcp,
+                                pkt->l4_bytes(),
+                                ip.total_length() - ip.header_len()));
+}
+
+TEST(Packet, ParseRejectsTruncatedAndForeignFrames) {
+  PacketPool pool(4);
+  Packet* pkt = pool.alloc_raw();
+  ASSERT_NE(pkt, nullptr);
+
+  // Too short for Ethernet.
+  pkt->set_len(10);
+  EXPECT_FALSE(pkt->parse());
+
+  // Non-IPv4 ethertype.
+  pkt->set_len(60);
+  std::memset(pkt->data(), 0, 60);
+  EthernetView eth{pkt->data()};
+  eth.set_ether_type(kEtherTypeArp);
+  EXPECT_FALSE(pkt->parse());
+
+  // IPv4 ethertype but garbage version.
+  eth.set_ether_type(kEtherTypeIpv4);
+  pkt->data()[14] = 0x65;  // version 6
+  EXPECT_FALSE(pkt->parse());
+
+  pool.free(pkt);
+}
+
+TEST(Packet, ParseNeverCrashesOnRandomBytes) {
+  PacketPool pool(4);
+  Rng rng(2024);
+  Packet* pkt = pool.alloc_raw();
+  ASSERT_NE(pkt, nullptr);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const u32 len = static_cast<u32>(rng.uniform(200));
+    pkt->set_len(len);
+    for (u32 i = 0; i < len; ++i) {
+      pkt->data()[i] = static_cast<u8>(rng.next());
+    }
+    (void)pkt->parse();  // must not crash or read out of bounds
+    if (pkt->is_tcp()) {
+      (void)pkt->five_tuple();
+      (void)pkt->l4_payload_len();
+    }
+  }
+  pool.free(pkt);
+}
+
+TEST(Packet, UdpRoundTrip) {
+  PacketPool pool(4);
+  UdpDatagramSpec spec;
+  spec.tuple = {Ipv4Addr{10, 1, 2, 3}, Ipv4Addr{8, 8, 8, 8}, 5353, 53,
+                kProtoUdp};
+  spec.payload_len = 48;
+  PacketPtr pkt = build_udp(pool, spec);
+  ASSERT_NE(pkt, nullptr);
+  EXPECT_TRUE(pkt->is_udp());
+  EXPECT_EQ(pkt->udp().length(), 8u + 48u);
+  EXPECT_EQ(pkt->five_tuple().dst_port, 53);
+  EXPECT_FALSE(pkt->is_connection_packet());
+}
+
+}  // namespace
+}  // namespace sprayer::net
+
+namespace sprayer::net {
+namespace {
+
+TEST(Packet, NonFirstFragmentsExposeNoL4) {
+  PacketPool pool(4);
+  TcpSegmentSpec spec;
+  spec.tuple = {Ipv4Addr{10, 1, 2, 3}, Ipv4Addr{172, 16, 9, 8}, 40000, 443,
+                kProtoTcp};
+  spec.payload_len = 64;
+  Packet* pkt = build_tcp_raw(pool, spec);
+  ASSERT_NE(pkt, nullptr);
+
+  // Rewrite the fragment offset to 8 (a later fragment) and re-parse:
+  // whatever sits at the L4 offset is payload, not a TCP header.
+  Ipv4View ip = pkt->ipv4();
+  ip.set_flags_fragment(0x2000 | 1);  // MF set, offset 8 bytes
+  ip.set_checksum(0);
+  ip.set_checksum(ipv4_header_checksum(ip));
+  ASSERT_TRUE(pkt->parse());
+  EXPECT_TRUE(pkt->is_ipv4());
+  EXPECT_FALSE(pkt->is_tcp());
+  EXPECT_FALSE(pkt->is_connection_packet());
+  const FiveTuple t = pkt->five_tuple();
+  EXPECT_EQ(t.src_port, 0);  // ports unreadable on a fragment
+  EXPECT_EQ(t.dst_port, 0);
+  EXPECT_EQ(t.protocol, kProtoTcp);
+  pool.free(pkt);
+}
+
+TEST(Packet, FirstFragmentStillParsesL4) {
+  PacketPool pool(4);
+  TcpSegmentSpec spec;
+  spec.tuple = {Ipv4Addr{10, 1, 2, 3}, Ipv4Addr{172, 16, 9, 8}, 40000, 443,
+                kProtoTcp};
+  spec.payload_len = 64;
+  Packet* pkt = build_tcp_raw(pool, spec);
+  ASSERT_NE(pkt, nullptr);
+  Ipv4View ip = pkt->ipv4();
+  ip.set_flags_fragment(0x2000);  // MF set, offset 0: first fragment
+  ASSERT_TRUE(pkt->parse());
+  EXPECT_TRUE(pkt->is_tcp());  // the first fragment has the header
+  EXPECT_EQ(pkt->five_tuple().src_port, 40000);
+  pool.free(pkt);
+}
+
+}  // namespace
+}  // namespace sprayer::net

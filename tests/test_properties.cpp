@@ -1,0 +1,303 @@
+// Parameterized property sweeps (TEST_P): invariants that must hold across
+// whole parameter ranges rather than single configurations.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/flow_table.hpp"
+#include "core/middlebox.hpp"
+#include "net/checksum.hpp"
+#include "net/packet_builder.hpp"
+#include "nf/synthetic.hpp"
+#include "nic/flow_director.hpp"
+#include "nic/pktgen.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "tcp/iperf.hpp"
+
+namespace sprayer {
+namespace {
+
+// --- Checksum validity across frame sizes -------------------------------
+
+class ChecksumSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(ChecksumSweep, BuiltFramesAlwaysValid) {
+  const u32 payload = GetParam();
+  net::PacketPool pool(8);
+  Rng rng(payload + 1);
+  for (int trial = 0; trial < 30; ++trial) {
+    net::TcpSegmentSpec spec;
+    spec.tuple = {net::Ipv4Addr{static_cast<u32>(rng.next())},
+                  net::Ipv4Addr{static_cast<u32>(rng.next())},
+                  static_cast<u16>(rng.next()), static_cast<u16>(rng.next()),
+                  net::kProtoTcp};
+    spec.seq = static_cast<u32>(rng.next());
+    spec.payload_len = payload;
+    std::vector<u8> data(std::min<u32>(payload, 64));
+    for (auto& b : data) b = static_cast<u8>(rng.next());
+    spec.payload = data;
+    net::PacketPtr pkt = net::build_tcp(pool, spec);
+    ASSERT_NE(pkt, nullptr);
+    net::Ipv4View ip = pkt->ipv4();
+    EXPECT_EQ(net::internet_checksum(ip.bytes(), ip.header_len()), 0);
+    EXPECT_TRUE(net::l4_checksum_valid(
+        ip.src(), ip.dst(), net::kProtoTcp, pkt->l4_bytes(),
+        ip.total_length() - ip.header_len()));
+    EXPECT_EQ(pkt->l4_payload_len(), payload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, ChecksumSweep,
+                         ::testing::Values(0u, 1u, 2u, 5u, 6u, 7u, 100u,
+                                           512u, 1459u, 1460u));
+
+// --- Spray uniformity across core counts ------------------------------
+
+class SprayUniformity : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SprayUniformity, ChecksumSprayCoversAllQueuesFairly) {
+  const u32 cores = GetParam();
+  nic::FlowDirector fdir;
+  ASSERT_TRUE(fdir.program_checksum_spray(cores).ok());
+  EXPECT_LE(fdir.rule_count(), nic::FlowDirector::kMaxRules);
+
+  net::PacketPool pool(8);
+  Rng rng(cores);
+  std::vector<u64> hits(cores, 0);
+  constexpr u32 kPackets = 20000;
+  const net::FiveTuple tuple{net::Ipv4Addr{10, 0, 0, 1},
+                             net::Ipv4Addr{10, 0, 0, 2}, 1234, 80,
+                             net::kProtoTcp};
+  for (u32 i = 0; i < kPackets; ++i) {
+    net::TcpSegmentSpec spec;
+    spec.tuple = tuple;
+    spec.payload_len = 8;
+    u8 payload[8];
+    const u64 r = rng.next();
+    std::memcpy(payload, &r, 8);
+    spec.payload = payload;
+    net::Packet* pkt = net::build_tcp_raw(pool, spec);
+    const auto q = fdir.match(*pkt);
+    ASSERT_TRUE(q.has_value());  // the rule space is exhaustive
+    ASSERT_LT(*q, cores);
+    hits[*q]++;
+    pool.free(pkt);
+  }
+  // Every queue used; power-of-two core counts are near-uniform, others
+  // carry the documented 2x rule-count bias at worst.
+  const double mean = static_cast<double>(kPackets) / cores;
+  const bool pow2 = (cores & (cores - 1)) == 0;
+  for (const u64 h : hits) {
+    EXPECT_GT(h, 0u);
+    EXPECT_LT(static_cast<double>(h), mean * (pow2 ? 1.25 : 2.3));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, SprayUniformity,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u, 16u, 32u,
+                                           64u, 128u));
+
+// --- Flow table across capacities and entry sizes -----------------------
+
+struct TableParam {
+  u32 capacity;
+  u32 entry_size;
+};
+
+class FlowTableSweep : public ::testing::TestWithParam<TableParam> {};
+
+TEST_P(FlowTableSweep, InsertFindRemoveChurn) {
+  const auto [capacity, entry_size] = GetParam();
+  core::FlowTable table(capacity, entry_size, 0);
+  Rng rng(capacity * 31 + entry_size);
+
+  auto tuple_n = [](u32 n) {
+    return net::FiveTuple{net::Ipv4Addr{n * 2654435761u},
+                          net::Ipv4Addr{~n}, static_cast<u16>(n),
+                          static_cast<u16>(n >> 16), net::kProtoTcp};
+  };
+
+  // Churn: insert/remove randomly, mirroring against a reference map.
+  std::map<u32, u8> reference;  // id -> first data byte
+  for (int op = 0; op < 4000; ++op) {
+    const u32 id = static_cast<u32>(rng.uniform(capacity));
+    if (rng.chance(0.5)) {
+      void* e = table.insert(tuple_n(id));
+      if (e != nullptr) {
+        const u8 tag = static_cast<u8>(id * 7 + 1);
+        *static_cast<u8*>(e) = tag;
+        reference[id] = tag;
+      } else {
+        // Full is only acceptable at the documented load factor.
+        EXPECT_GE(table.size(), capacity - capacity / 8);
+      }
+    } else {
+      const bool removed = table.remove(tuple_n(id));
+      EXPECT_EQ(removed, reference.erase(id) > 0);
+    }
+  }
+  EXPECT_EQ(table.size(), reference.size());
+  for (const auto& [id, tag] : reference) {
+    void* e = table.find_local(tuple_n(id));
+    ASSERT_NE(e, nullptr) << id;
+    EXPECT_EQ(*static_cast<u8*>(e), tag);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FlowTableSweep,
+    ::testing::Values(TableParam{16, 1}, TableParam{64, 8},
+                      TableParam{256, 16}, TableParam{1024, 64},
+                      TableParam{4096, 8}));
+
+// --- SPSC ring across capacities -----------------------------------------
+
+class RingSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(RingSweep, SequencePreservedThroughChurn) {
+  runtime::SpscRing<u64> ring(GetParam());
+  Rng rng(GetParam());
+  u64 pushed = 0, popped = 0;
+  for (int op = 0; op < 20000; ++op) {
+    if (rng.chance(0.55)) {
+      if (ring.push(pushed)) ++pushed;
+    } else {
+      u64 v;
+      if (ring.pop(v)) {
+        EXPECT_EQ(v, popped);
+        ++popped;
+      }
+    }
+  }
+  while (popped < pushed) {
+    u64 v;
+    ASSERT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, popped++);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingSweep,
+                         ::testing::Values(2u, 4u, 16u, 256u, 4096u));
+
+// --- End-to-end invariants across dispatch mode x core count -----------
+
+struct ModeCores {
+  core::DispatchMode mode;
+  u32 cores;
+};
+
+class MiddleboxSweep : public ::testing::TestWithParam<ModeCores> {};
+
+TEST_P(MiddleboxSweep, ConservationAndPartitionHold) {
+  const auto [mode, cores] = GetParam();
+  sim::Simulator sim;
+  net::PacketPool pool(1u << 14, 256);
+  nf::SyntheticNf nf(100);
+  core::SprayerConfig cfg;
+  cfg.mode = mode;
+  cfg.num_cores = cores;
+  core::SimMiddlebox mbox(sim, cfg, nf);
+  nic::MeasureSink sink(sim);
+
+  sim::LinkConfig in_cfg;
+  in_cfg.egress_port_label = 0;
+  sim::Link in_link(sim, in_cfg, mbox.ingress(), "in");
+  sim::LinkConfig out_cfg;
+  sim::Link out1(sim, out_cfg, sink, "o1");
+  sim::Link out0(sim, out_cfg, sink, "o0");
+  mbox.attach_tx_link(1, out1);
+  mbox.attach_tx_link(0, out0);
+
+  nic::PktGenConfig gen_cfg;
+  gen_cfg.rate_pps = 2e6;
+  gen_cfg.num_flows = 24;
+  gen_cfg.seed = cores * 7 + (mode == core::DispatchMode::kSpray ? 1 : 0);
+  gen_cfg.stop_at = from_seconds(0.009);  // stop early, then drain
+  nic::PacketGen gen(sim, pool, in_link, gen_cfg);
+  gen.start();
+  sim.run_until(from_seconds(0.01));
+
+  const auto report = mbox.report();
+  // Conservation: everything offered (data plus the 24 initial SYNs) came
+  // out the other side; with this light load nothing is dropped.
+  EXPECT_EQ(sink.packets(), gen.sent() + gen_cfg.num_flows);
+  EXPECT_EQ(report.nic.rx_missed, 0u);
+  EXPECT_EQ(report.total.transfer_drops, 0u);
+  EXPECT_EQ(nf.lookup_misses(), 0u);
+
+  // Writing partition: each generator flow's entry lives exactly on its
+  // designated core.
+  for (const auto& tuple : gen.flows()) {
+    const CoreId designated = mbox.picker().pick(tuple);
+    for (u32 c = 0; c < cores; ++c) {
+      const void* entry =
+          mbox.flow_table(static_cast<CoreId>(c))
+              .find_remote(tuple.canonical());
+      EXPECT_EQ(entry != nullptr, c == designated);
+    }
+  }
+  EXPECT_EQ(pool.available(), pool.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndCores, MiddleboxSweep,
+    ::testing::Values(ModeCores{core::DispatchMode::kRss, 1},
+                      ModeCores{core::DispatchMode::kRss, 4},
+                      ModeCores{core::DispatchMode::kRss, 8},
+                      ModeCores{core::DispatchMode::kRss, 16},
+                      ModeCores{core::DispatchMode::kSpray, 1},
+                      ModeCores{core::DispatchMode::kSpray, 4},
+                      ModeCores{core::DispatchMode::kSpray, 8},
+                      ModeCores{core::DispatchMode::kSpray, 16}));
+
+// --- TCP completes across cc algorithm x adverse conditions -----------
+
+struct TcpParam {
+  tcp::CcKind cc;
+  u32 queue;  // bottleneck FIFO depth
+};
+
+class TcpSweep : public ::testing::TestWithParam<TcpParam> {};
+
+TEST_P(TcpSweep, FiniteTransferAlwaysCompletes) {
+  const auto [cc, queue] = GetParam();
+  sim::Simulator sim;
+  net::PacketPool pool(1u << 14, 1600);
+  tcp::Host client(sim, pool, "client");
+  tcp::Host server(sim, pool, "server");
+  sim::LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.propagation_delay = 5 * kMicrosecond;
+  cfg.queue_packets = queue;
+  sim::Link c2s(sim, cfg, server, "c2s");
+  sim::Link s2c(sim, cfg, client, "s2c");
+  client.attach_out(c2s);
+  server.attach_out(s2c);
+
+  tcp::TcpConfig tc;
+  tc.cc = cc;
+  tc.bytes_to_send = 3'000'000;
+  server.listen_all(tc);
+  tcp::TcpConnection& conn = client.open(
+      {net::Ipv4Addr{10, 0, 0, 1}, net::Ipv4Addr{10, 0, 0, 2}, 40000, 5201,
+       net::kProtoTcp},
+      tc, 0, queue + static_cast<u64>(cc));
+
+  sim.run_until(from_seconds(10.0));
+  EXPECT_EQ(conn.state(), tcp::TcpState::kDone)
+      << tcp::to_string(cc) << " queue=" << queue;
+  ASSERT_EQ(server.connections().size(), 1u);
+  EXPECT_EQ(server.connections()[0]->stats().bytes_delivered, 3'000'000u);
+  EXPECT_EQ(pool.available(), pool.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CcAndQueues, TcpSweep,
+    ::testing::Values(TcpParam{tcp::CcKind::kCubic, 8},
+                      TcpParam{tcp::CcKind::kCubic, 64},
+                      TcpParam{tcp::CcKind::kCubic, 1024},
+                      TcpParam{tcp::CcKind::kNewReno, 8},
+                      TcpParam{tcp::CcKind::kNewReno, 64},
+                      TcpParam{tcp::CcKind::kNewReno, 1024}));
+
+}  // namespace
+}  // namespace sprayer

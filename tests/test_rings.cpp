@@ -1,0 +1,154 @@
+// SPSC and MPMC rings: capacity semantics, bulk operations, FIFO order,
+// and real-thread stress tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "runtime/batch.hpp"
+#include "runtime/mpmc_ring.hpp"
+#include "runtime/spsc_ring.hpp"
+
+namespace sprayer::runtime {
+namespace {
+
+TEST(SpscRing, FillDrainExactCapacity) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99));  // full: no slot wasted
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    EXPECT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, i);  // FIFO
+  }
+  int v;
+  EXPECT_FALSE(ring.pop(v));
+}
+
+TEST(SpscRing, BulkPartialPushAndPop) {
+  SpscRing<int> ring(8);
+  std::vector<int> in(12);
+  std::iota(in.begin(), in.end(), 0);
+  EXPECT_EQ(ring.push_bulk(in), 8u);  // only capacity fits
+
+  std::vector<int> out(5);
+  EXPECT_EQ(ring.pop_bulk(out), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(ring.size_approx(), 3u);
+
+  std::vector<int> rest(16);
+  EXPECT_EQ(ring.pop_bulk(rest), 3u);
+  EXPECT_EQ(rest[0], 5);
+}
+
+TEST(SpscRing, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(SpscRing<int>(6), std::logic_error);
+  EXPECT_THROW(SpscRing<int>(1), std::logic_error);
+}
+
+TEST(SpscRing, WrapsManyTimes) {
+  SpscRing<u64> ring(4);
+  u64 expected = 0;
+  for (u64 i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(ring.push(i));
+    if (i % 3 != 0) {
+      u64 v;
+      EXPECT_TRUE(ring.pop(v));
+      EXPECT_EQ(v, expected++);
+    }
+    if (ring.size_approx() == 4) {  // drain when full
+      u64 v;
+      while (ring.pop(v)) EXPECT_EQ(v, expected++);
+    }
+  }
+}
+
+TEST(SpscRing, ThreadedProducerConsumer) {
+  SpscRing<u64> ring(1024);
+  constexpr u64 kCount = 200000;
+  u64 sum_consumed = 0;
+  std::thread consumer([&] {
+    u64 received = 0;
+    while (received < kCount) {
+      u64 v;
+      if (ring.pop(v)) {
+        sum_consumed += v;
+        ++received;
+      }
+    }
+  });
+  u64 sum_produced = 0;
+  for (u64 i = 0; i < kCount; ++i) {
+    while (!ring.push(i)) std::this_thread::yield();
+    sum_produced += i;
+  }
+  consumer.join();
+  EXPECT_EQ(sum_consumed, sum_produced);
+}
+
+TEST(MpmcRing, FillDrain) {
+  MpmcRing<int> ring(16);
+  for (int i = 0; i < 16; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(100));
+  for (int i = 0; i < 16; ++i) {
+    int v;
+    EXPECT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  int v;
+  EXPECT_FALSE(ring.pop(v));
+}
+
+TEST(MpmcRing, ThreadedManyToOne) {
+  MpmcRing<u64> ring(256);
+  constexpr int kProducers = 3;
+  constexpr u64 kPerProducer = 50000;
+  std::atomic<u64> total{0};
+  std::thread consumer([&] {
+    u64 received = 0;
+    while (received < kProducers * kPerProducer) {
+      u64 v;
+      if (ring.pop(v)) {
+        total.fetch_add(v, std::memory_order_relaxed);
+        ++received;
+      }
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (u64 i = 0; i < kPerProducer; ++i) {
+        const u64 v = static_cast<u64>(p) * kPerProducer + i + 1;
+        while (!ring.push(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  const u64 n = kProducers * kPerProducer;
+  EXPECT_EQ(total.load(), n * (n + 1) / 2);
+}
+
+TEST(PacketBatch, PushIterateClear) {
+  PacketBatch batch;
+  EXPECT_TRUE(batch.empty());
+  // Opaque non-null pointers are fine for container semantics.
+  auto fake = [](std::uintptr_t v) {
+    return reinterpret_cast<net::Packet*>(v);
+  };
+  for (std::uintptr_t i = 1; i <= 5; ++i) batch.push(fake(i * 8));
+  EXPECT_EQ(batch.size(), 5u);
+  u32 count = 0;
+  for (net::Packet* p : batch) {
+    EXPECT_EQ(p, fake((count + 1) * 8));
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+}
+
+}  // namespace
+}  // namespace sprayer::runtime

@@ -1,0 +1,130 @@
+// TCP building blocks: sequence arithmetic, RTT/RTO estimation, congestion
+// control window dynamics, timestamp options.
+#include <gtest/gtest.h>
+
+#include "tcp/cc.hpp"
+#include "tcp/options.hpp"
+#include "tcp/rtt.hpp"
+#include "tcp/seq.hpp"
+
+namespace sprayer::tcp {
+namespace {
+
+TEST(Seq, ComparisonsHandleWrap) {
+  EXPECT_TRUE(seq_lt(0xfffffff0u, 0x00000010u));  // wrapped forward
+  EXPECT_FALSE(seq_lt(0x00000010u, 0xfffffff0u));
+  EXPECT_TRUE(seq_le(5, 5));
+  EXPECT_TRUE(seq_gt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(seq_ge(7, 7));
+}
+
+TEST(Seq, UnwrapRecoversNearbyOffsets) {
+  const u64 ref = (1ull << 33) + 0xfffffff0ull;
+  EXPECT_EQ(seq_unwrap(static_cast<u32>(ref) + 100, ref), ref + 100);
+  EXPECT_EQ(seq_unwrap(static_cast<u32>(ref) - 100, ref), ref - 100);
+  // Crossing the 32-bit boundary: 0xffffffff + 6 ≡ 5 (mod 2^32).
+  const u64 near_wrap = (1ull << 33) + 0xffffffffull;
+  EXPECT_EQ(seq_unwrap(0x00000005u, near_wrap), (1ull << 33) + 0x100000005ull);
+}
+
+TEST(Rtt, Rfc6298Estimation) {
+  RttEstimator est(/*min_rto=*/1 * kMillisecond);
+  EXPECT_FALSE(est.has_sample());
+  est.sample(100 * kMicrosecond);
+  // First sample: srtt = rtt, rttvar = rtt/2, rto = srtt + 4*rttvar = 3*rtt
+  EXPECT_EQ(est.srtt(), 100 * kMicrosecond);
+  EXPECT_EQ(est.rttvar(), 50 * kMicrosecond);
+  EXPECT_EQ(est.rto(), 1 * kMillisecond);  // clamped to min
+
+  // Repeated identical samples shrink rttvar toward 0.
+  for (int i = 0; i < 50; ++i) est.sample(100 * kMicrosecond);
+  EXPECT_EQ(est.srtt(), 100 * kMicrosecond);
+  EXPECT_LT(est.rttvar(), 5 * kMicrosecond);
+}
+
+TEST(Rtt, BackoffDoublesAndClamps) {
+  RttEstimator est(10 * kMillisecond, 20 * kMillisecond, 100 * kMillisecond);
+  EXPECT_EQ(est.rto(), 20 * kMillisecond);
+  est.backoff();
+  EXPECT_EQ(est.rto(), 40 * kMillisecond);
+  est.backoff();
+  est.backoff();
+  EXPECT_EQ(est.rto(), 100 * kMillisecond);  // clamped at max
+}
+
+TEST(NewReno, SlowStartDoublesPerRtt) {
+  NewReno cc(1000, 10);
+  EXPECT_EQ(cc.cwnd(), 10000u);
+  // 10 ACKs of one MSS each: cwnd grows by one MSS per ACK in slow start.
+  for (int i = 0; i < 10; ++i) cc.on_ack(1000, 0, 0);
+  EXPECT_EQ(cc.cwnd(), 20000u);
+}
+
+TEST(NewReno, CongestionAvoidanceIsLinear) {
+  NewReno cc(1000, 10);
+  cc.on_loss(20000, 0);  // ssthresh = 10000, cwnd = 10000 → now in CA
+  const u64 start = cc.cwnd();
+  // One window's worth of ACKs should add about one MSS.
+  const int acks = static_cast<int>(start / 1000);
+  for (int i = 0; i < acks; ++i) cc.on_ack(1000, 0, 0);
+  EXPECT_NEAR(static_cast<double>(cc.cwnd()), static_cast<double>(start + 1000),
+              100.0);
+}
+
+TEST(NewReno, LossAndRtoResponses) {
+  NewReno cc(1000, 10);
+  cc.on_loss(10000, 0);
+  EXPECT_EQ(cc.ssthresh(), 5000u);
+  EXPECT_EQ(cc.cwnd(), 5000u);
+  cc.on_rto(5000, 0);
+  EXPECT_EQ(cc.cwnd(), 1000u);  // collapse to one MSS
+  EXPECT_EQ(cc.ssthresh(), 2500u);
+  // Floor at 2 MSS.
+  cc.on_loss(1000, 0);
+  EXPECT_EQ(cc.ssthresh(), 2000u);
+}
+
+TEST(Cubic, ReducesByBetaAndRegrows) {
+  Cubic cc(1000, 10);
+  // Grow past slow start.
+  cc.on_loss(10000, from_seconds(1.0));
+  const u64 after_loss = cc.cwnd();
+  EXPECT_EQ(after_loss, 7000u);  // beta = 0.7
+
+  // ACKs over simulated time regrow the window toward (and past) w_max.
+  // K = cbrt(w_max * (1-beta) / C) = cbrt(10 * 0.3 / 0.4) ≈ 1.96 s, so run
+  // three simulated seconds of ACKs.
+  u64 prev = cc.cwnd();
+  for (int ms = 0; ms < 3000; ++ms) {
+    cc.on_ack(1000, from_seconds(1.0 + ms * 1e-3), 100 * kMicrosecond);
+    EXPECT_GE(cc.cwnd(), prev);  // monotone growth between losses
+    prev = cc.cwnd();
+  }
+  EXPECT_GT(cc.cwnd(), 10000u);  // recovered beyond the pre-loss window
+}
+
+TEST(Cubic, SlowStartBeforeFirstLoss) {
+  Cubic cc(1000, 2);
+  const u64 start = cc.cwnd();
+  cc.on_ack(1000, 0, 0);
+  EXPECT_EQ(cc.cwnd(), start + 1000);  // exponential phase
+}
+
+TEST(CcFactory, CreatesBothKinds) {
+  auto reno = make_cc(CcKind::kNewReno, 1460, 10);
+  auto cubic = make_cc(CcKind::kCubic, 1460, 10);
+  EXPECT_STREQ(reno->name(), "newreno");
+  EXPECT_STREQ(cubic->name(), "cubic");
+  EXPECT_EQ(reno->cwnd(), 14600u);
+  EXPECT_EQ(cubic->cwnd(), 14600u);
+}
+
+TEST(Options, TimestampEncodeParseRoundTrip) {
+  const auto block = encode_ts(123456789u, 987654321u);
+  EXPECT_EQ(block.size(), kTsOptionLen);
+  EXPECT_EQ(block[0], 1);  // NOP padding
+  EXPECT_EQ(block[2], 8);  // timestamp kind
+}
+
+}  // namespace
+}  // namespace sprayer::tcp

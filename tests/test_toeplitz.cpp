@@ -1,0 +1,139 @@
+// Toeplitz hash against the Microsoft RSS verification vectors, symmetry of
+// the 0x6d5a key, and designated-core properties.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hash/crc32c.hpp"
+#include "hash/designated.hpp"
+#include "hash/toeplitz.hpp"
+
+namespace sprayer::hash {
+namespace {
+
+net::FiveTuple tuple(u8 a, u8 b, u8 c, u8 d, u16 sport, u8 e, u8 f, u8 g,
+                     u8 h, u16 dport) {
+  return net::FiveTuple{net::Ipv4Addr{a, b, c, d}, net::Ipv4Addr{e, f, g, h},
+                        sport, dport, net::kProtoTcp};
+}
+
+// The canonical verification suite for the Microsoft key (also used by
+// DPDK's thash selftests).
+TEST(Toeplitz, MicrosoftVerificationVectorsTcp) {
+  EXPECT_EQ(toeplitz_v4_l4(
+                tuple(66, 9, 149, 187, 2794, 161, 142, 100, 80, 1766),
+                kMicrosoftKey),
+            0x51ccc178u);
+  EXPECT_EQ(toeplitz_v4_l4(
+                tuple(199, 92, 111, 2, 14230, 65, 69, 140, 83, 4739),
+                kMicrosoftKey),
+            0xc626b0eau);
+  EXPECT_EQ(toeplitz_v4_l4(
+                tuple(24, 19, 198, 95, 12898, 12, 22, 207, 184, 38024),
+                kMicrosoftKey),
+            0x5c2b394au);
+  EXPECT_EQ(toeplitz_v4_l4(
+                tuple(38, 27, 205, 30, 48228, 209, 142, 163, 6, 2217),
+                kMicrosoftKey),
+            0xafc7327fu);
+  EXPECT_EQ(toeplitz_v4_l4(
+                tuple(153, 39, 163, 191, 44251, 202, 188, 127, 2, 1303),
+                kMicrosoftKey),
+            0x10e828a2u);
+}
+
+TEST(Toeplitz, MicrosoftVerificationVectorsIpOnly) {
+  EXPECT_EQ(toeplitz_v4(tuple(66, 9, 149, 187, 0, 161, 142, 100, 80, 0),
+                        kMicrosoftKey),
+            0x323e8fc2u);
+  EXPECT_EQ(toeplitz_v4(tuple(199, 92, 111, 2, 0, 65, 69, 140, 83, 0),
+                        kMicrosoftKey),
+            0xd718262au);
+  EXPECT_EQ(toeplitz_v4(tuple(24, 19, 198, 95, 0, 12, 22, 207, 184, 0),
+                        kMicrosoftKey),
+            0xd2d0a5deu);
+  EXPECT_EQ(toeplitz_v4(tuple(38, 27, 205, 30, 0, 209, 142, 163, 6, 0),
+                        kMicrosoftKey),
+            0x82989176u);
+  EXPECT_EQ(toeplitz_v4(tuple(153, 39, 163, 191, 0, 202, 188, 127, 2, 0),
+                        kMicrosoftKey),
+            0x5d1809c5u);
+}
+
+// The symmetric key must hash both directions of a connection identically —
+// the property the paper's testbed configuration [44] depends on.
+TEST(Toeplitz, SymmetricKeyIsDirectionFree) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    net::FiveTuple t;
+    t.src_ip = net::Ipv4Addr{static_cast<u32>(rng.next())};
+    t.dst_ip = net::Ipv4Addr{static_cast<u32>(rng.next())};
+    t.src_port = static_cast<u16>(rng.next());
+    t.dst_port = static_cast<u16>(rng.next());
+    t.protocol = net::kProtoTcp;
+    EXPECT_EQ(toeplitz_v4_l4(t, kSymmetricKey),
+              toeplitz_v4_l4(t.reversed(), kSymmetricKey));
+    EXPECT_EQ(toeplitz_v4(t, kSymmetricKey),
+              toeplitz_v4(t.reversed(), kSymmetricKey));
+  }
+}
+
+// The Microsoft key is NOT symmetric (sanity check that the test above is
+// non-trivial).
+TEST(Toeplitz, MicrosoftKeyIsNotSymmetric) {
+  const auto t = tuple(66, 9, 149, 187, 2794, 161, 142, 100, 80, 1766);
+  EXPECT_NE(toeplitz_v4_l4(t, kMicrosoftKey),
+            toeplitz_v4_l4(t.reversed(), kMicrosoftKey));
+}
+
+TEST(Toeplitz, DistributesUniformlyOverQueues) {
+  Rng rng(17);
+  constexpr u32 kQueues = 8;
+  constexpr u32 kFlows = 80000;
+  std::array<u32, kQueues> counts{};
+  for (u32 i = 0; i < kFlows; ++i) {
+    net::FiveTuple t;
+    t.src_ip = net::Ipv4Addr{static_cast<u32>(rng.next())};
+    t.dst_ip = net::Ipv4Addr{static_cast<u32>(rng.next())};
+    t.src_port = static_cast<u16>(rng.next());
+    t.dst_port = static_cast<u16>(rng.next());
+    t.protocol = net::kProtoTcp;
+    counts[toeplitz_v4_l4(t, kSymmetricKey) % kQueues]++;
+  }
+  for (const u32 c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kFlows / kQueues,
+                0.05 * kFlows / kQueues);
+  }
+}
+
+TEST(DesignatedHash, SymmetricForBothKinds) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    net::FiveTuple t;
+    t.src_ip = net::Ipv4Addr{static_cast<u32>(rng.next())};
+    t.dst_ip = net::Ipv4Addr{static_cast<u32>(rng.next())};
+    t.src_port = static_cast<u16>(rng.next());
+    t.dst_port = static_cast<u16>(rng.next());
+    t.protocol = net::kProtoTcp;
+    for (const auto kind : {DesignatedHashKind::kCanonicalMix,
+                            DesignatedHashKind::kSymmetricToeplitz}) {
+      EXPECT_EQ(designated_core(t, 8, kind),
+                designated_core(t.reversed(), 8, kind));
+    }
+  }
+}
+
+TEST(Crc32c, KnownVectors) {
+  // "123456789" → 0xe3069283 (iSCSI CRC check value).
+  const char* s = "123456789";
+  EXPECT_EQ(crc32c(std::span<const u8>{
+                reinterpret_cast<const u8*>(s), 9}),
+            0xe3069283u);
+  // Empty input → 0.
+  EXPECT_EQ(crc32c(std::span<const u8>{}), 0u);
+  // 32 bytes of zeros → 0x8a9136aa (RFC 3720 test vector).
+  std::array<u8, 32> zeros{};
+  EXPECT_EQ(crc32c(zeros), 0x8a9136aau);
+}
+
+}  // namespace
+}  // namespace sprayer::hash

@@ -1,0 +1,204 @@
+// Trace workload: flow-size model calibration, generator invariants,
+// figure-1/2 analyses, and replay through the simulator.
+#include <gtest/gtest.h>
+
+#include "core/middlebox.hpp"
+#include "nf/monitor.hpp"
+#include "trace/analysis.hpp"
+#include "trace/replay.hpp"
+#include "trace/workload.hpp"
+
+namespace sprayer::trace {
+namespace {
+
+TEST(FlowModel, ElephantsCarryMostBytes) {
+  FlowSizeModel model;
+  Rng rng(1);
+  double total = 0, large = 0;
+  u64 large_flows = 0;
+  constexpr int kFlows = 200000;
+  for (int i = 0; i < kFlows; ++i) {
+    const auto s = model.sample(rng);
+    total += static_cast<double>(s.bytes);
+    if (s.bytes > 10'000'000) {
+      large += static_cast<double>(s.bytes);
+      ++large_flows;
+    }
+  }
+  // The distributional facts of Figure 1.
+  EXPECT_GT(large / total, 0.75);                       // byte share
+  EXPECT_LT(static_cast<double>(large_flows) / kFlows, 0.05);  // flow share
+}
+
+TEST(FlowModel, MeanMatchesAnalytic) {
+  FlowSizeModel model;
+  Rng rng(2);
+  double sum = 0;
+  constexpr int kFlows = 400000;
+  for (int i = 0; i < kFlows; ++i) {
+    sum += static_cast<double>(model.sample(rng).bytes);
+  }
+  // The tail truncation biases the empirical mean slightly below the
+  // analytic (untruncated) value.
+  EXPECT_NEAR(sum / kFlows, model.mean_bytes(), 0.2 * model.mean_bytes());
+}
+
+TEST(FlowModel, RespectsBounds) {
+  FlowModelConfig cfg;
+  cfg.max_flow_bytes = 1e6;
+  FlowSizeModel model(cfg);
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    const auto s = model.sample(rng);
+    EXPECT_GE(s.bytes, 64u);
+    EXPECT_LE(s.bytes, 1'000'000u);
+  }
+}
+
+TEST(Workload, PacketsAreTimeOrderedAndSizedRight) {
+  WorkloadConfig cfg;
+  cfg.duration = from_seconds(0.5);
+  cfg.seed = 4;
+  WorkloadGenerator gen(cfg);
+  PacketRecord pkt;
+  Time prev = 0;
+  u64 packets = 0;
+  std::vector<u64> flow_bytes;
+  std::vector<bool> saw_first, saw_last;
+  while (gen.next_packet(pkt)) {
+    EXPECT_GE(pkt.time, prev);
+    prev = pkt.time;
+    EXPECT_GT(pkt.bytes, 0u);
+    EXPECT_LE(pkt.bytes, cfg.mtu_payload);
+    if (pkt.flow_id >= flow_bytes.size()) {
+      flow_bytes.resize(pkt.flow_id + 1, 0);
+      saw_first.resize(pkt.flow_id + 1, false);
+      saw_last.resize(pkt.flow_id + 1, false);
+    }
+    flow_bytes[pkt.flow_id] += pkt.bytes;
+    if (pkt.first) saw_first[pkt.flow_id] = true;
+    if (pkt.last) saw_last[pkt.flow_id] = true;
+    ++packets;
+  }
+  ASSERT_GT(packets, 1000u);
+  ASSERT_GT(gen.flows().size(), 10u);
+  // Every flow's packet bytes sum exactly to its declared size, with
+  // exactly one first and one last packet.
+  for (const auto& flow : gen.flows()) {
+    if (!saw_last[flow.id]) continue;  // truncated at trace end
+    EXPECT_EQ(flow_bytes[flow.id], flow.bytes) << "flow " << flow.id;
+    EXPECT_TRUE(saw_first[flow.id]);
+  }
+}
+
+TEST(Workload, HitsTargetUtilization) {
+  WorkloadConfig cfg;
+  cfg.duration = from_seconds(5.0);
+  cfg.utilization = 0.8;
+  cfg.link_rate_bps = 1e9;
+  cfg.seed = 5;
+  WorkloadGenerator gen(cfg);
+  PacketRecord pkt;
+  double bytes = 0;
+  Time last = 0;
+  while (gen.next_packet(pkt)) {
+    bytes += pkt.bytes;
+    last = pkt.time;
+  }
+  const double offered_bps = bytes * 8.0 / to_seconds(last);
+  // The Pareto tail (alpha = 1.5) has infinite variance: over a few
+  // thousand flows the sample mean sits far below the analytic mean most
+  // of the time (the byte volume is dominated by rare giants), so only a
+  // loose band is meaningful at this trace length.
+  EXPECT_GT(offered_bps, 0.1e9);
+  EXPECT_LT(offered_bps, 1.0e9);
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  WorkloadConfig cfg;
+  cfg.duration = from_seconds(0.2);
+  cfg.seed = 6;
+  WorkloadGenerator a(cfg), b(cfg);
+  PacketRecord pa, pb;
+  for (int i = 0; i < 5000; ++i) {
+    const bool more_a = a.next_packet(pa);
+    const bool more_b = b.next_packet(pb);
+    ASSERT_EQ(more_a, more_b);
+    if (!more_a) break;
+    EXPECT_EQ(pa.time, pb.time);
+    EXPECT_EQ(pa.flow_id, pb.flow_id);
+    EXPECT_EQ(pa.bytes, pb.bytes);
+  }
+}
+
+TEST(Analysis, FlowSizeCdfsAreConsistent) {
+  std::vector<FlowRecord> flows(3);
+  flows[0].bytes = 100;
+  flows[1].bytes = 1000;
+  flows[2].bytes = 100;
+  const auto a = analyze_flow_sizes(flows);
+  EXPECT_EQ(a.total_flows, 3u);
+  EXPECT_DOUBLE_EQ(a.total_bytes, 1200.0);
+  EXPECT_DOUBLE_EQ(a.flow_sizes.at(100), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(a.bytes_by_size.at(100), 200.0 / 1200.0);
+  EXPECT_DOUBLE_EQ(a.byte_share_above(100), 1000.0 / 1200.0);
+}
+
+TEST(Analysis, ConcurrencyMatchesPaperRegime) {
+  WorkloadConfig cfg;
+  cfg.duration = from_seconds(5.0);
+  cfg.seed = 7;
+  WorkloadGenerator gen(cfg);
+  const auto c = analyze_concurrency(gen);
+  ASSERT_GT(c.windows, 10000u);
+  // Figure 2's facts: low concurrency at 150 us, even lower for elephants.
+  EXPECT_LE(c.all_flows.median(), 8.0);
+  EXPECT_LE(c.large_flows.median(), 4.0);
+  EXPECT_LE(c.large_flows.median(), c.all_flows.median());
+  EXPECT_LE(c.all_flows.quantile(0.99), 20.0);
+}
+
+TEST(Replay, DrivesMiddleboxWithLifecycledFlows) {
+  sim::Simulator sim;
+  net::PacketPool pool(1u << 14, 1600);
+  nf::MonitorNf monitor(/*close_on_single_fin=*/true);
+  core::SprayerConfig cfg;
+  core::SimMiddlebox mbox(sim, cfg, monitor);
+
+  class NullSink final : public sim::IPacketSink {
+   public:
+    void receive(net::Packet* pkt) override {
+      ++packets;
+      pkt->pool()->free(pkt);
+    }
+    u64 packets = 0;
+  } sink;
+
+  sim::LinkConfig in_cfg;
+  in_cfg.egress_port_label = 0;
+  in_cfg.rate_bps = 1e9;
+  sim::Link in_link(sim, in_cfg, mbox.ingress(), "in");
+  sim::LinkConfig out_cfg;
+  sim::Link out_link(sim, out_cfg, sink, "out");
+  sim::Link back_link(sim, out_cfg, sink, "back");
+  mbox.attach_tx_link(1, out_link);
+  mbox.attach_tx_link(0, back_link);
+
+  trace::WorkloadConfig wl;
+  wl.duration = from_seconds(0.2);
+  wl.seed = 8;
+  TraceReplayer replayer(sim, pool, in_link, wl);
+  replayer.start();
+  sim.run_until(from_seconds(0.25));
+
+  EXPECT_GT(replayer.sent(), 1000u);
+  EXPECT_EQ(sink.packets, replayer.sent());  // nothing lost at this load
+  const auto totals = monitor.aggregate();
+  EXPECT_EQ(totals.packets, replayer.sent());
+  EXPECT_GT(totals.connections_opened, 10u);
+  EXPECT_GT(totals.connections_closed, 0u);
+  EXPECT_EQ(pool.available(), pool.size());
+}
+
+}  // namespace
+}  // namespace sprayer::trace

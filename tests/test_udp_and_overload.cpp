@@ -1,0 +1,185 @@
+// Non-TCP traffic under spraying (must fall back to per-flow RSS and never
+// be redirected, §4/§7) and overload accounting (NIC queue drops, FDIR
+// ceiling) through the full middlebox.
+#include <gtest/gtest.h>
+
+#include "core/middlebox.hpp"
+#include "nf/monitor.hpp"
+#include "nf/synthetic.hpp"
+#include "nic/pktgen.hpp"
+
+namespace sprayer {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  net::PacketPool pool{1u << 15, 256};
+  core::SimMiddlebox mbox;
+  nic::MeasureSink sink{sim};
+  sim::Link in_link;
+  sim::Link out1;
+  sim::Link out0;
+
+  explicit Rig(core::INetworkFunction& nf, core::SprayerConfig cfg = {},
+               nic::NicConfig nic_cfg = {})
+      : mbox(sim, cfg, nf, nic_cfg),
+        in_link(sim, in_cfg(), mbox.ingress(), "in"),
+        out1(sim, sim::LinkConfig{}, sink, "o1"),
+        out0(sim, sim::LinkConfig{}, sink, "o0") {
+    mbox.attach_tx_link(1, out1);
+    mbox.attach_tx_link(0, out0);
+  }
+
+  static sim::LinkConfig in_cfg() {
+    sim::LinkConfig cfg;
+    cfg.egress_port_label = 0;
+    cfg.queue_packets = 8192;  // tests inject bursts directly into the link
+    return cfg;
+  }
+};
+
+net::Packet* make_udp(net::PacketPool& pool, const net::FiveTuple& t,
+                      u64 payload_seed) {
+  net::UdpDatagramSpec spec;
+  spec.tuple = t;
+  spec.payload_len = 16;
+  u8 payload[16]{};
+  std::memcpy(payload, &payload_seed, 8);
+  spec.payload = payload;
+  return net::build_udp_raw(pool, spec);
+}
+
+TEST(UdpThroughMiddlebox, SprayModeKeepsUdpPerFlow) {
+  nf::MonitorNf monitor;
+  core::SprayerConfig cfg;
+  cfg.mode = core::DispatchMode::kSpray;
+  Rig rig(monitor, cfg);
+
+  // One UDP flow, randomized payloads (so checksums vary): if UDP were
+  // sprayed, packets would spread over queues. They must not.
+  net::FiveTuple t{net::Ipv4Addr{10, 0, 0, 1}, net::Ipv4Addr{10, 0, 0, 2},
+                   5000, 53, net::kProtoUdp};
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    rig.in_link.send(make_udp(rig.pool, t, rng.next()));
+  }
+  rig.sim.run_until(rig.sim.now() + 5 * kMillisecond);
+
+  const auto report = rig.mbox.report();
+  EXPECT_EQ(report.nic.fdir_matched, 0u);       // FDIR is TCP-only
+  EXPECT_EQ(report.nic.rss_dispatched, 2000u);  // all via RSS fallback
+  u32 cores_used = 0;
+  for (const auto& cs : report.per_core) {
+    if (cs.rx_packets > 0) ++cores_used;
+  }
+  EXPECT_EQ(cores_used, 1u);  // one flow → one core, even in spray mode
+  EXPECT_EQ(report.total.conn_transferred_out, 0u);  // never redirected
+  EXPECT_EQ(rig.sink.packets(), 2000u);
+  EXPECT_EQ(monitor.aggregate().udp_packets, 2000u);
+}
+
+TEST(UdpThroughMiddlebox, MixedTrafficSplitsCorrectly) {
+  nf::MonitorNf monitor;
+  core::SprayerConfig cfg;
+  cfg.mode = core::DispatchMode::kSpray;
+  Rig rig(monitor, cfg);
+
+  net::FiveTuple udp_t{net::Ipv4Addr{10, 0, 0, 1},
+                       net::Ipv4Addr{10, 0, 0, 2}, 5000, 53,
+                       net::kProtoUdp};
+  Rng rng(3);
+  const auto tcp_flows = nic::random_tcp_flows(1, 5);
+  for (int i = 0; i < 1000; ++i) {
+    rig.in_link.send(make_udp(rig.pool, udp_t, rng.next()));
+    net::TcpSegmentSpec spec;
+    spec.tuple = tcp_flows[0];
+    spec.flags = net::TcpFlags::kAck;
+    spec.payload_len = 8;
+    u8 payload[8];
+    const u64 r = rng.next();
+    std::memcpy(payload, &r, 8);
+    spec.payload = payload;
+    rig.in_link.send(net::build_tcp_raw(rig.pool, spec));
+  }
+  rig.sim.run_until(rig.sim.now() + 5 * kMillisecond);
+
+  const auto report = rig.mbox.report();
+  EXPECT_EQ(report.nic.fdir_matched, 1000u);    // the TCP packets sprayed
+  EXPECT_EQ(report.nic.rss_dispatched, 1000u);  // the UDP ones not
+  const auto totals = monitor.aggregate();
+  EXPECT_EQ(totals.udp_packets, 1000u);
+  EXPECT_EQ(totals.tcp_packets, 1000u);
+}
+
+TEST(Overload, QueueDropsAreCountedAndBounded) {
+  // A 10k-cycle NF at one core's capacity with everything hashed to one
+  // queue (RSS, single flow) must tail-drop at the NIC queue, not leak.
+  nf::SyntheticNf nf(10000);
+  core::SprayerConfig cfg;
+  cfg.mode = core::DispatchMode::kRss;
+  nic::NicConfig nic_cfg;
+  nic_cfg.queue_depth = 128;
+  Rig rig(nf, cfg, nic_cfg);
+
+  nic::PktGenConfig gen_cfg;
+  gen_cfg.rate_pps = 2e6;  // 10x one core's capacity at 10k cycles
+  gen_cfg.num_flows = 1;
+  gen_cfg.stop_at = from_seconds(0.01);
+  nic::PacketGen gen(rig.sim, rig.pool, rig.in_link, gen_cfg);
+  gen.start();
+  rig.sim.run_until(from_seconds(0.02));
+
+  const auto report = rig.mbox.report();
+  EXPECT_GT(report.nic.rx_missed, 0u);
+  // Conservation incl. drops: offered = forwarded + NIC drops.
+  EXPECT_EQ(gen.sent() + 1 /*SYN*/,
+            rig.sink.packets() + report.nic.rx_missed);
+  EXPECT_EQ(rig.pool.available(), rig.pool.size());
+  // Processed ≈ capacity: 2 GHz / ~10.2k cycles ≈ 0.196 Mpps for 10 ms.
+  EXPECT_NEAR(static_cast<double>(rig.sink.packets()), 0.196e6 * 0.01,
+              0.196e6 * 0.01 * 0.15);
+}
+
+TEST(Overload, FdirCeilingShowsUpInReport) {
+  nf::SyntheticNf nf(0);
+  core::SprayerConfig cfg;
+  cfg.mode = core::DispatchMode::kSpray;
+  Rig rig(nf, cfg);  // default NIC: 10.4 Mpps FDIR ceiling
+
+  nic::PktGenConfig gen_cfg;
+  gen_cfg.rate_pps = line_rate_pps(10e9, 60);  // 14.88 Mpps > ceiling
+  gen_cfg.num_flows = 1;
+  gen_cfg.stop_at = from_seconds(0.01);
+  nic::PacketGen gen(rig.sim, rig.pool, rig.in_link, gen_cfg);
+  gen.start();
+  rig.sim.run_until(from_seconds(0.02));
+
+  const auto report = rig.mbox.report();
+  EXPECT_GT(report.nic.fdir_overload_drops, 30000u);  // ~4.5 Mpps dropped
+  const double accepted =
+      static_cast<double>(report.nic.rx_packets) / 0.01;
+  EXPECT_NEAR(accepted, 10.4e6, 0.05 * 10.4e6);
+}
+
+TEST(Overload, ResetStatsClearsEverything) {
+  nf::SyntheticNf nf(0);
+  Rig rig(nf);
+  nic::PktGenConfig gen_cfg;
+  gen_cfg.rate_pps = 1e6;
+  gen_cfg.stop_at = from_seconds(0.002);
+  nic::PacketGen gen(rig.sim, rig.pool, rig.in_link, gen_cfg);
+  gen.start();
+  rig.sim.run_until(from_seconds(0.004));
+
+  ASSERT_GT(rig.mbox.report().total.rx_packets, 0u);
+  rig.mbox.reset_stats();
+  const auto report = rig.mbox.report();
+  EXPECT_EQ(report.total.rx_packets, 0u);
+  EXPECT_EQ(report.total.tx_packets, 0u);
+  EXPECT_EQ(report.nic.rx_packets, 0u);
+  // Flow state is NOT cleared by a stats reset.
+  EXPECT_GT(report.flow_entries, 0u);
+}
+
+}  // namespace
+}  // namespace sprayer
