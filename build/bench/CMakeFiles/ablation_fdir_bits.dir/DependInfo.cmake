@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_fdir_bits.cpp" "bench/CMakeFiles/ablation_fdir_bits.dir/ablation_fdir_bits.cpp.o" "gcc" "bench/CMakeFiles/ablation_fdir_bits.dir/ablation_fdir_bits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sprayer_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/sprayer_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/sprayer_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sprayer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/sprayer_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprayer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sprayer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sprayer_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sprayer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sprayer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

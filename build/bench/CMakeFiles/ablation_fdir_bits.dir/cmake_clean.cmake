@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fdir_bits.dir/ablation_fdir_bits.cpp.o"
+  "CMakeFiles/ablation_fdir_bits.dir/ablation_fdir_bits.cpp.o.d"
+  "ablation_fdir_bits"
+  "ablation_fdir_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fdir_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

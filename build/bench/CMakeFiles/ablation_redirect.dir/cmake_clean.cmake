@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_redirect.dir/ablation_redirect.cpp.o"
+  "CMakeFiles/ablation_redirect.dir/ablation_redirect.cpp.o.d"
+  "ablation_redirect"
+  "ablation_redirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_redirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

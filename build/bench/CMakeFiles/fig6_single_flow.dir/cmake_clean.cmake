@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_single_flow.dir/fig6_single_flow.cpp.o"
+  "CMakeFiles/fig6_single_flow.dir/fig6_single_flow.cpp.o.d"
+  "fig6_single_flow"
+  "fig6_single_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_single_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_flow_count.dir/fig7_flow_count.cpp.o"
+  "CMakeFiles/fig7_flow_count.dir/fig7_flow_count.cpp.o.d"
+  "fig7_flow_count"
+  "fig7_flow_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_flow_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fairness.dir/fig9_fairness.cpp.o"
+  "CMakeFiles/fig9_fairness.dir/fig9_fairness.cpp.o.d"
+  "fig9_fairness"
+  "fig9_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_state_access.dir/table1_state_access.cpp.o"
+  "CMakeFiles/table1_state_access.dir/table1_state_access.cpp.o.d"
+  "table1_state_access"
+  "table1_state_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_state_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_middlebox.dir/nat_middlebox.cpp.o"
+  "CMakeFiles/nat_middlebox.dir/nat_middlebox.cpp.o.d"
+  "nat_middlebox"
+  "nat_middlebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

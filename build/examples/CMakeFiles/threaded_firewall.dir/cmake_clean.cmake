@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_firewall.dir/threaded_firewall.cpp.o"
+  "CMakeFiles/threaded_firewall.dir/threaded_firewall.cpp.o.d"
+  "threaded_firewall"
+  "threaded_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

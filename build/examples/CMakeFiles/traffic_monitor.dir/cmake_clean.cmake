@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_monitor.dir/traffic_monitor.cpp.o"
+  "CMakeFiles/traffic_monitor.dir/traffic_monitor.cpp.o.d"
+  "traffic_monitor"
+  "traffic_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

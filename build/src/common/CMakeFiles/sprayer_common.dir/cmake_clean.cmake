@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprayer_common.dir/config.cpp.o"
+  "CMakeFiles/sprayer_common.dir/config.cpp.o.d"
+  "CMakeFiles/sprayer_common.dir/table.cpp.o"
+  "CMakeFiles/sprayer_common.dir/table.cpp.o.d"
+  "libsprayer_common.a"
+  "libsprayer_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprayer_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/sprayer_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/sprayer_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/flow_table.cpp" "src/core/CMakeFiles/sprayer_core.dir/flow_table.cpp.o" "gcc" "src/core/CMakeFiles/sprayer_core.dir/flow_table.cpp.o.d"
+  "/root/repo/src/core/middlebox.cpp" "src/core/CMakeFiles/sprayer_core.dir/middlebox.cpp.o" "gcc" "src/core/CMakeFiles/sprayer_core.dir/middlebox.cpp.o.d"
+  "/root/repo/src/core/threaded.cpp" "src/core/CMakeFiles/sprayer_core.dir/threaded.cpp.o" "gcc" "src/core/CMakeFiles/sprayer_core.dir/threaded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprayer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sprayer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sprayer_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sprayer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprayer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/sprayer_nic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprayer_core.dir/engine.cpp.o"
+  "CMakeFiles/sprayer_core.dir/engine.cpp.o.d"
+  "CMakeFiles/sprayer_core.dir/flow_table.cpp.o"
+  "CMakeFiles/sprayer_core.dir/flow_table.cpp.o.d"
+  "CMakeFiles/sprayer_core.dir/middlebox.cpp.o"
+  "CMakeFiles/sprayer_core.dir/middlebox.cpp.o.d"
+  "CMakeFiles/sprayer_core.dir/threaded.cpp.o"
+  "CMakeFiles/sprayer_core.dir/threaded.cpp.o.d"
+  "libsprayer_core.a"
+  "libsprayer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprayer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

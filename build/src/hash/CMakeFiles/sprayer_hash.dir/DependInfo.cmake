@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/crc32c.cpp" "src/hash/CMakeFiles/sprayer_hash.dir/crc32c.cpp.o" "gcc" "src/hash/CMakeFiles/sprayer_hash.dir/crc32c.cpp.o.d"
+  "/root/repo/src/hash/toeplitz.cpp" "src/hash/CMakeFiles/sprayer_hash.dir/toeplitz.cpp.o" "gcc" "src/hash/CMakeFiles/sprayer_hash.dir/toeplitz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprayer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sprayer_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprayer_hash.dir/crc32c.cpp.o"
+  "CMakeFiles/sprayer_hash.dir/crc32c.cpp.o.d"
+  "CMakeFiles/sprayer_hash.dir/toeplitz.cpp.o"
+  "CMakeFiles/sprayer_hash.dir/toeplitz.cpp.o.d"
+  "libsprayer_hash.a"
+  "libsprayer_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprayer_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

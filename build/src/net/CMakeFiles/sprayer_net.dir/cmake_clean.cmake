@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprayer_net.dir/checksum.cpp.o"
+  "CMakeFiles/sprayer_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/sprayer_net.dir/ip_addr.cpp.o"
+  "CMakeFiles/sprayer_net.dir/ip_addr.cpp.o.d"
+  "CMakeFiles/sprayer_net.dir/packet.cpp.o"
+  "CMakeFiles/sprayer_net.dir/packet.cpp.o.d"
+  "CMakeFiles/sprayer_net.dir/packet_builder.cpp.o"
+  "CMakeFiles/sprayer_net.dir/packet_builder.cpp.o.d"
+  "CMakeFiles/sprayer_net.dir/packet_pool.cpp.o"
+  "CMakeFiles/sprayer_net.dir/packet_pool.cpp.o.d"
+  "libsprayer_net.a"
+  "libsprayer_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprayer_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

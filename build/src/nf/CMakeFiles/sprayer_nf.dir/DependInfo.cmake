@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/aho_corasick.cpp" "src/nf/CMakeFiles/sprayer_nf.dir/aho_corasick.cpp.o" "gcc" "src/nf/CMakeFiles/sprayer_nf.dir/aho_corasick.cpp.o.d"
+  "/root/repo/src/nf/dpi.cpp" "src/nf/CMakeFiles/sprayer_nf.dir/dpi.cpp.o" "gcc" "src/nf/CMakeFiles/sprayer_nf.dir/dpi.cpp.o.d"
+  "/root/repo/src/nf/firewall.cpp" "src/nf/CMakeFiles/sprayer_nf.dir/firewall.cpp.o" "gcc" "src/nf/CMakeFiles/sprayer_nf.dir/firewall.cpp.o.d"
+  "/root/repo/src/nf/load_balancer.cpp" "src/nf/CMakeFiles/sprayer_nf.dir/load_balancer.cpp.o" "gcc" "src/nf/CMakeFiles/sprayer_nf.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/nf/monitor.cpp" "src/nf/CMakeFiles/sprayer_nf.dir/monitor.cpp.o" "gcc" "src/nf/CMakeFiles/sprayer_nf.dir/monitor.cpp.o.d"
+  "/root/repo/src/nf/nat.cpp" "src/nf/CMakeFiles/sprayer_nf.dir/nat.cpp.o" "gcc" "src/nf/CMakeFiles/sprayer_nf.dir/nat.cpp.o.d"
+  "/root/repo/src/nf/synthetic.cpp" "src/nf/CMakeFiles/sprayer_nf.dir/synthetic.cpp.o" "gcc" "src/nf/CMakeFiles/sprayer_nf.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sprayer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sprayer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sprayer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sprayer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/sprayer_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sprayer_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprayer_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

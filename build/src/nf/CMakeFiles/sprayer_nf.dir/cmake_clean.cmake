@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprayer_nf.dir/aho_corasick.cpp.o"
+  "CMakeFiles/sprayer_nf.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/sprayer_nf.dir/dpi.cpp.o"
+  "CMakeFiles/sprayer_nf.dir/dpi.cpp.o.d"
+  "CMakeFiles/sprayer_nf.dir/firewall.cpp.o"
+  "CMakeFiles/sprayer_nf.dir/firewall.cpp.o.d"
+  "CMakeFiles/sprayer_nf.dir/load_balancer.cpp.o"
+  "CMakeFiles/sprayer_nf.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/sprayer_nf.dir/monitor.cpp.o"
+  "CMakeFiles/sprayer_nf.dir/monitor.cpp.o.d"
+  "CMakeFiles/sprayer_nf.dir/nat.cpp.o"
+  "CMakeFiles/sprayer_nf.dir/nat.cpp.o.d"
+  "CMakeFiles/sprayer_nf.dir/synthetic.cpp.o"
+  "CMakeFiles/sprayer_nf.dir/synthetic.cpp.o.d"
+  "libsprayer_nf.a"
+  "libsprayer_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprayer_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/flow_director.cpp" "src/nic/CMakeFiles/sprayer_nic.dir/flow_director.cpp.o" "gcc" "src/nic/CMakeFiles/sprayer_nic.dir/flow_director.cpp.o.d"
+  "/root/repo/src/nic/nic.cpp" "src/nic/CMakeFiles/sprayer_nic.dir/nic.cpp.o" "gcc" "src/nic/CMakeFiles/sprayer_nic.dir/nic.cpp.o.d"
+  "/root/repo/src/nic/pktgen.cpp" "src/nic/CMakeFiles/sprayer_nic.dir/pktgen.cpp.o" "gcc" "src/nic/CMakeFiles/sprayer_nic.dir/pktgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprayer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sprayer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sprayer_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprayer_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

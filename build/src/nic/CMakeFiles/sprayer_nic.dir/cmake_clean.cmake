@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprayer_nic.dir/flow_director.cpp.o"
+  "CMakeFiles/sprayer_nic.dir/flow_director.cpp.o.d"
+  "CMakeFiles/sprayer_nic.dir/nic.cpp.o"
+  "CMakeFiles/sprayer_nic.dir/nic.cpp.o.d"
+  "CMakeFiles/sprayer_nic.dir/pktgen.cpp.o"
+  "CMakeFiles/sprayer_nic.dir/pktgen.cpp.o.d"
+  "libsprayer_nic.a"
+  "libsprayer_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprayer_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsprayer_nic.a"
+)

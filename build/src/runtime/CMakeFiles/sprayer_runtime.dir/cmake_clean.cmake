@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprayer_runtime.dir/worker_group.cpp.o"
+  "CMakeFiles/sprayer_runtime.dir/worker_group.cpp.o.d"
+  "libsprayer_runtime.a"
+  "libsprayer_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprayer_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

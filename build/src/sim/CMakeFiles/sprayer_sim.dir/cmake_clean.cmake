@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprayer_sim.dir/link.cpp.o"
+  "CMakeFiles/sprayer_sim.dir/link.cpp.o.d"
+  "libsprayer_sim.a"
+  "libsprayer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprayer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprayer_tcp.dir/cc.cpp.o"
+  "CMakeFiles/sprayer_tcp.dir/cc.cpp.o.d"
+  "CMakeFiles/sprayer_tcp.dir/connection.cpp.o"
+  "CMakeFiles/sprayer_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/sprayer_tcp.dir/host.cpp.o"
+  "CMakeFiles/sprayer_tcp.dir/host.cpp.o.d"
+  "CMakeFiles/sprayer_tcp.dir/iperf.cpp.o"
+  "CMakeFiles/sprayer_tcp.dir/iperf.cpp.o.d"
+  "libsprayer_tcp.a"
+  "libsprayer_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprayer_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/sprayer_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/sprayer_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/pcap.cpp" "src/trace/CMakeFiles/sprayer_trace.dir/pcap.cpp.o" "gcc" "src/trace/CMakeFiles/sprayer_trace.dir/pcap.cpp.o.d"
+  "/root/repo/src/trace/replay.cpp" "src/trace/CMakeFiles/sprayer_trace.dir/replay.cpp.o" "gcc" "src/trace/CMakeFiles/sprayer_trace.dir/replay.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/sprayer_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/sprayer_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprayer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sprayer_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprayer_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprayer_trace.dir/analysis.cpp.o"
+  "CMakeFiles/sprayer_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/sprayer_trace.dir/pcap.cpp.o"
+  "CMakeFiles/sprayer_trace.dir/pcap.cpp.o.d"
+  "CMakeFiles/sprayer_trace.dir/replay.cpp.o"
+  "CMakeFiles/sprayer_trace.dir/replay.cpp.o.d"
+  "CMakeFiles/sprayer_trace.dir/workload.cpp.o"
+  "CMakeFiles/sprayer_trace.dir/workload.cpp.o.d"
+  "libsprayer_trace.a"
+  "libsprayer_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprayer_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

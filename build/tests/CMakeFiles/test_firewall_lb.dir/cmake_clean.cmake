@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_firewall_lb.dir/test_firewall_lb.cpp.o"
+  "CMakeFiles/test_firewall_lb.dir/test_firewall_lb.cpp.o.d"
+  "test_firewall_lb"
+  "test_firewall_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_firewall_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_five_tuple.dir/test_five_tuple.cpp.o"
+  "CMakeFiles/test_five_tuple.dir/test_five_tuple.cpp.o.d"
+  "test_five_tuple"
+  "test_five_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_five_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_and_misc.dir/test_host_and_misc.cpp.o"
+  "CMakeFiles/test_host_and_misc.dir/test_host_and_misc.cpp.o.d"
+  "test_host_and_misc"
+  "test_host_and_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_and_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor_dpi.dir/test_monitor_dpi.cpp.o"
+  "CMakeFiles/test_monitor_dpi.dir/test_monitor_dpi.cpp.o.d"
+  "test_monitor_dpi"
+  "test_monitor_dpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rings.dir/test_rings.cpp.o"
+  "CMakeFiles/test_rings.dir/test_rings.cpp.o.d"
+  "test_rings"
+  "test_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

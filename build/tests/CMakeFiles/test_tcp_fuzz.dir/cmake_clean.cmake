@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_fuzz.dir/test_tcp_fuzz.cpp.o"
+  "CMakeFiles/test_tcp_fuzz.dir/test_tcp_fuzz.cpp.o.d"
+  "test_tcp_fuzz"
+  "test_tcp_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_reordering.dir/test_tcp_reordering.cpp.o"
+  "CMakeFiles/test_tcp_reordering.dir/test_tcp_reordering.cpp.o.d"
+  "test_tcp_reordering"
+  "test_tcp_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

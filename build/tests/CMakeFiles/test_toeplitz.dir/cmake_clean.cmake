@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toeplitz.dir/test_toeplitz.cpp.o"
+  "CMakeFiles/test_toeplitz.dir/test_toeplitz.cpp.o.d"
+  "test_toeplitz"
+  "test_toeplitz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toeplitz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

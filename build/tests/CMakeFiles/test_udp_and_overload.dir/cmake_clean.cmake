@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp_and_overload.dir/test_udp_and_overload.cpp.o"
+  "CMakeFiles/test_udp_and_overload.dir/test_udp_and_overload.cpp.o.d"
+  "test_udp_and_overload"
+  "test_udp_and_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp_and_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
