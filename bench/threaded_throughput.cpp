@@ -1,0 +1,244 @@
+// Throughput of the threaded executor on real worker threads: one driver
+// thread copies pre-built template frames into pool buffers and injects
+// them, N workers run the NF, and the TX sink counts and frees survivors.
+// Compares the per-packet API path (inject() + per-packet sink) against the
+// batched path (inject_bulk() + per-batch sink, staged transfers, bulk
+// pool operations) across core counts and dispatch modes.
+//
+// Emits one JSON line per configuration (pps, drops, per-core stats) so
+// successive PRs can track the trajectory:
+//
+//   ./bench/threaded_throughput [cores=1,2,4] [modes=spray,flow]
+//       [paths=packet,bulk] [duration=0.4] [flows=64] [rx_batch=32]
+//       [burst=32] [nf_cycles=0]
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/threaded.hpp"
+#include "net/packet_builder.hpp"
+#include "net/packet_pool.hpp"
+#include "nf/synthetic.hpp"
+#include "nic/pktgen.hpp"
+
+using namespace sprayer;
+
+namespace {
+
+constexpr u32 kMaxBurst = 64;
+
+struct RunConfig {
+  u32 cores = 4;
+  core::DispatchMode mode = core::DispatchMode::kSpray;
+  bool bulk = true;
+  double duration_s = 0.4;
+  u32 flows = 64;
+  u32 rx_batch = 32;
+  u32 burst = 32;
+  Cycles nf_cycles = 0;
+};
+
+struct RunResult {
+  double elapsed_s = 0.0;
+  u64 injected = 0;
+  u64 forwarded = 0;
+  u64 tx_calls = 0;
+  u64 rx_ring_drops = 0;
+  core::CoreStats total;
+  std::vector<core::CoreStats> per_core;
+};
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Pre-build one valid TCP data frame per flow; the driver then only
+/// memcpys, so packet construction cost stays off the measured path.
+std::vector<std::vector<u8>> build_templates(
+    const std::vector<net::FiveTuple>& flow_set) {
+  net::PacketPool scratch(flow_set.size() + 1, 256);
+  std::vector<std::vector<u8>> templates;
+  for (const auto& flow : flow_set) {
+    net::TcpSegmentSpec spec;
+    spec.tuple = flow;
+    spec.flags = net::TcpFlags::kAck;
+    spec.payload_len = 6;
+    const u8 payload[6] = {1, 2, 3, 4, 5, 6};
+    spec.payload = payload;
+    net::Packet* pkt = net::build_tcp_raw(scratch, spec);
+    templates.emplace_back(pkt->data(), pkt->data() + pkt->len());
+    scratch.free(pkt);
+  }
+  return templates;
+}
+
+RunResult run_one(const RunConfig& rc) {
+  net::PacketPool pool(1u << 15, 256);
+  nf::SyntheticNf nf(rc.nf_cycles);
+  std::atomic<u64> forwarded{0};
+  std::atomic<u64> tx_calls{0};
+
+  core::SprayerConfig cfg;
+  cfg.num_cores = rc.cores;
+  cfg.mode = rc.mode;
+  cfg.rx_batch = rc.rx_batch;
+  cfg.housekeeping_interval = 0;
+
+  std::unique_ptr<core::ThreadedMiddlebox> mbox;
+  if (rc.bulk) {
+    mbox = std::make_unique<core::ThreadedMiddlebox>(
+        cfg, nf,
+        core::ThreadedMiddlebox::TxBatchHandler(
+            [&](std::span<net::Packet* const> pkts) {
+              forwarded.fetch_add(pkts.size(), std::memory_order_relaxed);
+              tx_calls.fetch_add(1, std::memory_order_relaxed);
+              net::free_packets(pkts);
+            }));
+  } else {
+    mbox = std::make_unique<core::ThreadedMiddlebox>(
+        cfg, nf,
+        core::ThreadedMiddlebox::TxHandler([&](net::Packet* pkt) {
+          forwarded.fetch_add(1, std::memory_order_relaxed);
+          tx_calls.fetch_add(1, std::memory_order_relaxed);
+          pkt->pool()->free(pkt);
+        }));
+  }
+  mbox->start();
+
+  const auto flow_set = nic::random_tcp_flows(rc.flows, 42);
+  const auto templates = build_templates(flow_set);
+
+  // Establish flow state before the measured interval (SYNs redirect).
+  for (const auto& flow : flow_set) {
+    net::TcpSegmentSpec spec;
+    spec.tuple = flow;
+    spec.flags = net::TcpFlags::kSyn;
+    net::Packet* syn = net::build_tcp_raw(pool, spec);
+    while (!mbox->inject(syn)) {
+      syn = net::build_tcp_raw(pool, spec);
+      std::this_thread::yield();
+    }
+  }
+  mbox->wait_idle();
+
+  using Clock = std::chrono::steady_clock;
+  const u32 burst_size = std::min(rc.burst, kMaxBurst);
+  std::array<net::Packet*, kMaxBurst> burst{};
+  u64 injected = 0;
+  std::size_t next_template = 0;
+  const auto t0 = Clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(rc.duration_s));
+  while (Clock::now() < deadline) {
+    const u32 n = pool.alloc_bulk(std::span{burst.data(), burst_size});
+    if (n == 0) {  // backpressure: workers own every buffer right now
+      std::this_thread::yield();
+      continue;
+    }
+    for (u32 i = 0; i < n; ++i) {
+      const auto& frame = templates[next_template];
+      if (++next_template == templates.size()) next_template = 0;
+      std::memcpy(burst[i]->data(), frame.data(), frame.size());
+      burst[i]->set_len(static_cast<u32>(frame.size()));
+    }
+    if (rc.bulk) {
+      injected += mbox->inject_bulk({burst.data(), n});
+    } else {
+      for (u32 i = 0; i < n; ++i) {
+        if (mbox->inject(burst[i])) ++injected;
+      }
+    }
+  }
+  mbox->wait_idle();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  mbox->stop();
+
+  RunResult res;
+  res.elapsed_s = elapsed;
+  res.injected = injected;
+  res.forwarded = forwarded.load();
+  res.tx_calls = tx_calls.load();
+  res.rx_ring_drops = mbox->rx_ring_drops();
+  res.total = mbox->total_stats();
+  for (u32 c = 0; c < rc.cores; ++c) {
+    res.per_core.push_back(mbox->core_stats(static_cast<CoreId>(c)));
+  }
+  return res;
+}
+
+void print_json(const RunConfig& rc, const RunResult& res) {
+  std::printf(
+      "{\"bench\":\"threaded_throughput\",\"mode\":\"%s\","
+      "\"path\":\"%s\",\"cores\":%u,\"rx_batch\":%u,\"nf_cycles\":%llu,"
+      "\"elapsed_s\":%.4f,\"injected\":%llu,\"forwarded\":%llu,"
+      "\"pps\":%.0f,\"tx_calls\":%llu,\"rx_ring_drops\":%llu,"
+      "\"transfer_drops\":%llu,\"per_core\":[",
+      rc.mode == core::DispatchMode::kSpray ? "spray" : "flow",
+      rc.bulk ? "bulk" : "packet", rc.cores, rc.rx_batch,
+      static_cast<unsigned long long>(rc.nf_cycles), res.elapsed_s,
+      static_cast<unsigned long long>(res.injected),
+      static_cast<unsigned long long>(res.forwarded),
+      static_cast<double>(res.forwarded) / res.elapsed_s,
+      static_cast<unsigned long long>(res.tx_calls),
+      static_cast<unsigned long long>(res.rx_ring_drops),
+      static_cast<unsigned long long>(res.total.transfer_drops));
+  for (std::size_t c = 0; c < res.per_core.size(); ++c) {
+    const auto& s = res.per_core[c];
+    std::printf(
+        "%s{\"core\":%zu,\"rx\":%llu,\"tx\":%llu,\"conn_local\":%llu,"
+        "\"conn_out\":%llu,\"conn_in\":%llu}",
+        c == 0 ? "" : ",", c, static_cast<unsigned long long>(s.rx_packets),
+        static_cast<unsigned long long>(s.tx_packets),
+        static_cast<unsigned long long>(s.conn_local),
+        static_cast<unsigned long long>(s.conn_transferred_out),
+        static_cast<unsigned long long>(s.conn_foreign_in));
+  }
+  std::printf("]}\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliConfig cli(argc, argv);
+  RunConfig base;
+  base.duration_s = cli.get_double("duration", 0.4);
+  base.flows = static_cast<u32>(cli.get_u64("flows", 64));
+  base.rx_batch = static_cast<u32>(cli.get_u64("rx_batch", 32));
+  base.burst = static_cast<u32>(cli.get_u64("burst", 32));
+  base.nf_cycles = cli.get_u64("nf_cycles", 0);
+
+  for (const auto& cores_s : split_list(cli.get("cores", "1,2,4"))) {
+    for (const auto& mode_s : split_list(cli.get("modes", "spray,flow"))) {
+      for (const auto& path_s : split_list(cli.get("paths", "packet,bulk"))) {
+        RunConfig rc = base;
+        rc.cores = static_cast<u32>(std::stoul(cores_s));
+        rc.mode = mode_s == "flow" ? core::DispatchMode::kRss
+                                   : core::DispatchMode::kSpray;
+        rc.bulk = path_s == "bulk";
+        print_json(rc, run_one(rc));
+      }
+    }
+  }
+  return 0;
+}

@@ -4,8 +4,10 @@
 // library is an executable framework, not only a model.
 //
 //   ./build/examples/threaded_firewall [cores=4] [packets=50000]
+#include <array>
 #include <atomic>
 #include <cstdio>
+#include <span>
 
 #include "common/config.hpp"
 #include "common/rng.hpp"
@@ -37,10 +39,14 @@ int main(int argc, char** argv) {
   core::SprayerConfig cfg;
   cfg.num_cores = cores;
   cfg.mode = core::DispatchMode::kSpray;
-  core::ThreadedMiddlebox mbox(cfg, firewall, [&](net::Packet* pkt) {
-    forwarded.fetch_add(1, std::memory_order_relaxed);
-    pkt->pool()->free(pkt);
-  });
+  // Batched sink: one callback per verdict batch, one grouped pool free.
+  core::ThreadedMiddlebox mbox(
+      cfg, firewall,
+      core::ThreadedMiddlebox::TxBatchHandler(
+          [&](std::span<net::Packet* const> pkts) {
+            forwarded.fetch_add(pkts.size(), std::memory_order_relaxed);
+            net::free_packets(pkts);
+          }));
   mbox.start();
 
   // Half the flows match the ACL (10/8, low ports), half do not.
@@ -63,22 +69,28 @@ int main(int argc, char** argv) {
     if (syn != nullptr && mbox.inject(syn)) ++injected;
   }
   mbox.wait_idle();  // let the SYNs install state before data races ahead
-  for (u32 i = 0; i < packets; ++i) {
-    net::TcpSegmentSpec spec;
-    spec.tuple = flows[i % flows.size()];
-    spec.flags = net::TcpFlags::kAck;
-    spec.payload_len = 8;
-    u8 payload[8];
-    const u64 r = rng.next();
-    std::memcpy(payload, &r, sizeof(payload));
-    spec.payload = payload;
-    net::Packet* pkt = net::build_tcp_raw(pool, spec);
-    if (pkt == nullptr) {
+  std::array<net::Packet*, 32> burst;
+  for (u32 i = 0; i < packets;) {
+    u32 n = 0;
+    while (n < burst.size() && i + n < packets) {
+      net::TcpSegmentSpec spec;
+      spec.tuple = flows[(i + n) % flows.size()];
+      spec.flags = net::TcpFlags::kAck;
+      spec.payload_len = 8;
+      u8 payload[8];
+      const u64 r = rng.next();
+      std::memcpy(payload, &r, sizeof(payload));
+      spec.payload = payload;
+      net::Packet* pkt = net::build_tcp_raw(pool, spec);
+      if (pkt == nullptr) break;  // pool backpressure: ship what we have
+      burst[n++] = pkt;
+    }
+    if (n == 0) {
       std::this_thread::yield();
-      --i;
       continue;
     }
-    if (mbox.inject(pkt)) ++injected;
+    injected += mbox.inject_bulk({burst.data(), n});
+    i += n;
   }
   mbox.wait_idle();
   mbox.stop();

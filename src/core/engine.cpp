@@ -25,17 +25,16 @@ Cycles SprayerCore::process_rx(runtime::PacketBatch& batch, Time now) {
       ++stats_.conn_local;
     } else {
       cycles += costs.transfer_enqueue;
-      if (port_.transfer(dest, pkt)) {
-        ++stats_.conn_transferred_out;
-      } else {
-        ++stats_.transfer_drops;
-        pkt->pool()->free(pkt);
-      }
+      runtime::PacketBatch& stage = transfer_stage_[dest];
+      if (SPRAYER_UNLIKELY(stage.full())) flush_transfer_stage(dest);
+      stage.push(pkt);
     }
   }
 
   if (!conn_local.empty()) cycles += dispatch(conn_local, now, true);
   if (!regular.empty()) cycles += dispatch(regular, now, false);
+  // One ring doorbell per destination for the whole batch.
+  flush_transfers();
 
   stats_.busy_cycles += cycles;
   return cycles;
@@ -48,6 +47,24 @@ Cycles SprayerCore::process_foreign(runtime::PacketBatch& batch, Time now) {
   cycles += dispatch(batch, now, true);
   stats_.busy_cycles += cycles;
   return cycles;
+}
+
+void SprayerCore::flush_transfers() {
+  for (u32 d = 0; d < transfer_stage_.size(); ++d) {
+    flush_transfer_stage(static_cast<CoreId>(d));
+  }
+}
+
+void SprayerCore::flush_transfer_stage(CoreId dest) {
+  runtime::PacketBatch& stage = transfer_stage_[dest];
+  if (stage.empty()) return;
+  const u32 accepted = port_.transfer_batch(dest, stage.packets());
+  stats_.conn_transferred_out += accepted;
+  if (accepted < stage.size()) {
+    stats_.transfer_drops += stage.size() - accepted;
+    net::free_packets(stage.packets().subspan(accepted));
+  }
+  stage.clear();
 }
 
 Cycles SprayerCore::dispatch(runtime::PacketBatch& batch, Time now,
@@ -63,16 +80,25 @@ Cycles SprayerCore::dispatch(runtime::PacketBatch& batch, Time now,
     nf_.regular_packets(batch, ctx_, verdicts_);
   }
   Cycles cycles = ctx_.drain_consumed();
+  // Partition by verdict, then free drops and transmit survivors as whole
+  // batches (one pool bulk-free, one sink invocation).
+  tx_stage_.clear();
+  drop_stage_.clear();
   for (u32 i = 0; i < batch.size(); ++i) {
-    net::Packet* pkt = batch[i];
     if (verdicts_.dropped(i)) {
-      ++stats_.nf_drops;
-      pkt->pool()->free(pkt);
+      drop_stage_.push(batch[i]);
     } else {
       cycles += costs.tx_per_packet;
-      ++stats_.tx_packets;
-      port_.transmit(pkt);
+      tx_stage_.push(batch[i]);
     }
+  }
+  if (!drop_stage_.empty()) {
+    stats_.nf_drops += drop_stage_.size();
+    net::free_packets(drop_stage_.packets());
+  }
+  if (!tx_stage_.empty()) {
+    stats_.tx_packets += tx_stage_.size();
+    port_.transmit_batch(tx_stage_.packets());
   }
   return cycles;
 }

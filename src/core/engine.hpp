@@ -8,6 +8,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "common/types.hpp"
 #include "common/units.hpp"
@@ -29,8 +30,27 @@ class ICorePort {
   /// packet — same as a NIC queue overflow).
   virtual bool transfer(CoreId dest, net::Packet* pkt) = 0;
 
+  /// Hand a whole group of descriptors to one core's ring; returns how many
+  /// were accepted (a prefix — the rest hit a full ring). The default loops
+  /// over transfer(); batch-aware platforms override this with a single
+  /// ring doorbell per call (§3.3: descriptors move "in batches").
+  virtual u32 transfer_batch(CoreId dest, std::span<net::Packet* const> pkts) {
+    u32 accepted = 0;
+    for (net::Packet* pkt : pkts) {
+      if (!transfer(dest, pkt)) break;
+      ++accepted;
+    }
+    return accepted;
+  }
+
   /// Transmit a processed packet (egress port derived from ingress).
   virtual void transmit(net::Packet* pkt) = 0;
+
+  /// Transmit a whole verdict batch. The default loops over transmit();
+  /// batch-aware platforms override it to pay the sink cost once per batch.
+  virtual void transmit_batch(std::span<net::Packet* const> pkts) {
+    for (net::Packet* pkt : pkts) transmit(pkt);
+  }
 };
 
 struct CoreStats {
@@ -61,14 +81,15 @@ class SprayerCore {
  public:
   SprayerCore(CoreId id, const SprayerConfig& cfg, bool stateless,
               INetworkFunction& nf, const CorePicker& picker, NfContext& ctx,
-              ICorePort& port) noexcept
+              ICorePort& port)
       : id_(id),
         cfg_(cfg),
         stateless_(stateless),
         nf_(nf),
         picker_(picker),
         ctx_(ctx),
-        port_(port) {}
+        port_(port),
+        transfer_stage_(cfg.num_cores) {}
 
   [[nodiscard]] CoreId id() const noexcept { return id_; }
   [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
@@ -82,9 +103,19 @@ class SprayerCore {
   /// rings. Returns the cycles consumed.
   Cycles process_foreign(runtime::PacketBatch& batch, Time now);
 
+  /// Flush every per-destination transfer staging buffer (one
+  /// transfer_batch doorbell per non-empty destination). process_rx()
+  /// already calls this at batch end; the executor also invokes it when a
+  /// worker goes idle so staged descriptors can never strand.
+  void flush_transfers();
+
  private:
   /// Run a handler over a batch, apply verdicts, transmit survivors.
   Cycles dispatch(runtime::PacketBatch& batch, Time now, bool connection);
+
+  /// Flush one destination's staging buffer; drops (and frees) whatever
+  /// the destination ring rejects.
+  void flush_transfer_stage(CoreId dest);
 
   CoreId id_;
   const SprayerConfig& cfg_;
@@ -95,6 +126,12 @@ class SprayerCore {
   ICorePort& port_;
   CoreStats stats_;
   BatchVerdicts verdicts_;
+  // Per-destination connection-packet staging: accumulated during
+  // process_rx(), flushed as one bulk ring operation per destination.
+  std::vector<runtime::PacketBatch> transfer_stage_;
+  // Verdict-partition scratch reused across dispatch() calls.
+  runtime::PacketBatch tx_stage_;
+  runtime::PacketBatch drop_stage_;
 };
 
 }  // namespace sprayer::core

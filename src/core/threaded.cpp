@@ -17,10 +17,18 @@ Time steady_now() {
       kNanosecond;
 }
 
+ThreadedMiddlebox::TxBatchHandler wrap_tx(ThreadedMiddlebox::TxHandler tx) {
+  SPRAYER_CHECK_MSG(tx != nullptr, "tx handler must not be null");
+  return [tx = std::move(tx)](std::span<net::Packet* const> pkts) {
+    for (net::Packet* pkt : pkts) tx(pkt);
+  };
+}
+
 }  // namespace
 
-/// ICorePort implementation for one worker: transfers go to the SPSC mesh,
-/// transmissions to the user sink.
+/// ICorePort implementation for one worker: transfers go to the SPSC mesh
+/// (whole staging buffers per doorbell), transmissions to the user sink
+/// (one invocation per verdict batch).
 class ThreadedMiddlebox::CorePort final : public ICorePort {
  public:
   CorePort(ThreadedMiddlebox& owner, CoreId id) : owner_(owner), id_(id) {}
@@ -29,7 +37,16 @@ class ThreadedMiddlebox::CorePort final : public ICorePort {
     return owner_.mesh_[id_][dest]->push(pkt);
   }
 
-  void transmit(net::Packet* pkt) override { owner_.tx_(pkt); }
+  u32 transfer_batch(CoreId dest,
+                     std::span<net::Packet* const> pkts) override {
+    return owner_.mesh_[id_][dest]->push_bulk(pkts);
+  }
+
+  void transmit(net::Packet* pkt) override { owner_.tx_({&pkt, 1}); }
+
+  void transmit_batch(std::span<net::Packet* const> pkts) override {
+    owner_.tx_(pkts);
+  }
 
  private:
   ThreadedMiddlebox& owner_;
@@ -37,11 +54,14 @@ class ThreadedMiddlebox::CorePort final : public ICorePort {
 };
 
 ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
-                                     TxHandler tx)
+                                     TxBatchHandler tx)
     : cfg_(cfg), nf_(nf), tx_(std::move(tx)), picker_(cfg.num_cores),
       rss_(cfg.num_cores) {
   SPRAYER_CHECK(cfg_.num_cores >= 1);
   SPRAYER_CHECK(tx_ != nullptr);
+  SPRAYER_CHECK_MSG(cfg_.rx_batch >= 1 &&
+                        cfg_.rx_batch <= runtime::kMaxBatchSize,
+                    "rx_batch must fit in a PacketBatch");
   nf_.init(nf_init_, cfg_.num_cores);
 
   if (cfg_.mode == DispatchMode::kSpray) {
@@ -67,7 +87,8 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
         picker_, *contexts_.back(), *ports_.back()));
     rx_rings_.push_back(std::make_unique<Ring>(4096));
   }
-  last_housekeeping_.assign(cfg_.num_cores, 0);
+  worker_state_.resize(cfg_.num_cores);
+  inject_stage_.resize(cfg_.num_cores);
   mesh_.resize(cfg_.num_cores);
   for (u32 src = 0; src < cfg_.num_cores; ++src) {
     for (u32 dst = 0; dst < cfg_.num_cores; ++dst) {
@@ -76,6 +97,10 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
     }
   }
 }
+
+ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
+                                     TxHandler tx)
+    : ThreadedMiddlebox(cfg, nf, wrap_tx(std::move(tx))) {}
 
 ThreadedMiddlebox::~ThreadedMiddlebox() { stop(); }
 
@@ -90,6 +115,9 @@ void ThreadedMiddlebox::stop() {
   if (!started_) return;
   workers_.stop();
   started_ = false;
+  // Workers flush their staging buffers at the end of every iteration, but
+  // be defensive: push any leftovers onto the mesh before draining it.
+  for (auto& engine : engines_) engine->flush_transfers();
   // Free anything still queued.
   auto drain = [](Ring& ring) {
     net::Packet* pkt;
@@ -118,15 +146,45 @@ bool ThreadedMiddlebox::inject(net::Packet* pkt) {
   return true;
 }
 
+u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
+  for (auto& group : inject_stage_) group.clear();
+  for (net::Packet* pkt : pkts) {
+    pkt->parse();
+    const auto fdir_queue = fdir_.match(*pkt);
+    const u16 queue =
+        fdir_queue.has_value() ? *fdir_queue : rss_.queue_for(*pkt);
+    inject_stage_[queue].push_back(pkt);
+  }
+  u32 accepted = 0;
+  for (u32 q = 0; q < cfg_.num_cores; ++q) {
+    auto& group = inject_stage_[q];
+    if (group.empty()) continue;
+    const u32 n =
+        rx_rings_[q]->push_bulk(std::span<net::Packet* const>{group});
+    accepted += n;
+    if (n < group.size()) {
+      const auto rejected = std::span<net::Packet* const>{group}.subspan(n);
+      rx_ring_drops_.fetch_add(rejected.size(), std::memory_order_relaxed);
+      net::free_packets(rejected);
+    }
+  }
+  return accepted;
+}
+
 bool ThreadedMiddlebox::worker_body(CoreId core) {
   busy_workers_.fetch_add(1, std::memory_order_acq_rel);
   runtime::PacketBatch batch;
   bool did_work = false;
+  WorkerState& state = worker_state_[core];
+  const u32 n_cores = cfg_.num_cores;
+  // The clock is read at most once per iteration — and not at all on idle
+  // iterations when housekeeping is disabled.
+  Time now = 0;
 
   if (cfg_.housekeeping_interval > 0) {
-    const Time now = steady_now();
-    if (now - last_housekeeping_[core] >= cfg_.housekeeping_interval) {
-      last_housekeeping_[core] = now;
+    now = steady_now();
+    if (now - state.last_housekeeping >= cfg_.housekeeping_interval) {
+      state.last_housekeeping = now;
       NfContext& ctx = *contexts_[core];
       ctx.set_now(now);
       ctx.flows().set_in_connection_handler(true);
@@ -135,24 +193,34 @@ bool ThreadedMiddlebox::worker_body(CoreId core) {
     }
   }
 
-  // Foreign rings first (bounds connection-packet latency).
-  for (u32 src = 0; src < cfg_.num_cores && !batch.full(); ++src) {
+  // Foreign rings first (bounds connection-packet latency). Rotate the scan
+  // start so low-numbered source cores are not systematically drained first
+  // under load.
+  const u32 start = static_cast<u32>(state.foreign_scan_offset++ % n_cores);
+  for (u32 k = 0; k < n_cores && batch.size() < cfg_.rx_batch; ++k) {
+    const u32 src = start + k < n_cores ? start + k : start + k - n_cores;
     if (src == core) continue;
-    net::Packet* pkt;
-    while (batch.size() < cfg_.rx_batch && mesh_[src][core]->pop(pkt)) {
-      batch.push(pkt);
-    }
+    const u32 room = cfg_.rx_batch - batch.size();
+    const u32 got = mesh_[src][core]->pop_bulk(
+        std::span<net::Packet*>{batch.data() + batch.size(), room});
+    batch.set_size(batch.size() + got);
   }
   if (!batch.empty()) {
-    engines_[core]->process_foreign(batch, steady_now());
+    if (now == 0) now = steady_now();
+    engines_[core]->process_foreign(batch, now);
     did_work = true;
   } else {
     const u32 n = rx_rings_[core]->pop_bulk(
         std::span<net::Packet*>{batch.data(), cfg_.rx_batch});
     if (n > 0) {
       batch.set_size(n);
-      engines_[core]->process_rx(batch, steady_now());
+      if (now == 0) now = steady_now();
+      engines_[core]->process_rx(batch, now);
       did_work = true;
+    } else {
+      // Idle: make sure nothing is stranded in a staging buffer (no-op in
+      // the common case — process_rx flushes at batch end).
+      engines_[core]->flush_transfers();
     }
   }
   busy_workers_.fetch_sub(1, std::memory_order_acq_rel);

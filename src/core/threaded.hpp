@@ -2,16 +2,19 @@
 // logic that the simulator drives, running on real std::thread workers.
 //
 // Topology per the paper's architecture (Figure 4):
-//   * a driver (any single thread) injects packets through inject(), which
-//     classifies them with the same RSS / Flow Director objects the
-//     simulated NIC uses and enqueues descriptors on per-core SPSC rx
-//     rings;
+//   * a driver (any single thread) injects packets through inject() /
+//     inject_bulk(), which classify them with the same RSS / Flow Director
+//     objects the simulated NIC uses and enqueue descriptors on per-core
+//     SPSC rx rings (inject_bulk groups a burst by destination queue and
+//     rings each queue's doorbell once);
 //   * one worker thread per core polls its rx ring and its foreign rings
 //     (a full SPSC mesh — connection-packet descriptors are transferred
-//     core-to-core exactly as in the paper) and runs the NF handlers;
-//   * processed packets are handed to a user-supplied sink callback
-//     (invoked on worker threads — it must be thread-safe; returning
-//     packets to their PacketPool is).
+//     core-to-core exactly as in the paper, staged per destination and
+//     flushed as one bulk ring operation per batch) and runs the NF
+//     handlers;
+//   * processed packets are handed to a user-supplied sink callback — one
+//     call per verdict batch — on worker threads (it must be thread-safe;
+//     returning packets to their PacketPool is).
 //
 // Flow tables are the same seqlock-protected FlowTable: the writing
 // partition guarantees a single writer per entry, so cross-core reads need
@@ -21,6 +24,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
@@ -37,9 +41,13 @@ namespace sprayer::core {
 
 class ThreadedMiddlebox {
  public:
-  /// `tx` receives every forwarded packet, on worker threads.
+  /// `tx` receives every forwarded verdict batch, on worker threads.
+  using TxBatchHandler = std::function<void(std::span<net::Packet* const>)>;
+  /// Legacy per-packet sink; wrapped into a TxBatchHandler.
   using TxHandler = std::function<void(net::Packet*)>;
 
+  ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
+                    TxBatchHandler tx);
   ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf, TxHandler tx);
   ~ThreadedMiddlebox();
 
@@ -55,6 +63,12 @@ class ThreadedMiddlebox {
   /// false — and frees the packet — when the target rx ring is full.
   bool inject(net::Packet* pkt);
 
+  /// Dispatch a burst (single-producer): classifies every packet, groups
+  /// them by destination queue, and enqueues each group with one bulk ring
+  /// operation. Returns how many were accepted; the rest hit a full ring
+  /// and are freed (counted in rx_ring_drops()).
+  u32 inject_bulk(std::span<net::Packet* const> pkts);
+
   /// Block until all rings are empty and workers are idle.
   void wait_idle() const;
 
@@ -64,6 +78,10 @@ class ThreadedMiddlebox {
   }
   [[nodiscard]] const CorePicker& picker() const noexcept { return picker_; }
   [[nodiscard]] CoreStats total_stats() const;
+  /// One core's counters (read when workers are idle for exact values).
+  [[nodiscard]] const CoreStats& core_stats(CoreId core) const noexcept {
+    return engines_[core]->stats();
+  }
   [[nodiscard]] u64 rx_ring_drops() const noexcept {
     return rx_ring_drops_.load(std::memory_order_relaxed);
   }
@@ -71,12 +89,18 @@ class ThreadedMiddlebox {
  private:
   class CorePort;
 
+  /// Worker-owned loop state, cache-line separated per core.
+  struct alignas(kCacheLineSize) WorkerState {
+    Time last_housekeeping = 0;
+    u64 foreign_scan_offset = 0;  // rotates the mesh poll start (fairness)
+  };
+
   /// One worker iteration; returns true if any work was done.
   bool worker_body(CoreId core);
 
   SprayerConfig cfg_;
   INetworkFunction& nf_;
-  TxHandler tx_;
+  TxBatchHandler tx_;
   NfInitConfig nf_init_;
   CorePicker picker_;
   nic::RssEngine rss_;
@@ -95,7 +119,9 @@ class ThreadedMiddlebox {
   std::vector<std::vector<std::unique_ptr<Ring>>> mesh_;
 
   runtime::WorkerGroup workers_;
-  std::vector<Time> last_housekeeping_;
+  std::vector<WorkerState> worker_state_;
+  // Driver-side per-queue grouping scratch for inject_bulk().
+  std::vector<std::vector<net::Packet*>> inject_stage_;
   std::atomic<u64> rx_ring_drops_{0};
   std::atomic<u32> busy_workers_{0};
   bool started_ = false;

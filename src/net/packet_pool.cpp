@@ -1,11 +1,64 @@
 #include "net/packet_pool.hpp"
 
+#include <algorithm>
+#include <mutex>
+
 namespace sprayer::net {
 
 namespace {
+
 constexpr std::size_t align_up(std::size_t v, std::size_t a) noexcept {
   return (v + a - 1) & ~(a - 1);
 }
+
+constexpr u32 kNoCacheIndex = ~0u;
+
+// Process-wide registry handing each live thread a stable cache index in
+// [0, kMaxThreadCaches). Indices return to the free stack when the thread
+// exits, so the bound is on *concurrent* threads, not total ever created.
+// The registry mutex also orders a dead thread's last cache writes before
+// a successor thread (reusing its index) reads them.
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+std::vector<u32>& registry_free_ids() {
+  static std::vector<u32> ids;
+  return ids;
+}
+u32 registry_next_id = 0;
+
+u32 acquire_cache_index() {
+  std::scoped_lock lock(registry_mutex());
+  auto& free_ids = registry_free_ids();
+  if (!free_ids.empty()) {
+    const u32 id = free_ids.back();
+    free_ids.pop_back();
+    return id;
+  }
+  if (registry_next_id < PacketPool::kMaxThreadCaches) {
+    return registry_next_id++;
+  }
+  return kNoCacheIndex;
+}
+
+void release_cache_index(u32 id) {
+  std::scoped_lock lock(registry_mutex());
+  registry_free_ids().push_back(id);
+}
+
+struct ThreadCacheSlot {
+  u32 id = acquire_cache_index();
+  ~ThreadCacheSlot() {
+    if (id != kNoCacheIndex) release_cache_index(id);
+  }
+};
+
+u32 thread_cache_index() noexcept {
+  thread_local ThreadCacheSlot slot;
+  return slot.id;
+}
+
 }  // namespace
 
 PacketPool::PacketPool(u32 num_packets, u32 buffer_size)
@@ -15,6 +68,7 @@ PacketPool::PacketPool(u32 num_packets, u32 buffer_size)
   SPRAYER_CHECK_MSG(num_packets > 0, "pool must hold at least one packet");
   SPRAYER_CHECK_MSG(buffer_size >= 64, "buffers must fit a minimum frame");
   slab_ = std::make_unique<u8[]>(slot_size_ * num_packets_);
+  caches_ = std::make_unique<ThreadCache[]>(kMaxThreadCaches);
   freelist_.reserve(num_packets_);
   // Construct descriptors in place; push in reverse so slot 0 pops first.
   for (u32 i = 0; i < num_packets_; ++i) {
@@ -30,29 +84,119 @@ PacketPool::~PacketPool() {
   // Packets are trivially destructible aside from bookkeeping; nothing to do.
 }
 
-Packet* PacketPool::alloc_raw() noexcept {
+PacketPool::ThreadCache* PacketPool::my_cache() noexcept {
+  const u32 idx = thread_cache_index();
+  if (SPRAYER_UNLIKELY(idx == kNoCacheIndex)) return nullptr;
+  return &caches_[idx];
+}
+
+u32 PacketPool::refill_cache(ThreadCache& c) noexcept {
+  const u32 have = c.count.load(std::memory_order_relaxed);
   lock();
-  if (SPRAYER_UNLIKELY(freelist_.empty())) {
-    unlock();
-    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
+  const u32 take = static_cast<u32>(std::min<std::size_t>(
+      kCacheChunk, freelist_.size()));
+  for (u32 i = 0; i < take; ++i) {
+    c.slots[have + i] = freelist_.back();
+    freelist_.pop_back();
   }
-  const u32 slot = freelist_.back();
-  freelist_.pop_back();
+  free_count_.store(freelist_.size(), std::memory_order_relaxed);
   unlock();
-  free_count_.fetch_sub(1, std::memory_order_relaxed);
+  c.count.store(have + take, std::memory_order_relaxed);
+  return have + take;
+}
+
+void PacketPool::flush_cache(ThreadCache& c, u32 n) noexcept {
+  const u32 have = c.count.load(std::memory_order_relaxed);
+  SPRAYER_DCHECK(n <= have);
+  lock();
+  for (u32 i = 0; i < n; ++i) {
+    freelist_.push_back(c.slots[have - 1 - i]);
+  }
+  free_count_.store(freelist_.size(), std::memory_order_relaxed);
+  unlock();
+  c.count.store(have - n, std::memory_order_relaxed);
+}
+
+Packet* PacketPool::alloc_raw() noexcept {
+  ThreadCache* c = my_cache();
+  u32 slot;
+  if (SPRAYER_LIKELY(c != nullptr)) {
+    u32 n = c->count.load(std::memory_order_relaxed);
+    if (SPRAYER_UNLIKELY(n == 0)) {
+      n = refill_cache(*c);
+      if (n == 0) {
+        alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+    }
+    slot = c->slots[n - 1];
+    c->count.store(n - 1, std::memory_order_relaxed);
+  } else {
+    lock();
+    if (SPRAYER_UNLIKELY(freelist_.empty())) {
+      unlock();
+      alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    slot = freelist_.back();
+    freelist_.pop_back();
+    free_count_.store(freelist_.size(), std::memory_order_relaxed);
+    unlock();
+  }
   Packet* p = packet_at(slot);
   p->reset_metadata();
   return p;
 }
 
+u32 PacketPool::alloc_bulk(std::span<Packet*> out) noexcept {
+  u32 got = 0;
+  while (got < out.size()) {
+    Packet* p = alloc_raw();
+    if (p == nullptr) break;
+    out[got++] = p;
+  }
+  return got;
+}
+
 void PacketPool::free(Packet* p) noexcept {
   if (p == nullptr) return;
   SPRAYER_DCHECK(p->pool() == this);
+  ThreadCache* c = my_cache();
+  if (SPRAYER_LIKELY(c != nullptr)) {
+    u32 n = c->count.load(std::memory_order_relaxed);
+    if (SPRAYER_UNLIKELY(n == kCacheCapacity)) {
+      flush_cache(*c, kCacheChunk);
+      n -= kCacheChunk;
+    }
+    c->slots[n] = p->slot();
+    c->count.store(n + 1, std::memory_order_relaxed);
+    return;
+  }
   lock();
   freelist_.push_back(p->slot());
+  free_count_.store(freelist_.size(), std::memory_order_relaxed);
   unlock();
-  free_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PacketPool::free_bulk(std::span<Packet* const> pkts) noexcept {
+  for (Packet* p : pkts) free(p);
+}
+
+void free_packets(std::span<Packet* const> pkts) noexcept {
+  std::size_t i = 0;
+  while (i < pkts.size()) {
+    if (pkts[i] == nullptr) {
+      ++i;
+      continue;
+    }
+    PacketPool* pool = pkts[i]->pool();
+    std::size_t j = i + 1;
+    while (j < pkts.size() && pkts[j] != nullptr && pkts[j]->pool() == pool) {
+      ++j;
+    }
+    pool->free_bulk(pkts.subspan(i, j - i));
+    i = j;
+  }
 }
 
 void PacketDeleter::operator()(Packet* p) const noexcept {

@@ -1,14 +1,24 @@
-// Fixed-capacity packet buffer pool.
+// Fixed-capacity packet buffer pool with per-thread caches.
 //
 // One contiguous slab of equal-size slots, each holding a Packet descriptor
 // followed by its data buffer. Allocation and free are O(1) via a LIFO
-// freelist (LIFO keeps hot buffers cache-resident). A tiny spinlock makes
-// the pool usable from the threaded executor; in the single-threaded
-// simulator it is uncontended and nearly free.
+// freelist (LIFO keeps hot buffers cache-resident).
+//
+// The shared freelist is protected by a tiny spinlock, but the steady-state
+// path never touches it: each thread owns a DPDK-mempool-style magazine
+// cache of slot indices (refilled / flushed in kCacheChunk-sized bulk moves
+// under one lock acquisition), so per-packet alloc/free is a plain
+// thread-local array operation with no atomic RMW. Threads register for a
+// cache index on first use; indices are recycled when threads exit, so
+// long test runs with many short-lived workers stay within
+// kMaxThreadCaches. Overflow threads (beyond kMaxThreadCaches concurrent)
+// fall back to the locked single-slot path.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/check.hpp"
@@ -28,6 +38,12 @@ class PacketPool {
   PacketPool& operator=(const PacketPool&) = delete;
 
   static constexpr u32 kDefaultBufferSize = 2048;
+  /// Per-thread magazine capacity and the bulk refill/flush granularity.
+  static constexpr u32 kCacheCapacity = 256;
+  static constexpr u32 kCacheChunk = 128;
+  /// Concurrent threads that get a lock-free cache; more simply fall back
+  /// to the locked path.
+  static constexpr u32 kMaxThreadCaches = 64;
 
   /// Allocate a packet; returns nullptr when the pool is exhausted (the
   /// normal backpressure signal, not an error).
@@ -38,12 +54,25 @@ class PacketPool {
     return PacketPtr{alloc_raw()};
   }
 
+  /// Fill `out` with freshly allocated packets; returns how many were
+  /// available (a prefix of `out`).
+  [[nodiscard]] u32 alloc_bulk(std::span<Packet*> out) noexcept;
+
   void free(Packet* p) noexcept;
+
+  /// Free a batch from this pool; per-packet cost is one cache push.
+  void free_bulk(std::span<Packet* const> pkts) noexcept;
 
   [[nodiscard]] u32 size() const noexcept { return num_packets_; }
   [[nodiscard]] u32 buffer_size() const noexcept { return buffer_size_; }
+  /// Free slots across the shared freelist and all thread caches. Exact
+  /// when the pool is quiescent, approximate while threads are allocating.
   [[nodiscard]] u32 available() const noexcept {
-    return static_cast<u32>(free_count_.load(std::memory_order_relaxed));
+    u64 total = free_count_.load(std::memory_order_relaxed);
+    for (u32 i = 0; i < kMaxThreadCaches; ++i) {
+      total += caches_[i].count.load(std::memory_order_relaxed);
+    }
+    return static_cast<u32>(total);
   }
   [[nodiscard]] u32 in_use() const noexcept {
     return num_packets_ - available();
@@ -53,9 +82,25 @@ class PacketPool {
   }
 
  private:
+  struct alignas(kCacheLineSize) ThreadCache {
+    // `count` is written only by the owning thread (plain store; atomic so
+    // available() can read it racily) — never an RMW on the hot path.
+    std::atomic<u32> count{0};
+    std::array<u32, kCacheCapacity> slots;
+  };
+
   [[nodiscard]] Packet* packet_at(u32 slot) noexcept {
     return reinterpret_cast<Packet*>(slab_.get() + slot * slot_size_);
   }
+
+  /// This thread's cache, or nullptr for overflow threads.
+  [[nodiscard]] ThreadCache* my_cache() noexcept;
+
+  /// Bulk-move up to kCacheChunk slots from the shared freelist into `c`
+  /// (one lock acquisition). Returns the new cache count.
+  u32 refill_cache(ThreadCache& c) noexcept;
+  /// Bulk-move `n` slots from the top of `c` back to the shared freelist.
+  void flush_cache(ThreadCache& c, u32 n) noexcept;
 
   void lock() noexcept {
     while (lock_.test_and_set(std::memory_order_acquire)) cpu_relax();
@@ -66,10 +111,15 @@ class PacketPool {
   u32 buffer_size_;
   std::size_t slot_size_;
   std::unique_ptr<u8[]> slab_;
-  std::vector<u32> freelist_;
+  std::vector<u32> freelist_;  // shared; guarded by lock_
+  std::unique_ptr<ThreadCache[]> caches_;
   std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
-  std::atomic<u64> free_count_{0};
+  std::atomic<u64> free_count_{0};  // shared-freelist size only
   std::atomic<u64> alloc_failures_{0};
 };
+
+/// Free a mixed-pool batch, grouping consecutive same-pool runs into one
+/// free_bulk call each. Null entries are skipped.
+void free_packets(std::span<Packet* const> pkts) noexcept;
 
 }  // namespace sprayer::net

@@ -56,7 +56,7 @@ NatNf::Entry* NatNf::open_session(const net::FiveTuple& tuple,
     return flows.designated_core(probe.reversed()) == ctx.core();
   });
   if (port == 0) {
-    ++counters_.port_exhausted;
+    counters_.port_exhausted.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
 
@@ -85,7 +85,7 @@ NatNf::Entry* NatNf::open_session(const net::FiveTuple& tuple,
   bwd->state = SessionState::kActive;
   bwd->fin_seen = 0;
 
-  ++counters_.sessions_opened;
+  counters_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
   return fwd;
 }
 
@@ -104,7 +104,7 @@ void NatNf::close_session(const net::FiveTuple& tuple, Entry& e,
     pair->state = SessionState::kTimeWait;
     pair->expires = deadline;
   }
-  ++counters_.sessions_closed;
+  counters_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void NatNf::abort_session(const net::FiveTuple& tuple, Entry& e,
@@ -114,7 +114,7 @@ void NatNf::abort_session(const net::FiveTuple& tuple, Entry& e,
   (void)ctx.flows().remove_local_flow(tuple);
   (void)ctx.flows().remove_local_flow(pair);
   ports_.release(port);
-  ++counters_.sessions_closed;
+  counters_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void NatNf::housekeeping(core::NfContext& ctx) {
@@ -158,7 +158,7 @@ void NatNf::connection_packets(runtime::PacketBatch& batch,
       }
       if (e == nullptr) {
         // Unsolicited inbound connection attempt, or pool exhausted.
-        ++counters_.unmatched_dropped;
+        counters_.unmatched_dropped.fetch_add(1, std::memory_order_relaxed);
         verdicts.drop(i);
         continue;
       }
@@ -176,7 +176,7 @@ void NatNf::connection_packets(runtime::PacketBatch& batch,
         pair->state = SessionState::kActive;
         pair->fin_seen = 0;
       }
-      ++counters_.sessions_opened;
+      counters_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
     }
 
     if (tcp.has(net::TcpFlags::kRst)) {
@@ -211,7 +211,7 @@ void NatNf::regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
     const auto* e =
         static_cast<const Entry*>(ctx.flows().get_flow(pkt->five_tuple()));
     if (e == nullptr || e->state == SessionState::kInvalid) {
-      ++counters_.unmatched_dropped;
+      counters_.unmatched_dropped.fetch_add(1, std::memory_order_relaxed);
       verdicts.drop(i);
       continue;
     }

@@ -14,6 +14,8 @@
 // (expected #cores tries — see PortPool::claim_matching).
 #pragma once
 
+#include <atomic>
+
 #include "core/nf.hpp"
 #include "net/checksum.hpp"
 #include "nf/port_pool.hpp"
@@ -52,11 +54,14 @@ class NatNf final : public core::INetworkFunction {
 
   [[nodiscard]] const char* name() const noexcept override { return "nat"; }
 
+  /// Counters are bumped from whichever worker thread owns the session's
+  /// designated core, so they are relaxed atomics (connection events only —
+  /// never on the per-packet forwarding path).
   struct NatCounters {
-    u64 sessions_opened = 0;
-    u64 sessions_closed = 0;
-    u64 port_exhausted = 0;
-    u64 unmatched_dropped = 0;
+    std::atomic<u64> sessions_opened{0};
+    std::atomic<u64> sessions_closed{0};
+    std::atomic<u64> port_exhausted{0};
+    std::atomic<u64> unmatched_dropped{0};
   };
   [[nodiscard]] const NatCounters& counters() const noexcept {
     return counters_;

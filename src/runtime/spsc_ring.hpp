@@ -29,6 +29,16 @@ class SpscRing {
                       "ring capacity must be a power of two >= 2");
   }
 
+  /// Test hook: start both free-running indices at `initial_index` (e.g.
+  /// just below 2^32) so wraparound of the index arithmetic can be
+  /// exercised without billions of operations.
+  SpscRing(u32 capacity, u64 initial_index) : SpscRing(capacity) {
+    head_.store(initial_index, std::memory_order_relaxed);
+    tail_.store(initial_index, std::memory_order_relaxed);
+    cached_tail_ = initial_index;
+    cached_head_ = initial_index;
+  }
+
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 

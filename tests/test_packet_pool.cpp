@@ -1,9 +1,12 @@
-// PacketPool: exhaustion, reuse, RAII handles, thread safety.
+// PacketPool: exhaustion, reuse, RAII handles, bulk operations, and
+// thread-cache safety (alloc/free storms with slot accounting).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "net/packet_pool.hpp"
 
 namespace sprayer::net {
@@ -72,6 +75,114 @@ TEST(PacketPool, DistinctBuffers) {
   EXPECT_NE(a->data(), b->data());
   pool.free(a);
   pool.free(b);
+}
+
+TEST(PacketPool, BulkAllocAndFree) {
+  PacketPool pool(64, 128);
+  std::vector<Packet*> pkts(80, nullptr);
+  // Only 64 slots exist: bulk alloc returns the available prefix.
+  EXPECT_EQ(pool.alloc_bulk(pkts), 64u);
+  EXPECT_EQ(pool.available(), 0u);
+  for (u32 i = 0; i < 64; ++i) {
+    ASSERT_NE(pkts[i], nullptr);
+    for (u32 j = i + 1; j < 64; ++j) EXPECT_NE(pkts[i], pkts[j]);
+  }
+  pool.free_bulk(std::span<Packet* const>{pkts.data(), 64});
+  EXPECT_EQ(pool.available(), 64u);
+
+  // free_packets groups same-pool runs and skips nulls.
+  EXPECT_EQ(pool.alloc_bulk(std::span{pkts.data(), 8}), 8u);
+  pkts[3] = nullptr;
+  free_packets(std::span<Packet* const>{pkts.data(), 8});
+  EXPECT_EQ(pool.available(), 63u);  // the nulled-out one is still ours
+}
+
+TEST(PacketPool, CacheStressNoLeakNoDoubleFree) {
+  // Alloc/free storm across more threads than cores, with per-slot
+  // accounting: every slot must alternate strictly between allocated and
+  // free, across whichever thread's cache it lands in.
+  PacketPool pool(2048, 128);
+  constexpr int kThreads = 5;
+  constexpr int kIters = 30000;
+  std::vector<std::atomic<u8>> held(pool.size());
+  std::atomic<u64> violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &held, &violations, t] {
+      sprayer::Rng rng(1000 + t);
+      std::vector<Packet*> local;
+      std::vector<Packet*> scratch;
+      for (int i = 0; i < kIters; ++i) {
+        switch (rng.next() % 4) {
+          case 0: {  // single alloc
+            Packet* p = pool.alloc_raw();
+            if (p == nullptr) break;
+            if (held[p->slot()].exchange(1) != 0) ++violations;
+            local.push_back(p);
+            break;
+          }
+          case 1: {  // bulk alloc
+            scratch.assign(17, nullptr);
+            const u32 n = pool.alloc_bulk(scratch);
+            for (u32 k = 0; k < n; ++k) {
+              if (held[scratch[k]->slot()].exchange(1) != 0) ++violations;
+              local.push_back(scratch[k]);
+            }
+            break;
+          }
+          case 2: {  // single free
+            if (local.empty()) break;
+            Packet* p = local.back();
+            local.pop_back();
+            if (held[p->slot()].exchange(0) != 1) ++violations;
+            pool.free(p);
+            break;
+          }
+          default: {  // bulk free of up to half the holdings
+            if (local.empty()) break;
+            const std::size_t n = local.size() / 2 + 1;
+            const std::size_t base = local.size() - n;
+            for (std::size_t k = base; k < local.size(); ++k) {
+              if (held[local[k]->slot()].exchange(0) != 1) ++violations;
+            }
+            pool.free_bulk(
+                std::span<Packet* const>{local.data() + base, n});
+            local.resize(base);
+            break;
+          }
+        }
+      }
+      for (Packet* p : local) {
+        if (held[p->slot()].exchange(0) != 1) ++violations;
+        pool.free(p);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(pool.available(), pool.size());  // no slot leaked
+  for (const auto& h : held) EXPECT_EQ(h.load(), 0u);
+}
+
+TEST(PacketPool, ManyShortLivedThreadsRecycleCacheIndices) {
+  // Thread cache indices must be recycled as threads exit, or long runs
+  // with churn would overflow kMaxThreadCaches and degrade silently.
+  PacketPool pool(512, 128);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::thread> threads;
+    for (u32 t = 0; t < PacketPool::kMaxThreadCaches; ++t) {
+      threads.emplace_back([&pool] {
+        std::vector<Packet*> local;
+        for (int i = 0; i < 64; ++i) {
+          Packet* p = pool.alloc_raw();
+          if (p != nullptr) local.push_back(p);
+        }
+        pool.free_bulk(local);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_EQ(pool.available(), pool.size());
 }
 
 TEST(PacketPool, ConcurrentAllocFree) {
