@@ -6,11 +6,34 @@
 #define SPRAYER_UNLIKELY(x) __builtin_expect(!!(x), 0)
 #define SPRAYER_ALWAYS_INLINE inline __attribute__((always_inline))
 #define SPRAYER_NOINLINE __attribute__((noinline))
+#define SPRAYER_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 3)
 #else
 #define SPRAYER_LIKELY(x) (x)
 #define SPRAYER_UNLIKELY(x) (x)
 #define SPRAYER_ALWAYS_INLINE inline
 #define SPRAYER_NOINLINE
+#define SPRAYER_PREFETCH_READ(addr) ((void)(addr))
+#endif
+
+// ThreadSanitizer detection (GCC defines __SANITIZE_THREAD__, Clang exposes
+// __has_feature). Seqlock-style code uses this to switch deliberately-racy
+// fast paths (SIMD tag scans, snapshot copies) to TSan-visible or
+// TSan-exempt equivalents.
+#if defined(__SANITIZE_THREAD__)
+#define SPRAYER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SPRAYER_TSAN 1
+#endif
+#endif
+#ifndef SPRAYER_TSAN
+#define SPRAYER_TSAN 0
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SPRAYER_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#else
+#define SPRAYER_NO_SANITIZE_THREAD
 #endif
 
 namespace sprayer {

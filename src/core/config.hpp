@@ -38,6 +38,10 @@ struct SprayerConfig {
   DispatchMode mode = DispatchMode::kSpray;
   u32 rx_batch = 32;                // packets polled per iteration
   u32 foreign_ring_capacity = 4096; // connection-packet descriptor ring
+  /// Ablation knob: route FlowStateApi::get_flows through the prefetch-
+  /// pipelined FlowTable::find_batch (true) or the scalar per-lookup path
+  /// (false), for measuring what bulk lookup buys.
+  bool bulk_flow_lookup = true;
   /// Period of the per-core NF housekeeping callback (0 disables).
   Time housekeeping_interval = 10 * kMillisecond;
   CostModel costs;

@@ -31,8 +31,13 @@ class CorePicker {
   }
 
   [[nodiscard]] CoreId pick(const net::FiveTuple& tuple) const noexcept {
-    const u32 h = hash::toeplitz_v4_l4(tuple, rss_.key());
-    return static_cast<CoreId>(rss_.queue_for_hash(h));
+    return pick_hash(rss_.hash_of(tuple));
+  }
+
+  /// Pick from an already-computed symmetric flow hash (the packet's
+  /// memoized rx-descriptor RSS hash) — skips re-hashing the five-tuple.
+  [[nodiscard]] CoreId pick_hash(u32 flow_hash) const noexcept {
+    return static_cast<CoreId>(rss_.queue_for_hash(flow_hash));
   }
 
  private:

@@ -1,5 +1,8 @@
 #include "core/engine.hpp"
 
+#include <bit>
+
+#include "hash/designated.hpp"
 #include "net/packet_pool.hpp"
 
 namespace sprayer::core {
@@ -18,8 +21,9 @@ Cycles SprayerCore::process_rx(runtime::PacketBatch& batch, Time now) {
       regular.push(pkt);
       continue;
     }
-    // Connection packet: route to its designated core.
-    const CoreId dest = picker_.pick(pkt->five_tuple());
+    // Connection packet: route to its designated core via the memoized
+    // rx-descriptor RSS hash (computed lazily if the NIC didn't stash one).
+    const CoreId dest = picker_.pick_hash(hash::packet_flow_hash(*pkt));
     if (dest == id_) {
       conn_local.push(pkt);
       ++stats_.conn_local;
@@ -28,6 +32,7 @@ Cycles SprayerCore::process_rx(runtime::PacketBatch& batch, Time now) {
       runtime::PacketBatch& stage = transfer_stage_[dest];
       if (SPRAYER_UNLIKELY(stage.full())) flush_transfer_stage(dest);
       stage.push(pkt);
+      transfer_dirty_ |= u64{1} << dest;
     }
   }
 
@@ -50,12 +55,18 @@ Cycles SprayerCore::process_foreign(runtime::PacketBatch& batch, Time now) {
 }
 
 void SprayerCore::flush_transfers() {
-  for (u32 d = 0; d < transfer_stage_.size(); ++d) {
-    flush_transfer_stage(static_cast<CoreId>(d));
+  // Only destinations whose bit is set have staged packets; an idle core
+  // (or one whose batch stayed local) skips the whole stage sweep.
+  u64 dirty = transfer_dirty_;
+  while (dirty != 0) {
+    const auto d = static_cast<CoreId>(std::countr_zero(dirty));
+    dirty &= dirty - 1;
+    flush_transfer_stage(d);
   }
 }
 
 void SprayerCore::flush_transfer_stage(CoreId dest) {
+  transfer_dirty_ &= ~(u64{1} << dest);
   runtime::PacketBatch& stage = transfer_stage_[dest];
   if (stage.empty()) return;
   const u32 accepted = port_.transfer_batch(dest, stage.packets());

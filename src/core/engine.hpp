@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "core/config.hpp"
@@ -89,7 +90,10 @@ class SprayerCore {
         picker_(picker),
         ctx_(ctx),
         port_(port),
-        transfer_stage_(cfg.num_cores) {}
+        transfer_stage_(cfg.num_cores) {
+    SPRAYER_CHECK_MSG(cfg.num_cores <= 64,
+                      "transfer dirty mask covers at most 64 cores");
+  }
 
   [[nodiscard]] CoreId id() const noexcept { return id_; }
   [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
@@ -128,7 +132,10 @@ class SprayerCore {
   BatchVerdicts verdicts_;
   // Per-destination connection-packet staging: accumulated during
   // process_rx(), flushed as one bulk ring operation per destination.
+  // transfer_dirty_ bit d set <=> transfer_stage_[d] is non-empty, so a
+  // flush touches only destinations that actually staged packets.
   std::vector<runtime::PacketBatch> transfer_stage_;
+  u64 transfer_dirty_ = 0;
   // Verdict-partition scratch reused across dispatch() calls.
   runtime::PacketBatch tx_stage_;
   runtime::PacketBatch drop_stage_;

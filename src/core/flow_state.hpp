@@ -42,6 +42,8 @@ struct FlowAccessStats {
 
 class FlowStateApi {
  public:
+  using FlowHash = FlowTable::FlowHash;
+
   FlowStateApi(CoreId core, std::span<FlowTable* const> tables,
                const CorePicker& picker, const CostModel& costs,
                Cycles& cycle_sink) noexcept
@@ -62,33 +64,49 @@ class FlowStateApi {
     return picker_.pick(flow_id);
   }
 
+  /// Same, from the flow's memoized symmetric hash (Packet::flow_hash()).
+  [[nodiscard]] CoreId designated_core(FlowHash hash) const noexcept {
+    return picker_.pick_hash(hash);
+  }
+
   /// Insert a flow entry in the local table; returns the zeroed entry (or
   /// the existing one), nullptr when the table is full. Throws if this core
   /// is not the flow's designated core (writing-partition violation).
   [[nodiscard]] void* insert_local_flow(const net::FiveTuple& flow_id) {
-    SPRAYER_CHECK_MSG(designated_core(flow_id) == core_,
+    return insert_local_flow(flow_id, FlowTable::hash_of(flow_id));
+  }
+  [[nodiscard]] void* insert_local_flow(const net::FiveTuple& flow_id,
+                                        FlowHash hash) {
+    SPRAYER_CHECK_MSG(designated_core(hash) == core_,
                       "writing-partition violation: insert_local_flow on "
                       "non-designated core for " + flow_id.to_string());
     cycles_ += costs_.flow_insert;
     count_write();
-    return local().insert(flow_id);
+    return local().insert(flow_id, hash);
   }
 
   /// Remove a flow entry from the local table.
   bool remove_local_flow(const net::FiveTuple& flow_id) {
-    SPRAYER_CHECK_MSG(designated_core(flow_id) == core_,
+    return remove_local_flow(flow_id, FlowTable::hash_of(flow_id));
+  }
+  bool remove_local_flow(const net::FiveTuple& flow_id, FlowHash hash) {
+    SPRAYER_CHECK_MSG(designated_core(hash) == core_,
                       "writing-partition violation: remove_local_flow on "
                       "non-designated core for " + flow_id.to_string());
     cycles_ += costs_.flow_remove;
     count_write();
-    return local().remove(flow_id);
+    return local().remove(flow_id, hash);
   }
 
   /// Modifiable entry from the local table; nullptr if absent.
   [[nodiscard]] void* get_local_flow(const net::FiveTuple& flow_id) {
+    return get_local_flow(flow_id, FlowTable::hash_of(flow_id));
+  }
+  [[nodiscard]] void* get_local_flow(const net::FiveTuple& flow_id,
+                                     FlowHash hash) {
     cycles_ += costs_.flow_lookup_local;
     count_write();  // returns a mutable entry: counted as write access
-    return local().find_local(flow_id);
+    return local().find_local(flow_id, hash);
   }
 
   /// Read-only entry from the flow's designated core; nullptr if absent.
@@ -96,32 +114,45 @@ class FlowStateApi {
   /// write (casting it away is the same undefined behavior the paper warns
   /// about).
   [[nodiscard]] const void* get_flow(const net::FiveTuple& flow_id) {
-    const CoreId dest = designated_core(flow_id);
+    return get_flow(flow_id, FlowTable::hash_of(flow_id));
+  }
+  [[nodiscard]] const void* get_flow(const net::FiveTuple& flow_id,
+                                     FlowHash hash) {
+    const CoreId dest = designated_core(hash);
     cycles_ += (dest == core_) ? costs_.flow_lookup_local
                                : costs_.flow_lookup_remote;
     count_read();
-    return tables_[dest]->find_remote(flow_id);
+    return tables_[dest]->find_remote(flow_id, hash);
   }
 
-  /// Batched get_flow: amortizes hashing/prefetch, so each lookup is charged
-  /// the cheaper batched cost. out[i] is nullptr for absent flows.
+  /// Batched get_flow: amortizes hashing and pipelines the tables' cache
+  /// misses with software prefetch (FlowTable::find_batch), so each lookup
+  /// is charged the cheaper batched cost. out[i] is nullptr for absent
+  /// flows. `hashes[i]` must be hash_of(flow_ids[i]) — typically the
+  /// packets' memoized rx-descriptor hashes.
   void get_flows(std::span<const net::FiveTuple> flow_ids,
-                 std::span<const void*> out) {
-    SPRAYER_CHECK(out.size() >= flow_ids.size());
-    for (std::size_t i = 0; i < flow_ids.size(); ++i) {
-      cycles_ += costs_.flow_lookup_batched;
-      count_read();
-      out[i] = tables_[designated_core(flow_ids[i])]->find_remote(flow_ids[i]);
-    }
-  }
+                 std::span<const FlowHash> hashes, std::span<const void*> out);
+
+  /// Convenience overload that hashes the keys itself.
+  void get_flows(std::span<const net::FiveTuple> flow_ids,
+                 std::span<const void*> out);
+
+  /// Ablation knob (SprayerConfig::bulk_flow_lookup): when disabled,
+  /// get_flows degrades to the scalar per-lookup path with per-lookup costs.
+  void set_bulk_enabled(bool enabled) noexcept { bulk_enabled_ = enabled; }
+  [[nodiscard]] bool bulk_enabled() const noexcept { return bulk_enabled_; }
 
   /// Snapshot-consistent copy of a (possibly remote) flow entry.
   [[nodiscard]] bool read_flow(const net::FiveTuple& flow_id,
                                std::span<u8> out) {
-    const CoreId dest = designated_core(flow_id);
+    return read_flow(flow_id, FlowTable::hash_of(flow_id), out);
+  }
+  [[nodiscard]] bool read_flow(const net::FiveTuple& flow_id, FlowHash hash,
+                               std::span<u8> out) {
+    const CoreId dest = designated_core(hash);
     cycles_ += (dest == core_) ? costs_.flow_lookup_local
                                : costs_.flow_lookup_remote;
-    return tables_[dest]->read_consistent(flow_id, out);
+    return tables_[dest]->read_consistent(flow_id, hash, out);
   }
 
   [[nodiscard]] FlowTable& local() noexcept { return *tables_[core_]; }
@@ -149,6 +180,7 @@ class FlowStateApi {
   const CostModel& costs_;
   Cycles& cycles_;
   bool in_conn_ = false;
+  bool bulk_enabled_ = true;
   FlowAccessStats access_;
 };
 

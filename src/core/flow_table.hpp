@@ -2,10 +2,23 @@
 // exactly one core (the owner / designated core) ever writes a flow's entry,
 // while any core may read it (§3.2–3.3).
 //
-// Implementation: fixed-capacity open-addressing hash table (linear probing
-// with tombstones), entries stored inline. A per-slot seqlock version makes
-// cross-core reads consistent in the threaded executor without any locking
-// on the writer side; in the single-threaded simulator it is inert.
+// Implementation: cache-conscious open-addressing table in the style of
+// DPDK's rte_hash / Swiss tables. Slot metadata is split into cache-line-
+// aligned groups of 16 one-byte hash tags scanned 16-at-a-time with SSE2 (a
+// portable SWAR fallback covers other ISAs), so a probe touches exactly one
+// tag line before ever dereferencing a key; full keys, per-slot seqlock
+// versions, and entry data live in separate parallel arrays. The table is
+// indexed by the system-wide symmetric flow hash (the same Toeplitz value a
+// symmetric-key RSS NIC computes, memoized in Packet::flow_hash()) folded
+// with a two-multiply mix of the key itself — the symmetric Toeplitz value
+// has at most 2^16 distinct outputs and cannot index a large table alone
+// (see mix()) — so hot paths never re-run the per-byte Toeplitz LUT.
+// find_batch() pipelines a whole batch of lookups with software prefetch
+// (tag group, then key/entry lines) the way rte_hash_lookup_bulk does.
+//
+// A per-slot seqlock version makes cross-core reads consistent in the
+// threaded executor without any locking on the writer side; in the
+// single-threaded simulator it is inert.
 #pragma once
 
 #include <atomic>
@@ -14,6 +27,7 @@
 #include <span>
 
 #include "common/check.hpp"
+#include "common/compiler.hpp"
 #include "common/types.hpp"
 #include "net/five_tuple.hpp"
 
@@ -21,39 +35,88 @@ namespace sprayer::core {
 
 class FlowTable {
  public:
-  /// `capacity` must be a power of two. `entry_size` is the inline state
-  /// size per flow (NFs set it in their init function).
+  /// The symmetric flow hash the table is indexed by (see hash::flow_hash).
+  using FlowHash = u32;
+
+  /// Hash a key the way every other call site does. All overloads taking an
+  /// explicit FlowHash require exactly this value (typically read from
+  /// Packet::flow_hash() instead of recomputed).
+  [[nodiscard]] static FlowHash hash_of(const net::FiveTuple& key) noexcept;
+
+  /// Slots per tag group; one group's tags share a 16-byte line segment.
+  static constexpr u32 kGroupWidth = 16;
+
+  /// `capacity` must be a power of two (values below kGroupWidth are rounded
+  /// up to it). `entry_size` is the inline state size per flow (NFs set it
+  /// in their init function).
   FlowTable(u32 capacity, u32 entry_size, CoreId owner);
+  ~FlowTable();
 
   FlowTable(const FlowTable&) = delete;
   FlowTable& operator=(const FlowTable&) = delete;
 
   [[nodiscard]] u32 capacity() const noexcept { return capacity_; }
   [[nodiscard]] u32 entry_size() const noexcept { return entry_size_; }
-  [[nodiscard]] u32 size() const noexcept { return occupied_; }
+  /// Live-entry count. Written only by the owner core; cross-core readers
+  /// (stats paths) get a relaxed-atomic snapshot that may lag the owner by
+  /// an in-flight insert/remove but is never torn.
+  [[nodiscard]] u32 size() const noexcept {
+    return occupied_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] CoreId owner() const noexcept { return owner_; }
 
   /// Insert a flow; returns its (zero-initialized) entry, the existing entry
   /// if the key is already present, or nullptr when the table is full.
   /// Owner-core only.
-  [[nodiscard]] void* insert(const net::FiveTuple& key);
+  [[nodiscard]] void* insert(const net::FiveTuple& key) {
+    return insert(key, hash_of(key));
+  }
+  [[nodiscard]] void* insert(const net::FiveTuple& key, FlowHash hash);
 
   /// Remove a flow. Returns false if absent. Owner-core only.
-  bool remove(const net::FiveTuple& key);
+  bool remove(const net::FiveTuple& key) { return remove(key, hash_of(key)); }
+  bool remove(const net::FiveTuple& key, FlowHash hash);
 
   /// Mutable lookup for the owner core.
-  [[nodiscard]] void* find_local(const net::FiveTuple& key) noexcept;
+  [[nodiscard]] void* find_local(const net::FiveTuple& key) noexcept {
+    return find_local(key, hash_of(key));
+  }
+  [[nodiscard]] void* find_local(const net::FiveTuple& key,
+                                 FlowHash hash) noexcept;
 
   /// Read-only lookup from any core. The pointer is stable until the owner
   /// removes the flow; concurrent in-place updates by the owner may be seen
   /// torn (same as reading a foreign table in any lock-free DPDK pipeline) —
   /// use read_consistent() when a snapshot is required.
   [[nodiscard]] const void* find_remote(
-      const net::FiveTuple& key) const noexcept;
+      const net::FiveTuple& key) const noexcept {
+    return find_remote(key, hash_of(key));
+  }
+  [[nodiscard]] const void* find_remote(const net::FiveTuple& key,
+                                        FlowHash hash) const noexcept;
+
+  /// Batched find_remote: a software-prefetch pipeline (tag group first,
+  /// then the candidate's key and entry lines) that overlaps the cache
+  /// misses of up to a batch of independent lookups. out[i] is nullptr for
+  /// absent keys; returns the number of hits. `hashes` must be the hash_of
+  /// each key (e.g. the packets' memoized RSS hashes).
+  u32 find_batch(std::span<const net::FiveTuple> keys,
+                 std::span<const FlowHash> hashes,
+                 std::span<const void*> out) const noexcept;
+
+  /// Issue a prefetch for the key's tag group (stage one of the bulk
+  /// pipeline; useful when lookups span several tables).
+  void prefetch(const net::FiveTuple& key, FlowHash hash) const noexcept {
+    SPRAYER_PREFETCH_READ(tags_ + group_base(group_of(mix(hash, pack_key(key)))));
+  }
 
   /// Seqlock-consistent copy of a flow's entry into `out` (which must be at
   /// least entry_size bytes). Returns false if the flow is absent.
   [[nodiscard]] bool read_consistent(const net::FiveTuple& key,
+                                     std::span<u8> out) const noexcept {
+    return read_consistent(key, hash_of(key), out);
+  }
+  [[nodiscard]] bool read_consistent(const net::FiveTuple& key, FlowHash hash,
                                      std::span<u8> out) const noexcept;
 
   /// Owner marks an entry about to be mutated / finished mutating. Required
@@ -66,41 +129,98 @@ class FlowTable {
   template <typename Fn>
   void for_each(Fn&& fn) {
     for (u32 i = 0; i < capacity_; ++i) {
-      if (slots_[i].state == SlotState::kOccupied) {
-        fn(slots_[i].key, entry_at(i));
+      if (tags_[i] & kOccupiedBit) {
+        fn(unpack_key(load_key(i)), entry_at(i));
       }
     }
   }
 
  private:
-  enum class SlotState : u8 { kEmpty = 0, kTombstone = 1, kOccupied = 2 };
+  // Tag bytes: 0 = empty (zero-initialized), 1 = tombstone, high bit set =
+  // occupied with the mixed hash's top 7 bits in the low bits — a negative
+  // probe rejects 127/128 foreign slots from the tag line alone.
+  static constexpr u8 kEmptyTag = 0x00;
+  static constexpr u8 kTombstoneTag = 0x01;
+  static constexpr u8 kOccupiedBit = 0x80;
 
-  struct Slot {
-    std::atomic<u32> version{0};  // seqlock: odd while being written
-    SlotState state = SlotState::kEmpty;
-    net::FiveTuple key;
+  /// The five-tuple, packed into two words so cross-core key loads can be
+  /// word-sized relaxed atomics (TSan-visible, plain movs on x86).
+  struct PackedKey {
+    u64 a;  // src_ip:dst_ip
+    u64 b;  // src_port:dst_port:protocol
+    [[nodiscard]] bool operator==(const PackedKey&) const = default;
   };
+  [[nodiscard]] static PackedKey pack_key(const net::FiveTuple& t) noexcept;
+  [[nodiscard]] static net::FiveTuple unpack_key(PackedKey k) noexcept;
+
+  /// 16-bit lane masks for one tag group.
+  struct GroupScan {
+    u32 match;  // tag == needle
+    u32 free;   // empty or tombstone
+    u32 empty;  // empty only (terminates probe chains)
+  };
+  [[nodiscard]] GroupScan scan_group(u32 group, u8 needle) const noexcept;
+
+  /// Derive the 64-bit table index from the flow hash plus the packed key.
+  /// The symmetric Toeplitz value alone cannot index the table: a 16-bit-
+  /// periodic RSS key makes every hash the XOR of a subset of just 16
+  /// sliding-window constants, so the "32-bit" hash takes at most 2^16
+  /// distinct values — beyond ~64 K flows, whole cohorts of keys would
+  /// share one group and one tag and probes would degenerate into long
+  /// serialized key-compare chains. Two multiplies fold the full key back
+  /// in (far cheaper than re-running the per-byte Toeplitz LUT), and a
+  /// splitmix64 finalizer spreads the result over group and tag bits.
+  [[nodiscard]] static u64 mix(FlowHash h, const PackedKey& k) noexcept {
+    u64 z = h ^ (k.a * 0x9e3779b97f4a7c15ULL) ^ (k.b * 0xc2b2ae3d27d4eb4fULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  [[nodiscard]] u32 group_of(u64 m) const noexcept {
+    return static_cast<u32>(m) & group_mask_;
+  }
+  [[nodiscard]] static u8 tag_of(u64 m) noexcept {
+    return static_cast<u8>(kOccupiedBit | (m >> 57));
+  }
+  [[nodiscard]] static u32 group_base(u32 group) noexcept {
+    return group * kGroupWidth;
+  }
+
+  [[nodiscard]] PackedKey load_key(u32 slot) const noexcept;
+  void store_key(u32 slot, PackedKey k) noexcept;
+  [[nodiscard]] bool key_equals(u32 slot, const PackedKey& k) const noexcept {
+    return load_key(slot) == k;
+  }
 
   [[nodiscard]] u8* entry_at(u32 index) noexcept {
-    return data_.get() + static_cast<std::size_t>(index) * entry_size_;
+    return data_ + static_cast<std::size_t>(index) * entry_size_;
   }
   [[nodiscard]] const u8* entry_at(u32 index) const noexcept {
-    return data_.get() + static_cast<std::size_t>(index) * entry_size_;
+    return data_ + static_cast<std::size_t>(index) * entry_size_;
   }
 
-  /// Probe for a key. Returns the slot index or the first insertable slot
-  /// (tombstone/empty) depending on `for_insert`; kNotFound if absent/full.
+  /// Probe for a key. Returns the slot index or kNotFound.
   static constexpr u32 kNotFound = 0xffffffffu;
-  [[nodiscard]] u32 probe(const net::FiveTuple& key) const noexcept;
+  [[nodiscard]] u32 probe(const PackedKey& key, u64 m) const noexcept;
+
+  void store_tag(u32 slot, u8 tag) noexcept;
+  [[nodiscard]] u8 load_tag(u32 slot) const noexcept {
+    return std::atomic_ref<u8>(tags_[slot]).load(std::memory_order_acquire);
+  }
 
   u32 capacity_;
-  u32 mask_;
+  u32 group_mask_;  // (capacity / kGroupWidth) - 1
   u32 entry_size_;
   CoreId owner_;
-  u32 occupied_ = 0;
+  std::atomic<u32> occupied_{0};  // owner writes, stats paths read relaxed
   u32 max_occupancy_;
-  std::unique_ptr<Slot[]> slots_;
-  std::unique_ptr<u8[]> data_;
+  // tags_/key_words_/data_ are probed at random by every core; they are
+  // allocated hugepage-hinted (see alloc_table_array) so large tables do not
+  // turn every probe — and every software prefetch — into a TLB miss.
+  u8* tags_;         // cache-line aligned, one byte per slot
+  u64* key_words_;   // 2 per slot
+  std::unique_ptr<std::atomic<u32>[]> versions_;  // seqlock, 1 per slot
+  u8* data_;
 };
 
 }  // namespace sprayer::core

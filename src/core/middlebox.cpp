@@ -152,6 +152,7 @@ SimMiddlebox::SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg,
     contexts_.push_back(std::make_unique<NfContext>(
         static_cast<CoreId>(c), std::span<FlowTable* const>{table_ptrs_},
         picker_, cfg_.costs));
+    contexts_.back()->flows().set_bulk_enabled(cfg_.bulk_flow_lookup);
     cores_.push_back(std::make_unique<SimCore>(
         *this, static_cast<CoreId>(c), *contexts_.back(),
         nf_init_.stateless));

@@ -80,6 +80,7 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
     contexts_.push_back(std::make_unique<NfContext>(
         static_cast<CoreId>(c), std::span<FlowTable* const>{table_ptrs_},
         picker_, cfg_.costs));
+    contexts_.back()->flows().set_bulk_enabled(cfg_.bulk_flow_lookup);
     ports_.push_back(std::make_unique<CorePort>(*this,
                                                 static_cast<CoreId>(c)));
     engines_.push_back(std::make_unique<SprayerCore>(
@@ -131,12 +132,19 @@ void ThreadedMiddlebox::stop() {
 
 bool ThreadedMiddlebox::inject(net::Packet* pkt) {
   pkt->parse();
+  // NIC model: compute the RSS hash once at rx and stash it in the
+  // descriptor (Packet metadata); workers and NFs reuse it from there.
+  u32 rss_hash = 0;
+  if (pkt->is_ipv4()) {
+    rss_hash = rss_.hash_of(*pkt);
+    pkt->set_flow_hash(rss_hash);
+  }
   u16 queue;
   const auto fdir_queue = fdir_.match(*pkt);
   if (fdir_queue.has_value()) {
     queue = *fdir_queue;
   } else {
-    queue = rss_.queue_for(*pkt);
+    queue = rss_.queue_for_hash(rss_hash);
   }
   if (!rx_rings_[queue]->push(pkt)) {
     rx_ring_drops_.fetch_add(1, std::memory_order_relaxed);
@@ -150,9 +158,14 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
   for (auto& group : inject_stage_) group.clear();
   for (net::Packet* pkt : pkts) {
     pkt->parse();
+    u32 rss_hash = 0;
+    if (pkt->is_ipv4()) {
+      rss_hash = rss_.hash_of(*pkt);
+      pkt->set_flow_hash(rss_hash);
+    }
     const auto fdir_queue = fdir_.match(*pkt);
     const u16 queue =
-        fdir_queue.has_value() ? *fdir_queue : rss_.queue_for(*pkt);
+        fdir_queue.has_value() ? *fdir_queue : rss_.queue_for_hash(rss_hash);
     inject_stage_[queue].push_back(pkt);
   }
   u32 accepted = 0;

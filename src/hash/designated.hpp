@@ -12,8 +12,27 @@
 #include "common/types.hpp"
 #include "hash/toeplitz.hpp"
 #include "net/five_tuple.hpp"
+#include "net/packet.hpp"
 
 namespace sprayer::hash {
+
+/// Symmetric flow hash of a key — THE hash of the whole system: what a
+/// symmetric-key RSS NIC computes per packet, what the core picker consumes,
+/// and what flow tables index by. Cheap (table-driven), but still worth
+/// memoizing per packet via packet_flow_hash().
+[[nodiscard]] inline u32 flow_hash(const net::FiveTuple& t) noexcept {
+  return symmetric_toeplitz_lut().v4_l4(t);
+}
+
+/// The packet's memoized symmetric flow hash; computes and stashes it on
+/// first use when the NIC did not (models reading the 82599's rx-descriptor
+/// RSS-hash field, with a software fallback).
+[[nodiscard]] inline u32 packet_flow_hash(net::Packet& pkt) noexcept {
+  if (pkt.has_flow_hash()) return pkt.flow_hash();
+  const u32 h = flow_hash(pkt.five_tuple());
+  pkt.set_flow_hash(h);
+  return h;
+}
 
 enum class DesignatedHashKind {
   kCanonicalMix,       // splitmix of the canonical five-tuple (default)

@@ -44,4 +44,38 @@ u32 toeplitz_v4(const net::FiveTuple& t, const ToeplitzKey& key) noexcept {
   return toeplitz(std::span<const u8>{input, sizeof(input)}, key);
 }
 
+ToeplitzLut::ToeplitzLut(const ToeplitzKey& key) noexcept {
+  // table_[i][b] = toeplitz of a 12-byte input whose only non-zero byte is
+  // input[i] = b; linearity makes the full hash the XOR of the entries.
+  u8 probe[kInputLen] = {};
+  for (std::size_t i = 0; i < kInputLen; ++i) {
+    for (u32 b = 0; b < 256; ++b) {
+      probe[i] = static_cast<u8>(b);
+      table_[i][b] = toeplitz(std::span<const u8>{probe, kInputLen}, key);
+    }
+    probe[i] = 0;
+  }
+}
+
+u32 ToeplitzLut::v4_l4(const net::FiveTuple& t) const noexcept {
+  u8 input[kInputLen];
+  net::store_be32(input, t.src_ip.host_order());
+  net::store_be32(input + 4, t.dst_ip.host_order());
+  net::store_be16(input + 8, t.src_port);
+  net::store_be16(input + 10, t.dst_port);
+  return hash12(input);
+}
+
+u32 ToeplitzLut::v4(const net::FiveTuple& t) const noexcept {
+  u8 input[kInputLen] = {};
+  net::store_be32(input, t.src_ip.host_order());
+  net::store_be32(input + 4, t.dst_ip.host_order());
+  return hash12(input);
+}
+
+const ToeplitzLut& symmetric_toeplitz_lut() noexcept {
+  static const ToeplitzLut lut(kSymmetricKey);
+  return lut;
+}
+
 }  // namespace sprayer::hash

@@ -6,6 +6,8 @@ bool Packet::parse() noexcept {
   l3_offset_ = 0;
   l4_offset_ = 0;
   l4_proto_ = 0;
+  flow_hash_ = 0;
+  flow_hash_valid_ = 0;  // header bytes may have changed: hash is stale
 
   if (len_ < EthernetView::kSize) return false;
   EthernetView eth{data()};

@@ -85,6 +85,25 @@ class Packet {
     return is_tcp() && tcp().is_connection_packet();
   }
 
+  // --- rx-descriptor metadata ---------------------------------------------
+  /// Memoized symmetric flow hash (Toeplitz over the 4-tuple with the
+  /// symmetric key) — the 82599 writes this RSS hash into every rx
+  /// descriptor, so the NIC models (SimNic, ThreadedMiddlebox::inject) stash
+  /// it here once at rx and every later consumer (core picker, designated
+  /// core, flow tables) reuses it instead of re-hashing the five-tuple.
+  /// Valid only for IPv4 frames; parse() invalidates it.
+  void set_flow_hash(u32 h) noexcept {
+    flow_hash_ = h;
+    flow_hash_valid_ = 1;
+  }
+  [[nodiscard]] bool has_flow_hash() const noexcept {
+    return flow_hash_valid_ != 0;
+  }
+  [[nodiscard]] u32 flow_hash() const noexcept {
+    SPRAYER_DCHECK(flow_hash_valid_);
+    return flow_hash_;
+  }
+
   // --- simulation metadata -------------------------------------------------
   /// Ingress port on the current device (set by links/NICs).
   u8 ingress_port = 0;
@@ -108,6 +127,8 @@ class Packet {
     l3_offset_ = 0;
     l4_offset_ = 0;
     l4_proto_ = 0;
+    flow_hash_ = 0;
+    flow_hash_valid_ = 0;
     ingress_port = 0;
     ts_gen = 0;
     ts_rx = 0;
@@ -121,6 +142,8 @@ class Packet {
   u16 l3_offset_ = 0;
   u16 l4_offset_ = 0;
   u8 l4_proto_ = 0;
+  u8 flow_hash_valid_ = 0;
+  u32 flow_hash_ = 0;
 };
 
 /// Returns the packet to its pool.

@@ -1,5 +1,9 @@
 #include "nf/firewall.hpp"
 
+#include <array>
+
+#include "hash/designated.hpp"
+
 namespace sprayer::nf {
 
 void FirewallNf::connection_packets(runtime::PacketBatch& batch,
@@ -51,14 +55,29 @@ void FirewallNf::connection_packets(runtime::PacketBatch& batch,
 void FirewallNf::regular_packets(runtime::PacketBatch& batch,
                                  core::NfContext& ctx,
                                  core::BatchVerdicts& verdicts) {
+  // Bulk path: canonical keys share the packets' memoized symmetric rx
+  // hashes, so the whole batch resolves with one pipelined get_flows.
+  std::array<net::FiveTuple, runtime::kMaxBatchSize> keys;
+  std::array<core::FlowStateApi::FlowHash, runtime::kMaxBatchSize> hashes;
+  std::array<const void*, runtime::kMaxBatchSize> entries;
+  std::array<u16, runtime::kMaxBatchSize> idx;
+  u32 n = 0;
   for (u32 i = 0; i < batch.size(); ++i) {
     net::Packet* pkt = batch[i];
     if (!pkt->is_tcp()) continue;  // non-TCP passes (out of scope here)
-    const auto* e = static_cast<const Entry*>(
-        ctx.flows().get_flow(pkt->five_tuple().canonical()));
+    keys[n] = pkt->five_tuple().canonical();
+    hashes[n] = hash::packet_flow_hash(*pkt);
+    idx[n] = static_cast<u16>(i);
+    ++n;
+  }
+  if (n == 0) return;
+  ctx.flows().get_flows({keys.data(), n}, {hashes.data(), n},
+                        {entries.data(), n});
+  for (u32 j = 0; j < n; ++j) {
+    const auto* e = static_cast<const Entry*>(entries[j]);
     if (e == nullptr || !e->valid) {
       ++counters_.dropped_no_state;
-      verdicts.drop(i);
+      verdicts.drop(idx[j]);
     }
   }
 }

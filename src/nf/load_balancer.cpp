@@ -1,5 +1,9 @@
 #include "nf/load_balancer.hpp"
 
+#include <array>
+
+#include "hash/designated.hpp"
+
 namespace sprayer::nf {
 
 LoadBalancerNf::LoadBalancerNf(LbConfig cfg) : cfg_(std::move(cfg)) {
@@ -70,6 +74,14 @@ void LoadBalancerNf::connection_packets(runtime::PacketBatch& batch,
 void LoadBalancerNf::regular_packets(runtime::PacketBatch& batch,
                                      core::NfContext& ctx,
                                      core::BatchVerdicts& verdicts) {
+  // Bulk path: filter to VIP-bound TCP packets, then resolve every backend
+  // assignment with one pipelined get_flows over the canonical keys (which
+  // share the packets' memoized symmetric rx hashes).
+  std::array<net::FiveTuple, runtime::kMaxBatchSize> keys;
+  std::array<core::FlowStateApi::FlowHash, runtime::kMaxBatchSize> hashes;
+  std::array<const void*, runtime::kMaxBatchSize> entries;
+  std::array<u16, runtime::kMaxBatchSize> idx;
+  u32 n = 0;
   for (u32 i = 0; i < batch.size(); ++i) {
     net::Packet* pkt = batch[i];
     if (!pkt->is_tcp()) continue;
@@ -80,14 +92,22 @@ void LoadBalancerNf::regular_packets(runtime::PacketBatch& batch,
       verdicts.drop(i);
       continue;
     }
-    const auto* e =
-        static_cast<const Entry*>(ctx.flows().get_flow(tuple.canonical()));
+    keys[n] = tuple.canonical();
+    hashes[n] = hash::packet_flow_hash(*pkt);
+    idx[n] = static_cast<u16>(i);
+    ++n;
+  }
+  if (n == 0) return;
+  ctx.flows().get_flows({keys.data(), n}, {hashes.data(), n},
+                        {entries.data(), n});
+  for (u32 j = 0; j < n; ++j) {
+    const auto* e = static_cast<const Entry*>(entries[j]);
     if (e == nullptr || !e->valid) {
       ++counters_.dropped_no_state;
-      verdicts.drop(i);
+      verdicts.drop(idx[j]);
       continue;
     }
-    pkt->eth().set_dst(cfg_.backends[e->backend].mac);
+    batch[idx[j]]->eth().set_dst(cfg_.backends[e->backend].mac);
   }
 }
 

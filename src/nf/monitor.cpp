@@ -1,5 +1,7 @@
 #include "nf/monitor.hpp"
 
+#include "hash/designated.hpp"
+
 namespace sprayer::nf {
 
 MonitorNf::Totals MonitorNf::aggregate() const {
@@ -11,6 +13,7 @@ MonitorNf::Totals MonitorNf::aggregate() const {
     out.tcp_packets += t.tcp_packets;
     out.udp_packets += t.udp_packets;
     out.other_packets += t.other_packets;
+    out.tracked_packets += t.tracked_packets;
     out.connections_opened += t.connections_opened;
     out.connections_closed += t.connections_closed;
   }
@@ -48,8 +51,28 @@ void MonitorNf::connection_packets(runtime::PacketBatch& batch,
 void MonitorNf::regular_packets(runtime::PacketBatch& batch,
                                 core::NfContext& ctx,
                                 core::BatchVerdicts& /*verdicts*/) {
+  // Per-connection attribution: one pipelined bulk lookup over the batch's
+  // canonical keys (sharing the packets' memoized rx hashes) counts how
+  // much regular traffic belongs to tracked connections.
+  std::array<net::FiveTuple, runtime::kMaxBatchSize> keys;
+  std::array<core::FlowStateApi::FlowHash, runtime::kMaxBatchSize> hashes;
+  std::array<const void*, runtime::kMaxBatchSize> entries;
+  u32 n = 0;
   for (net::Packet* pkt : batch) {
     count_packet(pkt, ctx.core());
+    if (pkt->is_tcp()) {
+      keys[n] = pkt->five_tuple().canonical();
+      hashes[n] = hash::packet_flow_hash(*pkt);
+      ++n;
+    }
+  }
+  if (n == 0) return;
+  ctx.flows().get_flows({keys.data(), n}, {hashes.data(), n},
+                        {entries.data(), n});
+  Totals& t = per_core_[ctx.core()].t;
+  for (u32 j = 0; j < n; ++j) {
+    const auto* e = static_cast<const Entry*>(entries[j]);
+    if (e != nullptr && e->valid) ++t.tracked_packets;
   }
 }
 

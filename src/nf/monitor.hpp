@@ -46,6 +46,7 @@ class MonitorNf final : public core::INetworkFunction {
     u64 tcp_packets = 0;
     u64 udp_packets = 0;
     u64 other_packets = 0;
+    u64 tracked_packets = 0;  // TCP packets whose connection is in the table
     u64 connections_opened = 0;
     u64 connections_closed = 0;
   };

@@ -1,6 +1,9 @@
 #include "nf/nat.hpp"
 
+#include <array>
 #include <vector>
+
+#include "hash/designated.hpp"
 
 namespace sprayer::nf {
 
@@ -205,19 +208,38 @@ void NatNf::connection_packets(runtime::PacketBatch& batch,
 
 void NatNf::regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
                             core::BatchVerdicts& verdicts) {
+  // Bulk path: gather each TCP packet's tuple and memoized rx hash, resolve
+  // all translations with one pipelined get_flows, then apply rewrites.
+  std::array<net::FiveTuple, runtime::kMaxBatchSize> keys;
+  std::array<core::FlowStateApi::FlowHash, runtime::kMaxBatchSize> hashes;
+  std::array<const void*, runtime::kMaxBatchSize> entries;
+  std::array<u16, runtime::kMaxBatchSize> idx;
+  u32 n = 0;
   for (u32 i = 0; i < batch.size(); ++i) {
     net::Packet* pkt = batch[i];
     if (!pkt->is_tcp()) continue;  // this NAT translates TCP only (§4)
-    const auto* e =
-        static_cast<const Entry*>(ctx.flows().get_flow(pkt->five_tuple()));
+    keys[n] = pkt->five_tuple();
+    hashes[n] = hash::packet_flow_hash(*pkt);
+    idx[n] = static_cast<u16>(i);
+    ++n;
+  }
+  if (n == 0) return;
+  ctx.flows().get_flows({keys.data(), n}, {hashes.data(), n},
+                        {entries.data(), n});
+  u64 unmatched = 0;
+  for (u32 j = 0; j < n; ++j) {
+    const auto* e = static_cast<const Entry*>(entries[j]);
     if (e == nullptr || e->state == SessionState::kInvalid) {
-      counters_.unmatched_dropped.fetch_add(1, std::memory_order_relaxed);
-      verdicts.drop(i);
+      ++unmatched;
+      verdicts.drop(idx[j]);
       continue;
     }
     // TIME_WAIT sessions still translate: the close handshake's trailing
     // ACKs must reach their endpoints.
-    rewrite(pkt, *e);
+    rewrite(batch[idx[j]], *e);
+  }
+  if (unmatched > 0) {
+    counters_.unmatched_dropped.fetch_add(unmatched, std::memory_order_relaxed);
   }
 }
 

@@ -1,5 +1,9 @@
 #include "nf/synthetic.hpp"
 
+#include <array>
+
+#include "hash/designated.hpp"
+
 namespace sprayer::nf {
 
 void SyntheticNf::per_packet_work(net::Packet* pkt, core::NfContext& ctx) {
@@ -24,17 +28,20 @@ void SyntheticNf::connection_packets(runtime::PacketBatch& batch,
                                      core::BatchVerdicts& /*verdicts*/) {
   for (net::Packet* pkt : batch) {
     const net::FiveTuple tuple = pkt->five_tuple();
+    // The canonical key hashes to the packet's own memoized RSS hash (the
+    // symmetric Toeplitz key makes both directions collide by design).
+    const u32 hash = hash::packet_flow_hash(*pkt);
     net::TcpView tcp = pkt->tcp();
     if (tcp.has(net::TcpFlags::kSyn) && !tcp.has(net::TcpFlags::kAck)) {
       // New connection: create the flow entry (both directions share the
       // canonical key and this designated core).
       auto* entry = static_cast<Entry*>(
-          ctx.flows().insert_local_flow(tuple.canonical()));
+          ctx.flows().insert_local_flow(tuple.canonical(), hash));
       if (entry != nullptr) {
         entry->tag = tuple.canonical().pack();
       }
     } else if (tcp.has(net::TcpFlags::kRst)) {
-      (void)ctx.flows().remove_local_flow(tuple.canonical());
+      (void)ctx.flows().remove_local_flow(tuple.canonical(), hash);
     }
     per_packet_work(pkt, ctx);
   }
@@ -43,14 +50,28 @@ void SyntheticNf::connection_packets(runtime::PacketBatch& batch,
 void SyntheticNf::regular_packets(runtime::PacketBatch& batch,
                                   core::NfContext& ctx,
                                   core::BatchVerdicts& /*verdicts*/) {
+  // "Retrieves the flow state": gather every TCP packet's canonical key and
+  // memoized rx hash, then read them all from the designated cores with one
+  // prefetch-pipelined bulk lookup.
+  std::array<net::FiveTuple, runtime::kMaxBatchSize> keys;
+  std::array<core::FlowStateApi::FlowHash, runtime::kMaxBatchSize> hashes;
+  std::array<const void*, runtime::kMaxBatchSize> entries;
+  u32 n = 0;
   for (net::Packet* pkt : batch) {
     if (pkt->is_tcp()) {
-      // "Retrieves the flow state": read from the designated core.
-      const void* entry = ctx.flows().get_flow(pkt->five_tuple().canonical());
-      if (entry == nullptr) {
-        misses_.fetch_add(1, std::memory_order_relaxed);
-      }
+      keys[n] = pkt->five_tuple().canonical();
+      hashes[n] = hash::packet_flow_hash(*pkt);
+      ++n;
     }
+  }
+  if (n > 0) {
+    ctx.flows().get_flows({keys.data(), n}, {hashes.data(), n},
+                          {entries.data(), n});
+    u64 miss = 0;
+    for (u32 i = 0; i < n; ++i) miss += entries[i] == nullptr;
+    if (miss > 0) misses_.fetch_add(miss, std::memory_order_relaxed);
+  }
+  for (net::Packet* pkt : batch) {
     per_packet_work(pkt, ctx);
   }
 }

@@ -21,12 +21,22 @@ void SimNic::attach_tx_link(u8 port, sim::Link& link) {
 void SimNic::receive(net::Packet* pkt) {
   pkt->parse();
 
+  // Model the 82599 rx descriptor: hardware computes the RSS hash once and
+  // writes it into the descriptor's hash field; everything downstream (core
+  // picker, designated-core check, flow tables) reuses it instead of
+  // re-hashing the five-tuple. Non-IP frames get no hash (field invalid).
+  u32 rss_hash = 0;
+  if (pkt->is_ipv4()) {
+    rss_hash = rss_.hash_of(*pkt);
+    pkt->set_flow_hash(rss_hash);
+  }
+
   u16 queue;
   if (cfg_.hw_connection_steering && pkt->is_connection_packet()) {
     // Programmable-NIC mode: connection packets go straight to the
     // designated queue (which equals the symmetric-RSS queue).
     ++counters_.rss_dispatched;
-    queue = rss_.queue_for(*pkt);
+    queue = rss_.queue_for_hash(rss_hash);
     enqueue(queue, pkt);
     return;
   }
@@ -67,14 +77,14 @@ void SimNic::receive(net::Packet* pkt) {
     if (cfg_.spray_subset > 0 && cfg_.spray_subset < cfg_.num_queues) {
       // Limited spraying: the flow's RSS queue anchors a window of
       // `spray_subset` queues; the (random) checksum picks within it.
-      const u16 anchor = rss_.queue_for(*pkt);
+      const u16 anchor = rss_.queue_for_hash(rss_hash);
       const u16 offset =
           static_cast<u16>(pkt->tcp().checksum() % cfg_.spray_subset);
       queue = static_cast<u16>((anchor + offset) % cfg_.num_queues);
     }
   } else {
     ++counters_.rss_dispatched;
-    queue = rss_.queue_for(*pkt);
+    queue = rss_.queue_for_hash(rss_hash);
   }
   enqueue(queue, pkt);
 }

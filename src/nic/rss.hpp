@@ -34,14 +34,16 @@ class RssEngine {
   }
 
   /// RSS hash of a parsed packet: 4-tuple input for TCP/UDP, 2-tuple for
-  /// other IPv4, 0 (queue 0) for non-IP.
+  /// other IPv4 (extract_five_tuple zeroes the ports then, and zero bytes
+  /// contribute nothing to Toeplitz, so one table-driven 4-tuple hash covers
+  /// both), 0 (queue 0) for non-IP.
   [[nodiscard]] u32 hash_of(net::Packet& pkt) const noexcept {
     if (!pkt.is_ipv4()) return 0;
-    const net::FiveTuple t = pkt.five_tuple();
-    if (pkt.is_tcp() || pkt.is_udp()) {
-      return hash::toeplitz_v4_l4(t, key_);
-    }
-    return hash::toeplitz_v4(t, key_);
+    return lut_.v4_l4(pkt.five_tuple());
+  }
+
+  [[nodiscard]] u32 hash_of(const net::FiveTuple& t) const noexcept {
+    return lut_.v4_l4(t);
   }
 
   [[nodiscard]] u16 queue_for_hash(u32 hash) const noexcept {
@@ -56,6 +58,7 @@ class RssEngine {
 
  private:
   hash::ToeplitzKey key_;
+  hash::ToeplitzLut lut_{key_};  // table-driven Toeplitz (12 KiB per engine)
   std::array<u16, kIndirectionEntries> table_{};
 };
 

@@ -160,7 +160,10 @@ TEST(Middlebox, IperfRunsThroughBothModes) {
       EXPECT_GT(f.goodput_bps, 1e8) << to_string(mode);
     }
     EXPECT_GT(result.total_goodput_bps, 1e9) << to_string(mode);
-    EXPECT_LT(result.total_goodput_bps, 10e9);
+    // Sanity ceiling: the 10 Gbps link rate plus measurement-edge slack
+    // (goodput is acked-bytes over a 100 ms window, so bytes queued during
+    // warmup that get acked inside the window can push it past line rate).
+    EXPECT_LT(result.total_goodput_bps, 12e9);
     EXPECT_EQ(result.client_unmatched, 0u);
     EXPECT_EQ(result.server_unmatched, 0u);
   }
