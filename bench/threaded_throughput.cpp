@@ -10,7 +10,17 @@
 //
 //   ./bench/threaded_throughput [cores=1,2,4] [modes=spray,flow]
 //       [paths=packet,bulk] [duration=0.4] [flows=64] [rx_batch=32]
-//       [burst=32] [nf_cycles=0]
+//       [burst=32] [nf_cycles=0] [telemetry=1] [reorder=0]
+//       [telemetry_json=prefix] [variants=1]
+//
+// telemetry=0 disables the metrics registry entirely (for overhead A/B
+// runs). reorder=1 turns on the spray-reorder observatory. telemetry_json
+// writes one "sprayer.telemetry.v1" snapshot file per configuration,
+// named <prefix>.<mode>.<path>.c<cores>.json. variants>1 pre-builds that
+// many payload variants per flow: with a single template per flow every
+// packet of a flow carries the same TCP checksum, so checksum-bit spraying
+// degenerates to per-flow placement — variant payloads restore the
+// per-packet entropy real traffic has (needed to observe reordering).
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -29,6 +39,8 @@
 #include "net/packet_pool.hpp"
 #include "nf/synthetic.hpp"
 #include "nic/pktgen.hpp"
+#include "telemetry/json_exporter.hpp"
+#include "telemetry/snapshot.hpp"
 
 using namespace sprayer;
 
@@ -45,6 +57,10 @@ struct RunConfig {
   u32 rx_batch = 32;
   u32 burst = 32;
   Cycles nf_cycles = 0;
+  bool telemetry = true;
+  bool reorder = false;
+  std::string telemetry_json;  // snapshot file prefix; empty = no export
+  u32 variants = 1;            // payload variants per flow
 };
 
 struct RunResult {
@@ -73,19 +89,21 @@ std::vector<std::string> split_list(const std::string& s) {
 /// Pre-build one valid TCP data frame per flow; the driver then only
 /// memcpys, so packet construction cost stays off the measured path.
 std::vector<std::vector<u8>> build_templates(
-    const std::vector<net::FiveTuple>& flow_set) {
+    const std::vector<net::FiveTuple>& flow_set, u32 variants) {
   net::PacketPool scratch(flow_set.size() + 1, 256);
   std::vector<std::vector<u8>> templates;
   for (const auto& flow : flow_set) {
-    net::TcpSegmentSpec spec;
-    spec.tuple = flow;
-    spec.flags = net::TcpFlags::kAck;
-    spec.payload_len = 6;
-    const u8 payload[6] = {1, 2, 3, 4, 5, 6};
-    spec.payload = payload;
-    net::Packet* pkt = net::build_tcp_raw(scratch, spec);
-    templates.emplace_back(pkt->data(), pkt->data() + pkt->len());
-    scratch.free(pkt);
+    for (u32 v = 0; v < variants; ++v) {
+      net::TcpSegmentSpec spec;
+      spec.tuple = flow;
+      spec.flags = net::TcpFlags::kAck;
+      spec.payload_len = 6;
+      const u8 payload[6] = {1, 2, 3, 4, 5, static_cast<u8>(6 + v)};
+      spec.payload = payload;
+      net::Packet* pkt = net::build_tcp_raw(scratch, spec);
+      templates.emplace_back(pkt->data(), pkt->data() + pkt->len());
+      scratch.free(pkt);
+    }
   }
   return templates;
 }
@@ -101,6 +119,8 @@ RunResult run_one(const RunConfig& rc) {
   cfg.mode = rc.mode;
   cfg.rx_batch = rc.rx_batch;
   cfg.housekeeping_interval = 0;
+  cfg.telemetry = rc.telemetry;
+  cfg.reorder_observatory = rc.reorder;
 
   std::unique_ptr<core::ThreadedMiddlebox> mbox;
   if (rc.bulk) {
@@ -121,10 +141,21 @@ RunResult run_one(const RunConfig& rc) {
           pkt->pool()->free(pkt);
         }));
   }
+  if (rc.telemetry) {
+    // Pool magazine effectiveness, evaluated lazily at snapshot time
+    // (gauge_fn registration is allowed after the registry is finalized).
+    mbox->metrics().gauge_fn("pool.magazine_hits",
+                             [&pool] { return pool.cache_stats().hits; });
+    mbox->metrics().gauge_fn("pool.magazine_misses",
+                             [&pool] { return pool.cache_stats().misses; });
+    mbox->metrics().gauge_fn("pool.locked_allocs",
+                             [&pool] { return pool.cache_stats().locked; });
+  }
   mbox->start();
 
   const auto flow_set = nic::random_tcp_flows(rc.flows, 42);
-  const auto templates = build_templates(flow_set);
+  const auto templates =
+      build_templates(flow_set, std::max<u32>(rc.variants, 1));
 
   // Establish flow state before the measured interval (SYNs redirect).
   for (const auto& flow : flow_set) {
@@ -171,6 +202,17 @@ RunResult run_one(const RunConfig& rc) {
   mbox->wait_idle();
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - t0).count();
+
+  if (rc.telemetry && !rc.telemetry_json.empty()) {
+    const auto snap = mbox->telemetry_snapshot();
+    const auto reorder_stats = mbox->reorder_stats();
+    std::string path = rc.telemetry_json;
+    path += rc.mode == core::DispatchMode::kSpray ? ".spray" : ".flow";
+    path += rc.bulk ? ".bulk" : ".packet";
+    path += ".c" + std::to_string(rc.cores) + ".json";
+    telemetry::JsonExporter::write_file(
+        path, snap, rc.reorder ? &reorder_stats : nullptr);
+  }
   mbox->stop();
 
   RunResult res;
@@ -227,6 +269,10 @@ int main(int argc, char** argv) {
   base.rx_batch = static_cast<u32>(cli.get_u64("rx_batch", 32));
   base.burst = static_cast<u32>(cli.get_u64("burst", 32));
   base.nf_cycles = cli.get_u64("nf_cycles", 0);
+  base.telemetry = cli.get_u64("telemetry", 1) != 0;
+  base.reorder = cli.get_u64("reorder", 0) != 0;
+  base.telemetry_json = cli.get("telemetry_json", "");
+  base.variants = static_cast<u32>(cli.get_u64("variants", 1));
 
   for (const auto& cores_s : split_list(cli.get("cores", "1,2,4"))) {
     for (const auto& mode_s : split_list(cli.get("modes", "spray,flow"))) {

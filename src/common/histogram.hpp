@@ -37,13 +37,33 @@ class LogHistogram {
 
   void merge(const LogHistogram& o) {
     SPRAYER_CHECK_MSG(o.bits_ == bits_, "histogram resolution mismatch");
-    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+    if (o.total_ == 0) return;
+    // Fast path: every non-zero bucket of `o` lies in the index range of
+    // its min/max (index_of is monotonic), so a sparse histogram merges in
+    // O(populated range) instead of O(all buckets).
+    const std::size_t lo = index_of(o.min_);
+    const std::size_t hi = index_of(o.max_);
+    for (std::size_t i = lo; i <= hi; ++i) counts_[i] += o.counts_[i];
     total_ += o.total_;
-    if (o.total_ > 0) {
-      if (o.min_ < min_) min_ = o.min_;
-      if (o.max_ > max_) max_ = o.max_;
-      sum_ += o.sum_;
-    }
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+    sum_ += o.sum_;
+  }
+
+  /// Merge-from-raw-buckets path for aggregators (telemetry shard merging)
+  /// that hold bucket arrays of the same geometry rather than whole
+  /// histograms. min/max/mean are approximated by bucket edges (exact for
+  /// the sub-2^bits linear range); counts and quantiles are exact.
+  void add_bucket(std::size_t index, u64 count) noexcept {
+    SPRAYER_DCHECK(index < counts_.size());
+    if (count == 0) return;
+    counts_[index] += count;
+    total_ += count;
+    const u64 lo = lower_edge(index);
+    const u64 hi = upper_edge(index);
+    if (lo < min_) min_ = lo;
+    if (hi > max_) max_ = hi;
+    sum_ += static_cast<double>(hi) * static_cast<double>(count);
   }
 
   [[nodiscard]] u64 count() const noexcept { return total_; }
@@ -69,6 +89,7 @@ class LogHistogram {
   }
 
   [[nodiscard]] u64 p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] u64 p90() const noexcept { return quantile(0.90); }
   [[nodiscard]] u64 p99() const noexcept { return quantile(0.99); }
   [[nodiscard]] u64 p999() const noexcept { return quantile(0.999); }
 
@@ -80,7 +101,15 @@ class LogHistogram {
     sum_ = 0.0;
   }
 
- private:
+  // --- bucket geometry (public so external aggregators — e.g. the
+  // telemetry registry's per-core sharded bucket arrays — can share the
+  // exact same value→bucket mapping and fold back via add_bucket) ---------
+
+  [[nodiscard]] unsigned significant_bits() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return counts_.size();
+  }
+
   [[nodiscard]] std::size_t index_of(u64 value) const noexcept {
     // Values below 2^bits are exact (range 0).
     const int msb = 63 - std::countl_zero(value | 1);
@@ -103,6 +132,14 @@ class LogHistogram {
     return (sub << shift) + ((1ULL << shift) - 1);
   }
 
+  [[nodiscard]] u64 lower_edge(std::size_t index) const noexcept {
+    const u64 range = index / sub_buckets_;
+    const u64 sub = index % sub_buckets_;
+    if (range == 0) return sub;  // exact
+    return sub << static_cast<unsigned>(range);
+  }
+
+ private:
   unsigned bits_;
   unsigned sub_buckets_ = 0;
   std::vector<u64> counts_;

@@ -44,6 +44,16 @@ struct SprayerConfig {
   bool bulk_flow_lookup = true;
   /// Period of the per-core NF housekeeping callback (0 disables).
   Time housekeeping_interval = 10 * kMillisecond;
+  /// Runtime telemetry (src/telemetry/): per-core sharded counters and
+  /// histograms for workers, engines and NFs. Hot-path cost is a plain
+  /// store to a core-private cache line; false skips even that (handles
+  /// become no-ops).
+  bool telemetry = true;
+  /// Sampled per-flow sequence tracking that measures spray-induced
+  /// reordering at the tx boundary (bounded to
+  /// telemetry::ReorderObservatory::kSlots flows). Off by default: it adds
+  /// a driver-side stamp and a tx-side check per packet.
+  bool reorder_observatory = false;
   CostModel costs;
 };
 

@@ -71,8 +71,11 @@ void SprayerCore::flush_transfer_stage(CoreId dest) {
   if (stage.empty()) return;
   const u32 accepted = port_.transfer_batch(dest, stage.packets());
   stats_.conn_transferred_out += accepted;
+  tm_.flush_calls.add(tm_.shard, 1);
+  tm_.flush_packets.add(tm_.shard, accepted);
   if (accepted < stage.size()) {
     stats_.transfer_drops += stage.size() - accepted;
+    tm_.flush_drops.add(tm_.shard, stage.size() - accepted);
     net::free_packets(stage.packets().subspan(accepted));
   }
   stage.clear();

@@ -18,6 +18,7 @@
 #include "core/flow_table.hpp"
 #include "core/nf.hpp"
 #include "runtime/batch.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sprayer::core {
 
@@ -78,6 +79,15 @@ struct CoreStats {
   }
 };
 
+/// Telemetry handles the executor hands one engine (all handles no-op when
+/// unset, so a SimMiddlebox-driven or telemetry-off engine pays nothing).
+struct EngineTelemetry {
+  u32 shard = 0;  // registry shard owned by this engine's worker
+  telemetry::Counter flush_calls;    // non-empty transfer-stage flushes
+  telemetry::Counter flush_packets;  // descriptors accepted by mesh rings
+  telemetry::Counter flush_drops;    // descriptors a full ring rejected
+};
+
 class SprayerCore {
  public:
   SprayerCore(CoreId id, const SprayerConfig& cfg, bool stateless,
@@ -98,6 +108,8 @@ class SprayerCore {
   [[nodiscard]] CoreId id() const noexcept { return id_; }
   [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
   [[nodiscard]] CoreStats& stats() noexcept { return stats_; }
+
+  void set_telemetry(EngineTelemetry t) noexcept { tm_ = t; }
 
   /// Process one batch polled from this core's NIC rx queue. Returns the
   /// cycles consumed. `now` is the batch start time (forwarded to the NF).
@@ -129,6 +141,7 @@ class SprayerCore {
   NfContext& ctx_;
   ICorePort& port_;
   CoreStats stats_;
+  EngineTelemetry tm_;
   BatchVerdicts verdicts_;
   // Per-destination connection-packet staging: accumulated during
   // process_rx(), flushed as one bulk ring operation per destination.

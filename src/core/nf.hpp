@@ -17,6 +17,10 @@
 #include "core/flow_state.hpp"
 #include "runtime/batch.hpp"
 
+namespace sprayer::telemetry {
+class MetricsRegistry;
+}  // namespace sprayer::telemetry
+
 namespace sprayer::core {
 
 /// Filled in by the NF's init(); consumed by the framework when it builds
@@ -27,6 +31,11 @@ struct NfInitConfig {
   /// Stateless NFs disable flow tables and connection-packet redirection
   /// entirely: every packet goes to regular_packets() on its arrival core.
   bool stateless = false;
+  /// Set by the framework *before* calling init() when runtime telemetry is
+  /// on: NFs register their metrics here (the framework finalizes it after
+  /// init() returns). Null → telemetry off or a non-telemetry executor; an
+  /// NF then falls back to a private registry so its counters keep working.
+  telemetry::MetricsRegistry* registry = nullptr;
 };
 
 /// Per-core execution context handed to packet handlers.

@@ -42,9 +42,12 @@ class ThreadedMiddlebox::CorePort final : public ICorePort {
     return owner_.mesh_[id_][dest]->push_bulk(pkts);
   }
 
-  void transmit(net::Packet* pkt) override { owner_.tx_({&pkt, 1}); }
+  void transmit(net::Packet* pkt) override { transmit_batch({&pkt, 1}); }
 
   void transmit_batch(std::span<net::Packet* const> pkts) override {
+    // The tx boundary is where spray-induced reordering becomes visible:
+    // fold stamped packets into the observatory before the sink sees them.
+    if (owner_.reorder_ != nullptr) owner_.reorder_->observe(pkts);
     owner_.tx_(pkts);
   }
 
@@ -56,13 +59,41 @@ class ThreadedMiddlebox::CorePort final : public ICorePort {
 ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
                                      TxBatchHandler tx)
     : cfg_(cfg), nf_(nf), tx_(std::move(tx)), picker_(cfg.num_cores),
-      rss_(cfg.num_cores) {
+      rss_(cfg.num_cores), registry_(cfg.num_cores + 1),
+      collector_(registry_) {
   SPRAYER_CHECK(cfg_.num_cores >= 1);
   SPRAYER_CHECK(tx_ != nullptr);
   SPRAYER_CHECK_MSG(cfg_.rx_batch >= 1 &&
                         cfg_.rx_batch <= runtime::kMaxBatchSize,
                     "rx_batch must fit in a PacketBatch");
+
+  // Shards 0..num_cores-1 are the workers; shard num_cores is the driver.
+  // Framework metrics first, then the NF registers its own during init(),
+  // then one finalize() lays out the slabs.
+  EngineTelemetry engine_tm;
+  if (cfg_.telemetry) {
+    tm_.packets = registry_.counter("worker.packets");
+    tm_.batches = registry_.counter("worker.batches");
+    tm_.foreign_packets = registry_.counter("worker.foreign_packets");
+    tm_.injected = registry_.counter("driver.injected");
+    tm_.inject_drops = registry_.counter("driver.rx_ring_drops");
+    tm_.rx_ring_hwm = registry_.gauge("rx_ring.occupancy_hwm",
+                                      telemetry::MetricKind::kGaugeMax);
+    tm_.mesh_ring_hwm = registry_.gauge("mesh_ring.occupancy_hwm",
+                                        telemetry::MetricKind::kGaugeMax);
+    tm_.batch_size = registry_.histogram("worker.batch_size", 5);
+    tm_.queue_delay_ns = registry_.histogram("rx.queue_delay_ns", 5);
+    engine_tm.flush_calls = registry_.counter("engine.transfer_flush_calls");
+    engine_tm.flush_packets =
+        registry_.counter("engine.transfer_flush_packets");
+    engine_tm.flush_drops = registry_.counter("engine.transfer_flush_drops");
+    nf_init_.registry = &registry_;
+  }
   nf_.init(nf_init_, cfg_.num_cores);
+  if (cfg_.telemetry) registry_.finalize();
+  if (cfg_.reorder_observatory) {
+    reorder_ = std::make_unique<telemetry::ReorderObservatory>();
+  }
 
   if (cfg_.mode == DispatchMode::kSpray) {
     const Status s = fdir_.program_checksum_spray(cfg_.num_cores);
@@ -86,6 +117,10 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
     engines_.push_back(std::make_unique<SprayerCore>(
         static_cast<CoreId>(c), cfg_, nf_init_.stateless, nf_,
         picker_, *contexts_.back(), *ports_.back()));
+    if (cfg_.telemetry) {
+      engine_tm.shard = c;
+      engines_.back()->set_telemetry(engine_tm);
+    }
     rx_rings_.push_back(std::make_unique<Ring>(4096));
   }
   worker_state_.resize(cfg_.num_cores);
@@ -139,6 +174,7 @@ bool ThreadedMiddlebox::inject(net::Packet* pkt) {
     rss_hash = rss_.hash_of(*pkt);
     pkt->set_flow_hash(rss_hash);
   }
+  if (reorder_ != nullptr) reorder_->stamp(*pkt);
   u16 queue;
   const auto fdir_queue = fdir_.match(*pkt);
   if (fdir_queue.has_value()) {
@@ -148,14 +184,20 @@ bool ThreadedMiddlebox::inject(net::Packet* pkt) {
   }
   if (!rx_rings_[queue]->push(pkt)) {
     rx_ring_drops_.fetch_add(1, std::memory_order_relaxed);
+    tm_.inject_drops.add(driver_shard(), 1);
     pkt->pool()->free(pkt);
     return false;
   }
+  tm_.injected.add(driver_shard(), 1);
   return true;
 }
 
 u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
   for (auto& group : inject_stage_) group.clear();
+  // One clock read covers the whole burst: every packet gets the same rx
+  // timestamp for the queue-delay histogram.
+  const Time rx_stamp =
+      cfg_.telemetry && !pkts.empty() ? steady_now() : 0;
   for (net::Packet* pkt : pkts) {
     pkt->parse();
     u32 rss_hash = 0;
@@ -163,6 +205,8 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
       rss_hash = rss_.hash_of(*pkt);
       pkt->set_flow_hash(rss_hash);
     }
+    pkt->ts_rx = rx_stamp;
+    if (reorder_ != nullptr) reorder_->stamp(*pkt);
     const auto fdir_queue = fdir_.match(*pkt);
     const u16 queue =
         fdir_queue.has_value() ? *fdir_queue : rss_.queue_for_hash(rss_hash);
@@ -180,6 +224,13 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
       rx_ring_drops_.fetch_add(rejected.size(), std::memory_order_relaxed);
       net::free_packets(rejected);
     }
+  }
+  if (cfg_.telemetry) {
+    registry_.begin_update(driver_shard());
+    tm_.injected.add(driver_shard(), accepted);
+    tm_.inject_drops.add(driver_shard(),
+                         static_cast<u64>(pkts.size()) - accepted);
+    registry_.end_update(driver_shard());
   }
   return accepted;
 }
@@ -216,19 +267,42 @@ bool ThreadedMiddlebox::worker_body(CoreId core) {
     const u32 room = cfg_.rx_batch - batch.size();
     const u32 got = mesh_[src][core]->pop_bulk(
         std::span<net::Packet*>{batch.data() + batch.size(), room});
+    if (got > 0) {
+      // Occupancy as seen at this poll: what we took plus what is left.
+      tm_.mesh_ring_hwm.record_max(
+          core, got + mesh_[src][core]->size_approx());
+    }
     batch.set_size(batch.size() + got);
   }
   if (!batch.empty()) {
     if (now == 0) now = steady_now();
+    registry_.begin_update(core);
     engines_[core]->process_foreign(batch, now);
+    tm_.packets.add(core, batch.size());
+    tm_.foreign_packets.add(core, batch.size());
+    tm_.batches.add(core, 1);
+    tm_.batch_size.record(core, batch.size());
+    registry_.end_update(core);
     did_work = true;
   } else {
     const u32 n = rx_rings_[core]->pop_bulk(
         std::span<net::Packet*>{batch.data(), cfg_.rx_batch});
     if (n > 0) {
       batch.set_size(n);
+      tm_.rx_ring_hwm.record_max(core, n + rx_rings_[core]->size_approx());
       if (now == 0) now = steady_now();
+      // Read the driver's stamp before the engine consumes (frees) the
+      // packets.
+      const Time stamped = batch[0]->ts_rx;
+      registry_.begin_update(core);
       engines_[core]->process_rx(batch, now);
+      tm_.packets.add(core, n);
+      tm_.batches.add(core, 1);
+      tm_.batch_size.record(core, n);
+      if (stamped != 0 && now > stamped) {
+        tm_.queue_delay_ns.record(core, (now - stamped) / kNanosecond);
+      }
+      registry_.end_update(core);
       did_work = true;
     } else {
       // Idle: make sure nothing is stranded in a staging buffer (no-op in

@@ -36,6 +36,9 @@
 #include "nic/rss.hpp"
 #include "runtime/spsc_ring.hpp"
 #include "runtime/worker_group.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/reorder.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace sprayer::core {
 
@@ -86,6 +89,33 @@ class ThreadedMiddlebox {
     return rx_ring_drops_.load(std::memory_order_relaxed);
   }
 
+  // --- runtime telemetry ------------------------------------------------
+  /// The middlebox's metrics registry: shards 0..num_cores-1 belong to the
+  /// workers, shard num_cores to the injection driver. Finalized (live)
+  /// only when SprayerConfig::telemetry is on; NF metrics registered during
+  /// init() land here too. Exposed non-const so callers can attach
+  /// gauge_fn() probes (e.g. packet-pool cache stats).
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() noexcept {
+    return registry_;
+  }
+  [[nodiscard]] u32 driver_shard() const noexcept { return cfg_.num_cores; }
+
+  /// Collect one epoch snapshot (see telemetry/snapshot.hpp for the
+  /// consistency contract). Call from one thread at a time; safe while
+  /// workers run.
+  [[nodiscard]] telemetry::TelemetrySnapshot telemetry_snapshot() {
+    return collector_.collect();
+  }
+
+  [[nodiscard]] bool reorder_enabled() const noexcept {
+    return reorder_ != nullptr;
+  }
+  /// Reorder-observatory totals (all-zero when the observatory is off).
+  [[nodiscard]] telemetry::ReorderObservatory::Stats reorder_stats() const {
+    return reorder_ != nullptr ? reorder_->stats()
+                               : telemetry::ReorderObservatory::Stats{};
+  }
+
  private:
   class CorePort;
 
@@ -97,6 +127,19 @@ class ThreadedMiddlebox {
 
   /// One worker iteration; returns true if any work was done.
   bool worker_body(CoreId core);
+
+  /// Framework-level metric handles (all no-ops when telemetry is off).
+  struct FrameworkTelemetry {
+    telemetry::Counter packets;          // per worker: rx + foreign
+    telemetry::Counter batches;          // per worker: batches processed
+    telemetry::Counter foreign_packets;  // per worker: via the mesh
+    telemetry::Counter injected;         // driver shard
+    telemetry::Counter inject_drops;     // driver shard: rx ring full
+    telemetry::Counter rx_ring_hwm;      // kGaugeMax: rx ring occupancy
+    telemetry::Counter mesh_ring_hwm;    // kGaugeMax: mesh ring occupancy
+    telemetry::Histogram batch_size;
+    telemetry::Histogram queue_delay_ns;  // inject_bulk stamp -> worker poll
+  };
 
   SprayerConfig cfg_;
   INetworkFunction& nf_;
@@ -117,6 +160,11 @@ class ThreadedMiddlebox {
   using Ring = runtime::SpscRing<net::Packet*>;
   std::vector<std::unique_ptr<Ring>> rx_rings_;
   std::vector<std::vector<std::unique_ptr<Ring>>> mesh_;
+
+  telemetry::MetricsRegistry registry_;
+  telemetry::SnapshotCollector collector_;
+  FrameworkTelemetry tm_;
+  std::unique_ptr<telemetry::ReorderObservatory> reorder_;
 
   runtime::WorkerGroup workers_;
   std::vector<WorkerState> worker_state_;

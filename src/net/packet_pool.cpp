@@ -128,10 +128,16 @@ Packet* PacketPool::alloc_raw() noexcept {
         alloc_failures_.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
       }
+      c->misses.store(c->misses.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    } else {
+      c->hits.store(c->hits.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
     }
     slot = c->slots[n - 1];
     c->count.store(n - 1, std::memory_order_relaxed);
   } else {
+    locked_allocs_.fetch_add(1, std::memory_order_relaxed);
     lock();
     if (SPRAYER_UNLIKELY(freelist_.empty())) {
       unlock();

@@ -81,11 +81,40 @@ class PacketPool {
     return alloc_failures_.load(std::memory_order_relaxed);
   }
 
+  /// Magazine effectiveness: how allocations were served. `hits` came from
+  /// the thread-local cache with no lock; `misses` needed a bulk refill
+  /// from the shared freelist; `locked` went through the per-slot locked
+  /// fallback (overflow threads). Approximate while threads are allocating.
+  struct CacheStats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 locked = 0;
+    [[nodiscard]] double hit_rate() const noexcept {
+      const u64 total = hits + misses + locked;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] CacheStats cache_stats() const noexcept {
+    CacheStats s;
+    for (u32 i = 0; i < kMaxThreadCaches; ++i) {
+      s.hits += caches_[i].hits.load(std::memory_order_relaxed);
+      s.misses += caches_[i].misses.load(std::memory_order_relaxed);
+    }
+    s.locked = locked_allocs_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   struct alignas(kCacheLineSize) ThreadCache {
     // `count` is written only by the owning thread (plain store; atomic so
     // available() can read it racily) — never an RMW on the hot path.
     std::atomic<u32> count{0};
+    // Alloc accounting, same single-writer plain-store discipline (the
+    // owning thread already holds this line exclusively).
+    std::atomic<u64> hits{0};
+    std::atomic<u64> misses{0};
     std::array<u32, kCacheCapacity> slots;
   };
 
@@ -116,6 +145,7 @@ class PacketPool {
   std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
   std::atomic<u64> free_count_{0};  // shared-freelist size only
   std::atomic<u64> alloc_failures_{0};
+  std::atomic<u64> locked_allocs_{0};  // cold path: RMW is fine here
 };
 
 /// Free a mixed-pool batch, grouping consecutive same-pool runs into one

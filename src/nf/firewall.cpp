@@ -17,7 +17,7 @@ void FirewallNf::connection_packets(runtime::PacketBatch& batch,
 
     if (tcp.has(net::TcpFlags::kSyn) && !tcp.has(net::TcpFlags::kAck)) {
       if (!acl_.allows(tuple)) {
-        ++counters_.rejected_by_acl;
+        m_rejected_.add(ctx.core());
         verdicts.drop(i);
         continue;
       }
@@ -29,24 +29,24 @@ void FirewallNf::connection_packets(runtime::PacketBatch& batch,
       if (!e->valid) {
         e->valid = 1;
         e->established_at = ctx.now();
-        ++counters_.admitted;
+        m_admitted_.add(ctx.core());
       }
       continue;
     }
 
     auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(key));
     if (e == nullptr || !e->valid) {
-      ++counters_.dropped_no_state;
+      m_no_state_.add(ctx.core());
       verdicts.drop(i);
       continue;
     }
     if (tcp.has(net::TcpFlags::kRst)) {
       (void)ctx.flows().remove_local_flow(key);
-      ++counters_.closed;
+      m_closed_.add(ctx.core());
     } else if (tcp.has(net::TcpFlags::kFin)) {
       if (++e->fin_count >= 2) {
         (void)ctx.flows().remove_local_flow(key);
-        ++counters_.closed;
+        m_closed_.add(ctx.core());
       }
     }
   }
@@ -76,7 +76,7 @@ void FirewallNf::regular_packets(runtime::PacketBatch& batch,
   for (u32 j = 0; j < n; ++j) {
     const auto* e = static_cast<const Entry*>(entries[j]);
     if (e == nullptr || !e->valid) {
-      ++counters_.dropped_no_state;
+      m_no_state_.add(ctx.core());
       verdicts.drop(idx[j]);
     }
   }

@@ -10,6 +10,7 @@
 #include "common/units.hpp"
 #include "core/nf.hpp"
 #include "nf/acl.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sprayer::nf {
 
@@ -17,9 +18,15 @@ class FirewallNf final : public core::INetworkFunction {
  public:
   explicit FirewallNf(Acl acl) : acl_(std::move(acl)) {}
 
-  void init(core::NfInitConfig& cfg, u32 /*num_cores*/) override {
+  void init(core::NfInitConfig& cfg, u32 num_cores) override {
     cfg.flow_table_capacity = 1u << 16;
     cfg.flow_entry_size = sizeof(Entry);
+    auto& reg = tm_.attach(cfg.registry, num_cores);
+    m_admitted_ = reg.counter("firewall.admitted");
+    m_rejected_ = reg.counter("firewall.rejected_by_acl");
+    m_no_state_ = reg.counter("firewall.dropped_no_state");
+    m_closed_ = reg.counter("firewall.closed");
+    tm_.seal();
   }
 
   void connection_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
@@ -31,14 +38,18 @@ class FirewallNf final : public core::INetworkFunction {
     return "firewall";
   }
 
+  /// Counter totals summed across registry shards (metrics "firewall.*").
+  /// Returned by value; per-core sharding also makes the bumps race-free
+  /// under the threaded executor (the old plain-u64 struct was not).
   struct FwCounters {
     u64 admitted = 0;
     u64 rejected_by_acl = 0;
     u64 dropped_no_state = 0;
     u64 closed = 0;
   };
-  [[nodiscard]] const FwCounters& counters() const noexcept {
-    return counters_;
+  [[nodiscard]] FwCounters counters() const noexcept {
+    return FwCounters{tm_.total(m_admitted_), tm_.total(m_rejected_),
+                      tm_.total(m_no_state_), tm_.total(m_closed_)};
   }
 
  private:
@@ -51,7 +62,11 @@ class FirewallNf final : public core::INetworkFunction {
   static_assert(sizeof(Entry) == 16);
 
   Acl acl_;
-  FwCounters counters_;
+  telemetry::RegistrySlot tm_;
+  telemetry::Counter m_admitted_;
+  telemetry::Counter m_rejected_;
+  telemetry::Counter m_no_state_;
+  telemetry::Counter m_closed_;
 };
 
 }  // namespace sprayer::nf

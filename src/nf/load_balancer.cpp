@@ -32,7 +32,7 @@ void LoadBalancerNf::connection_packets(runtime::PacketBatch& batch,
 
     if (tcp.has(net::TcpFlags::kSyn) && !tcp.has(net::TcpFlags::kAck)) {
       if (!is_to_vip(tuple)) {
-        ++counters_.dropped_not_vip;
+        m_not_vip_.add(ctx.core());
         verdicts.drop(i);
         continue;
       }
@@ -45,7 +45,7 @@ void LoadBalancerNf::connection_packets(runtime::PacketBatch& batch,
         e->backend =
             static_cast<u16>(rr_next_++ % cfg_.backends.size());
         e->valid = 1;
-        ++counters_.assigned;
+        m_assigned_.add(ctx.core());
         per_core_[ctx.core()].delta[e->backend] += 1;
       }
       pkt->eth().set_dst(cfg_.backends[e->backend].mac);
@@ -54,7 +54,7 @@ void LoadBalancerNf::connection_packets(runtime::PacketBatch& batch,
 
     auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(key));
     if (e == nullptr || !e->valid) {
-      ++counters_.dropped_no_state;
+      m_no_state_.add(ctx.core());
       verdicts.drop(i);
       continue;
     }
@@ -88,7 +88,7 @@ void LoadBalancerNf::regular_packets(runtime::PacketBatch& batch,
     const net::FiveTuple tuple = pkt->five_tuple();
     if (is_from_vip(tuple)) continue;  // DSR return path: pass through
     if (!is_to_vip(tuple)) {
-      ++counters_.dropped_not_vip;
+      m_not_vip_.add(ctx.core());
       verdicts.drop(i);
       continue;
     }
@@ -103,7 +103,7 @@ void LoadBalancerNf::regular_packets(runtime::PacketBatch& batch,
   for (u32 j = 0; j < n; ++j) {
     const auto* e = static_cast<const Entry*>(entries[j]);
     if (e == nullptr || !e->valid) {
-      ++counters_.dropped_no_state;
+      m_no_state_.add(ctx.core());
       verdicts.drop(idx[j]);
       continue;
     }

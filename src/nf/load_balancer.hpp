@@ -17,6 +17,7 @@
 
 #include "core/nf.hpp"
 #include "net/mac_addr.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sprayer::nf {
 
@@ -42,6 +43,11 @@ class LoadBalancerNf final : public core::INetworkFunction {
     init.flow_table_capacity = 1u << 16;
     init.flow_entry_size = sizeof(Entry);
     num_cores_ = num_cores;
+    auto& reg = tm_.attach(init.registry, num_cores);
+    m_assigned_ = reg.counter("lb.assigned");
+    m_no_state_ = reg.counter("lb.dropped_no_state");
+    m_not_vip_ = reg.counter("lb.dropped_not_vip");
+    tm_.seal();
   }
 
   void connection_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
@@ -55,13 +61,17 @@ class LoadBalancerNf final : public core::INetworkFunction {
   /// per-core counters; may be momentarily stale, per the paper's model).
   [[nodiscard]] std::vector<i64> active_connections() const;
 
+  /// Counter totals summed across registry shards (metrics "lb.*").
+  /// Returned by value; the per-core sharding also makes the bumps
+  /// race-free under the threaded executor.
   struct LbCounters {
     u64 assigned = 0;
     u64 dropped_no_state = 0;
     u64 dropped_not_vip = 0;
   };
-  [[nodiscard]] const LbCounters& counters() const noexcept {
-    return counters_;
+  [[nodiscard]] LbCounters counters() const noexcept {
+    return LbCounters{tm_.total(m_assigned_), tm_.total(m_no_state_),
+                      tm_.total(m_not_vip_)};
   }
 
  private:
@@ -89,7 +99,10 @@ class LoadBalancerNf final : public core::INetworkFunction {
   u32 num_cores_ = 0;
   u32 rr_next_ = 0;  // round-robin cursor (flow events only)
   std::array<CoreCounters, kMaxCores> per_core_{};
-  LbCounters counters_;
+  telemetry::RegistrySlot tm_;
+  telemetry::Counter m_assigned_;
+  telemetry::Counter m_no_state_;
+  telemetry::Counter m_not_vip_;
 };
 
 }  // namespace sprayer::nf

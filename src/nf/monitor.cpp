@@ -6,17 +6,14 @@ namespace sprayer::nf {
 
 MonitorNf::Totals MonitorNf::aggregate() const {
   Totals out;
-  for (u32 c = 0; c < num_cores_ && c < kMaxCores; ++c) {
-    const Totals& t = per_core_[c].t;
-    out.packets += t.packets;
-    out.bytes += t.bytes;
-    out.tcp_packets += t.tcp_packets;
-    out.udp_packets += t.udp_packets;
-    out.other_packets += t.other_packets;
-    out.tracked_packets += t.tracked_packets;
-    out.connections_opened += t.connections_opened;
-    out.connections_closed += t.connections_closed;
-  }
+  out.packets = tm_.total(m_packets_);
+  out.bytes = tm_.total(m_bytes_);
+  out.tcp_packets = tm_.total(m_tcp_);
+  out.udp_packets = tm_.total(m_udp_);
+  out.other_packets = tm_.total(m_other_);
+  out.tracked_packets = tm_.total(m_tracked_);
+  out.connections_opened = tm_.total(m_opened_);
+  out.connections_closed = tm_.total(m_closed_);
   return out;
 }
 
@@ -26,25 +23,25 @@ void MonitorNf::connection_packets(runtime::PacketBatch& batch,
   for (net::Packet* pkt : batch) {
     const net::FiveTuple key = pkt->five_tuple().canonical();
     net::TcpView tcp = pkt->tcp();
-    Totals& t = per_core_[ctx.core()].t;
+    const CoreId core = ctx.core();
 
     if (tcp.has(net::TcpFlags::kSyn) && !tcp.has(net::TcpFlags::kAck)) {
       auto* e = static_cast<Entry*>(ctx.flows().insert_local_flow(key));
       if (e != nullptr && !e->valid) {
         e->valid = 1;
         e->first_seen = ctx.now();
-        ++t.connections_opened;
+        m_opened_.add(core);
       }
     } else if (tcp.has(net::TcpFlags::kRst)) {
-      if (ctx.flows().remove_local_flow(key)) ++t.connections_closed;
+      if (ctx.flows().remove_local_flow(key)) m_closed_.add(core);
     } else if (tcp.has(net::TcpFlags::kFin)) {
       auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(key));
       const u8 fins_needed = close_on_single_fin_ ? 1 : 2;
       if (e != nullptr && e->valid && ++e->fin_count >= fins_needed) {
-        if (ctx.flows().remove_local_flow(key)) ++t.connections_closed;
+        if (ctx.flows().remove_local_flow(key)) m_closed_.add(core);
       }
     }
-    count_packet(pkt, ctx.core());
+    count_packet(pkt, core);
   }
 }
 
@@ -69,11 +66,12 @@ void MonitorNf::regular_packets(runtime::PacketBatch& batch,
   if (n == 0) return;
   ctx.flows().get_flows({keys.data(), n}, {hashes.data(), n},
                         {entries.data(), n});
-  Totals& t = per_core_[ctx.core()].t;
+  u64 tracked = 0;
   for (u32 j = 0; j < n; ++j) {
     const auto* e = static_cast<const Entry*>(entries[j]);
-    if (e != nullptr && e->valid) ++t.tracked_packets;
+    if (e != nullptr && e->valid) ++tracked;
   }
+  if (tracked > 0) m_tracked_.add(ctx.core(), tracked);
 }
 
 }  // namespace sprayer::nf

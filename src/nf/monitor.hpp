@@ -8,10 +8,9 @@
 // designated core.
 #pragma once
 
-#include <array>
-
 #include "common/units.hpp"
 #include "core/nf.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sprayer::nf {
 
@@ -29,6 +28,16 @@ class MonitorNf final : public core::INetworkFunction {
     cfg.flow_table_capacity = 1u << 16;
     cfg.flow_entry_size = sizeof(Entry);
     num_cores_ = num_cores;
+    auto& reg = tm_.attach(cfg.registry, num_cores);
+    m_packets_ = reg.counter("monitor.packets");
+    m_bytes_ = reg.counter("monitor.bytes");
+    m_tcp_ = reg.counter("monitor.tcp_packets");
+    m_udp_ = reg.counter("monitor.udp_packets");
+    m_other_ = reg.counter("monitor.other_packets");
+    m_tracked_ = reg.counter("monitor.tracked_packets");
+    m_opened_ = reg.counter("monitor.connections_opened");
+    m_closed_ = reg.counter("monitor.connections_closed");
+    tm_.seal();
   }
 
   void connection_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
@@ -50,8 +59,18 @@ class MonitorNf final : public core::INetworkFunction {
     u64 connections_opened = 0;
     u64 connections_closed = 0;
   };
-  /// Loosely-consistent aggregate across all cores.
+  /// Loosely-consistent aggregate across all cores (metrics "monitor.*",
+  /// one registry shard per core — the same §3.4 statistics pattern as
+  /// before, now hosted by the telemetry registry).
   [[nodiscard]] Totals aggregate() const;
+
+  /// The registry hosting this NF's metrics (framework-shared or private
+  /// fallback); null before init(). For snapshot/JSON export by embedders
+  /// whose executor has no registry of its own (e.g. the simulator).
+  [[nodiscard]] const telemetry::MetricsRegistry* metrics_registry()
+      const noexcept {
+    return tm_.get();
+  }
 
  private:
   struct Entry {
@@ -62,26 +81,29 @@ class MonitorNf final : public core::INetworkFunction {
   };
   static_assert(sizeof(Entry) == 16);
 
-  struct alignas(kCacheLineSize) CoreSlot {
-    Totals t;
-  };
-
   void count_packet(net::Packet* pkt, CoreId core) noexcept {
-    Totals& t = per_core_[core].t;
-    ++t.packets;
-    t.bytes += pkt->len();
+    m_packets_.add(core);
+    m_bytes_.add(core, pkt->len());
     if (pkt->is_tcp()) {
-      ++t.tcp_packets;
+      m_tcp_.add(core);
     } else if (pkt->is_udp()) {
-      ++t.udp_packets;
+      m_udp_.add(core);
     } else {
-      ++t.other_packets;
+      m_other_.add(core);
     }
   }
 
   bool close_on_single_fin_;
   u32 num_cores_ = 0;
-  std::array<CoreSlot, kMaxCores> per_core_{};
+  telemetry::RegistrySlot tm_;
+  telemetry::Counter m_packets_;
+  telemetry::Counter m_bytes_;
+  telemetry::Counter m_tcp_;
+  telemetry::Counter m_udp_;
+  telemetry::Counter m_other_;
+  telemetry::Counter m_tracked_;
+  telemetry::Counter m_opened_;
+  telemetry::Counter m_closed_;
 };
 
 }  // namespace sprayer::nf

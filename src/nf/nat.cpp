@@ -59,7 +59,7 @@ NatNf::Entry* NatNf::open_session(const net::FiveTuple& tuple,
     return flows.designated_core(probe.reversed()) == ctx.core();
   });
   if (port == 0) {
-    counters_.port_exhausted.fetch_add(1, std::memory_order_relaxed);
+    m_port_exhausted_.add(ctx.core());
     return nullptr;
   }
 
@@ -88,7 +88,7 @@ NatNf::Entry* NatNf::open_session(const net::FiveTuple& tuple,
   bwd->state = SessionState::kActive;
   bwd->fin_seen = 0;
 
-  counters_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  m_opened_.add(ctx.core());
   return fwd;
 }
 
@@ -107,7 +107,7 @@ void NatNf::close_session(const net::FiveTuple& tuple, Entry& e,
     pair->state = SessionState::kTimeWait;
     pair->expires = deadline;
   }
-  counters_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  m_closed_.add(ctx.core());
 }
 
 void NatNf::abort_session(const net::FiveTuple& tuple, Entry& e,
@@ -117,7 +117,7 @@ void NatNf::abort_session(const net::FiveTuple& tuple, Entry& e,
   (void)ctx.flows().remove_local_flow(tuple);
   (void)ctx.flows().remove_local_flow(pair);
   ports_.release(port);
-  counters_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  m_closed_.add(ctx.core());
 }
 
 void NatNf::housekeeping(core::NfContext& ctx) {
@@ -161,7 +161,7 @@ void NatNf::connection_packets(runtime::PacketBatch& batch,
       }
       if (e == nullptr) {
         // Unsolicited inbound connection attempt, or pool exhausted.
-        counters_.unmatched_dropped.fetch_add(1, std::memory_order_relaxed);
+        m_unmatched_.add(ctx.core());
         verdicts.drop(i);
         continue;
       }
@@ -179,7 +179,7 @@ void NatNf::connection_packets(runtime::PacketBatch& batch,
         pair->state = SessionState::kActive;
         pair->fin_seen = 0;
       }
-      counters_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+      m_opened_.add(ctx.core());
     }
 
     if (tcp.has(net::TcpFlags::kRst)) {
@@ -239,7 +239,7 @@ void NatNf::regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
     rewrite(batch[idx[j]], *e);
   }
   if (unmatched > 0) {
-    counters_.unmatched_dropped.fetch_add(unmatched, std::memory_order_relaxed);
+    m_unmatched_.add(ctx.core(), unmatched);
   }
 }
 

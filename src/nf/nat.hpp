@@ -14,11 +14,10 @@
 // (expected #cores tries — see PortPool::claim_matching).
 #pragma once
 
-#include <atomic>
-
 #include "core/nf.hpp"
 #include "net/checksum.hpp"
 #include "nf/port_pool.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sprayer::nf {
 
@@ -40,9 +39,15 @@ class NatNf final : public core::INetworkFunction {
   explicit NatNf(NatConfig cfg = {})
       : cfg_(cfg), ports_(cfg.port_lo, cfg.port_hi) {}
 
-  void init(core::NfInitConfig& init, u32 /*num_cores*/) override {
+  void init(core::NfInitConfig& init, u32 num_cores) override {
     init.flow_table_capacity = 1u << 16;
     init.flow_entry_size = sizeof(Entry);
+    auto& reg = tm_.attach(init.registry, num_cores);
+    m_opened_ = reg.counter("nat.sessions_opened");
+    m_closed_ = reg.counter("nat.sessions_closed");
+    m_port_exhausted_ = reg.counter("nat.port_exhausted");
+    m_unmatched_ = reg.counter("nat.unmatched_dropped");
+    tm_.seal();
   }
 
   void connection_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
@@ -54,17 +59,19 @@ class NatNf final : public core::INetworkFunction {
 
   [[nodiscard]] const char* name() const noexcept override { return "nat"; }
 
-  /// Counters are bumped from whichever worker thread owns the session's
-  /// designated core, so they are relaxed atomics (connection events only —
-  /// never on the per-packet forwarding path).
+  /// Counter totals, summed across the per-core registry shards (metrics
+  /// "nat.*" — connection events only, never the per-packet path). Returned
+  /// by value: a loosely-consistent read while workers run, exact once
+  /// they are idle.
   struct NatCounters {
-    std::atomic<u64> sessions_opened{0};
-    std::atomic<u64> sessions_closed{0};
-    std::atomic<u64> port_exhausted{0};
-    std::atomic<u64> unmatched_dropped{0};
+    u64 sessions_opened = 0;
+    u64 sessions_closed = 0;
+    u64 port_exhausted = 0;
+    u64 unmatched_dropped = 0;
   };
-  [[nodiscard]] const NatCounters& counters() const noexcept {
-    return counters_;
+  [[nodiscard]] NatCounters counters() const noexcept {
+    return NatCounters{tm_.total(m_opened_), tm_.total(m_closed_),
+                       tm_.total(m_port_exhausted_), tm_.total(m_unmatched_)};
   }
   [[nodiscard]] const PortPool& port_pool() const noexcept { return ports_; }
 
@@ -108,7 +115,11 @@ class NatNf final : public core::INetworkFunction {
 
   NatConfig cfg_;
   PortPool ports_;
-  NatCounters counters_;
+  telemetry::RegistrySlot tm_;
+  telemetry::Counter m_opened_;
+  telemetry::Counter m_closed_;
+  telemetry::Counter m_port_exhausted_;
+  telemetry::Counter m_unmatched_;
 };
 
 }  // namespace sprayer::nf

@@ -1,0 +1,128 @@
+#include "telemetry/json_exporter.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace sprayer::telemetry {
+
+namespace {
+
+void write_name(std::ostream& os, const std::string& name) {
+  // Metric names are registry-controlled identifiers (letters, digits,
+  // '.', '_', '/'); escape defensively anyway so output is always valid.
+  os << '"';
+  for (const char c : name) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void write_shards(std::ostream& os, const std::vector<u64>& per_shard) {
+  os << "[";
+  for (std::size_t i = 0; i < per_shard.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << per_shard[i];
+  }
+  os << "]";
+}
+
+void write_scalar_section(std::ostream& os, const TelemetrySnapshot& snap,
+                          bool counters) {
+  bool first = true;
+  for (const auto& s : snap.scalars) {
+    if ((s.kind == MetricKind::kCounter) != counters) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+    write_name(os, s.name);
+    os << ": {";
+    if (!counters) {
+      os << "\"kind\": \"" << to_string(s.kind) << "\", ";
+    }
+    os << "\"total\": " << s.total;
+    if (!s.per_shard.empty()) {
+      os << ", \"per_shard\": ";
+      write_shards(os, s.per_shard);
+    }
+    os << "}";
+  }
+  if (!first) os << "\n  ";
+}
+
+void write_hist_section(std::ostream& os, const TelemetrySnapshot& snap) {
+  bool first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) os << ",";
+    first = false;
+    const LogHistogram& m = h.merged;
+    os << "\n    ";
+    write_name(os, h.name);
+    os << ": {\"count\": " << m.count() << ", \"min\": " << m.min()
+       << ", \"max\": " << m.max() << ", \"mean\": " << m.mean()
+       << ", \"p50\": " << m.p50() << ", \"p90\": " << m.p90()
+       << ", \"p99\": " << m.p99() << ", \"p999\": " << m.p999() << "}";
+  }
+  if (!first) os << "\n  ";
+}
+
+}  // namespace
+
+void JsonExporter::write(std::ostream& os, const TelemetrySnapshot& snap,
+                         const ReorderObservatory::Stats* reorder) {
+  const u32 shards = snap.scalars.empty()
+                         ? 0
+                         : static_cast<u32>(snap.scalars[0].per_shard.size());
+  os << "{\n";
+  os << "  \"schema\": \"sprayer.telemetry.v1\",\n";
+  os << "  \"epoch\": " << snap.epoch << ",\n";
+  os << "  \"taken_at_ps\": " << snap.taken_at << ",\n";
+  os << "  \"consistent\": " << (snap.consistent ? "true" : "false") << ",\n";
+  os << "  \"num_shards\": " << shards << ",\n";
+  os << "  \"counters\": {";
+  write_scalar_section(os, snap, /*counters=*/true);
+  os << "},\n";
+  os << "  \"gauges\": {";
+  write_scalar_section(os, snap, /*counters=*/false);
+  os << "},\n";
+  os << "  \"histograms\": {";
+  write_hist_section(os, snap);
+  os << "}";
+  if (reorder != nullptr) {
+    const double fraction =
+        reorder->packets_observed == 0
+            ? 0.0
+            : static_cast<double>(reorder->ooo_packets) /
+                  static_cast<double>(reorder->packets_observed);
+    os << ",\n  \"reorder\": {";
+    os << "\n    \"flows_tracked\": " << reorder->flows_tracked << ",";
+    os << "\n    \"packets_stamped\": " << reorder->packets_stamped << ",";
+    os << "\n    \"packets_observed\": " << reorder->packets_observed << ",";
+    os << "\n    \"ooo_packets\": " << reorder->ooo_packets << ",";
+    os << "\n    \"ooo_fraction\": " << fraction << ",";
+    os << "\n    \"max_distance\": " << reorder->max_distance << ",";
+    os << "\n    \"distance_p50\": " << reorder->distance.p50() << ",";
+    os << "\n    \"distance_p99\": " << reorder->distance.p99();
+    os << "\n  }";
+  }
+  os << "\n}\n";
+}
+
+std::string JsonExporter::to_json(const TelemetrySnapshot& snap,
+                                  const ReorderObservatory::Stats* reorder) {
+  std::ostringstream os;
+  write(os, snap, reorder);
+  return os.str();
+}
+
+bool JsonExporter::write_file(const std::string& path,
+                              const TelemetrySnapshot& snap,
+                              const ReorderObservatory::Stats* reorder) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out, snap, reorder);
+  return out.good();
+}
+
+}  // namespace sprayer::telemetry

@@ -1,0 +1,46 @@
+// TelemetrySnapshot → JSON, in the same artifact family as the repo's
+// BENCH_*.json files so runtime telemetry and bench results share one
+// trajectory (and one schema checker: tools/check_telemetry_schema.py).
+//
+// Schema "sprayer.telemetry.v1":
+//   {
+//     "schema": "sprayer.telemetry.v1",
+//     "epoch": <u64>, "taken_at_ps": <u64>, "consistent": <bool>,
+//     "num_shards": <u32>,
+//     "counters":   { name: {"total": u64, "per_shard": [u64...]}, ... },
+//     "gauges":     { name: {"kind": "gauge"|"max"|"fn", "total": u64,
+//                            "per_shard": [u64...]?}, ... },
+//     "histograms": { name: {"count","min","max","mean",
+//                            "p50","p90","p99","p999"}, ... },
+//     "reorder":    { "flows_tracked", "packets_stamped",
+//                     "packets_observed", "ooo_packets", "ooo_fraction",
+//                     "max_distance", "distance_p50", "distance_p99" }?
+//   }
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/reorder.hpp"
+#include "telemetry/snapshot.hpp"
+
+namespace sprayer::telemetry {
+
+class JsonExporter {
+ public:
+  /// Pretty-printed snapshot document. `reorder` is optional (nullptr →
+  /// section omitted).
+  [[nodiscard]] static std::string to_json(
+      const TelemetrySnapshot& snap,
+      const ReorderObservatory::Stats* reorder = nullptr);
+
+  static void write(std::ostream& os, const TelemetrySnapshot& snap,
+                    const ReorderObservatory::Stats* reorder = nullptr);
+
+  /// Write to a file; returns false (and writes nothing) on I/O failure.
+  static bool write_file(const std::string& path,
+                         const TelemetrySnapshot& snap,
+                         const ReorderObservatory::Stats* reorder = nullptr);
+};
+
+}  // namespace sprayer::telemetry

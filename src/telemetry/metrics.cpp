@@ -1,0 +1,49 @@
+#include "telemetry/metrics.hpp"
+
+namespace sprayer::telemetry {
+
+void MetricsRegistry::check_name_free(const std::string& name) const {
+  for (const auto& s : scalars_) {
+    SPRAYER_CHECK_MSG(s.name != name, "duplicate metric name");
+  }
+  for (const auto& h : hists_) {
+    SPRAYER_CHECK_MSG(h.name != name, "duplicate metric name");
+  }
+  for (const auto& f : fn_gauges_) {
+    SPRAYER_CHECK_MSG(f.name != name, "duplicate metric name");
+  }
+}
+
+u32 MetricsRegistry::register_scalar(std::string name, MetricKind kind) {
+  SPRAYER_CHECK_MSG(!finalized_, "metric registered after finalize()");
+  check_name_free(name);
+  scalars_.push_back(ScalarInfo{std::move(name), kind});
+  return static_cast<u32>(scalars_.size() - 1);
+}
+
+Histogram MetricsRegistry::histogram(std::string name,
+                                     unsigned significant_bits) {
+  SPRAYER_CHECK_MSG(!finalized_, "metric registered after finalize()");
+  check_name_free(name);
+  HistInfo info{std::move(name), LogHistogram(significant_bits), hist_slots_};
+  hist_slots_ += static_cast<u32>(info.proto.num_buckets());
+  hists_.push_back(std::move(info));
+  return Histogram{this, static_cast<u32>(hists_.size() - 1)};
+}
+
+void MetricsRegistry::finalize() {
+  SPRAYER_CHECK_MSG(!finalized_, "finalize() called twice");
+  scalar_lines_per_shard_ = (scalars_.size() + 7) / 8;
+  if (scalar_lines_per_shard_ > 0) {
+    scalar_lines_ =
+        std::make_unique<CellLine[]>(scalar_lines_per_shard_ * num_shards_);
+  }
+  hist_lines_per_shard_ = (static_cast<std::size_t>(hist_slots_) + 7) / 8;
+  if (hist_lines_per_shard_ > 0) {
+    hist_lines_ =
+        std::make_unique<CellLine[]>(hist_lines_per_shard_ * num_shards_);
+  }
+  finalized_ = true;
+}
+
+}  // namespace sprayer::telemetry

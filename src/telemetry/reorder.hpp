@@ -1,0 +1,143 @@
+// Spray-reorder observatory: measures the packet reordering that spraying
+// introduces, with sampled, bounded-memory per-flow sequence tracking.
+//
+// Mechanics: the injection driver stamps a per-flow sequence number into
+// `Packet::user_tag` for up to kSlots sampled flows (first-come flow-hash
+// claim — memory is bounded by construction, not by traffic). At the tx
+// boundary the observatory checks each stamped packet against the highest
+// sequence already seen for its flow: a packet arriving below that
+// high-water mark is out of order, and `high_water - seq` is its reorder
+// distance (how many later packets of the same flow overtook it, an upper
+// bound in the presence of drops).
+//
+// Under per-flow RSS every data packet of a flow traverses one rx ring, one
+// core and one tx call in FIFO order, so the observatory reads zero; under
+// spraying, packets of one flow ride different queues and the out-of-order
+// degree is the price of packet-level parallelism the paper's §4 discusses.
+//
+// Thread contract: stamp() is driver-side (single thread). observe() runs
+// on any worker at tx time and takes a per-flow spinlock — sampled flows
+// only, so the cost is bounded and off the path entirely when disabled.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <span>
+
+#include "common/histogram.hpp"
+#include "common/types.hpp"
+#include "net/packet.hpp"
+
+namespace sprayer::telemetry {
+
+class ReorderObservatory {
+ public:
+  static constexpr u32 kSlots = 64;        // sampled flows (bounded memory)
+  static constexpr u64 kStampFlag = 1ULL << 63;
+  static constexpr unsigned kSlotShift = 48;  // slot index in bits 48..53
+  static constexpr u64 kSeqMask = (1ULL << kSlotShift) - 1;
+
+  struct Stats {
+    u64 flows_tracked = 0;
+    u64 packets_stamped = 0;
+    u64 packets_observed = 0;
+    u64 ooo_packets = 0;    // arrived below their flow's high-water seq
+    u64 max_distance = 0;   // largest observed reorder distance
+    LogHistogram distance;  // distance distribution over ooo packets
+    Stats() : distance(5) {}
+  };
+
+  /// Driver side: claim-or-match the packet's flow into a sample slot and
+  /// stamp the next per-flow sequence number. No-op for packets without a
+  /// memoized flow hash or for flows that lost the slot race.
+  void stamp(net::Packet& pkt) noexcept {
+    if (!pkt.has_flow_hash()) return;
+    const u32 hash = pkt.flow_hash();
+    const u32 slot = hash % kSlots;
+    RxSlot& rx = rx_slots_[slot];
+    if (!rx.claimed) {
+      rx.claimed = true;
+      rx.owner = hash;
+      ++flows_tracked_;
+    } else if (rx.owner != hash) {
+      return;  // slot taken by another flow: this flow is not sampled
+    }
+    // Sequences start at 1 so seq 0 never collides with the tx-side
+    // high-water initial value.
+    pkt.user_tag = kStampFlag | (static_cast<u64>(slot) << kSlotShift) |
+                   (++rx.next_seq & kSeqMask);
+    ++packets_stamped_;
+  }
+
+  /// Tx side (any worker): fold a batch of outgoing packets into the
+  /// per-flow reorder state. Unstamped packets are skipped without locking.
+  void observe(std::span<net::Packet* const> pkts) noexcept {
+    for (const net::Packet* pkt : pkts) {
+      const u64 tag = pkt->user_tag;
+      if ((tag & kStampFlag) == 0) continue;
+      const u32 slot =
+          static_cast<u32>((tag >> kSlotShift) & (kSlots - 1));
+      const u64 seq = tag & kSeqMask;
+      TxSlot& tx = tx_slots_[slot];
+      tx.lock();
+      if (seq > tx.high_water) {
+        tx.high_water = seq;
+      } else {
+        const u64 distance = tx.high_water - seq;
+        ++tx.ooo_packets;
+        if (distance > tx.max_distance) tx.max_distance = distance;
+        tx.distance.add(distance);
+      }
+      ++tx.observed;
+      tx.unlock();
+    }
+  }
+
+  /// Collector side: merge all slots. Takes each slot's spinlock briefly;
+  /// safe concurrently with observe().
+  [[nodiscard]] Stats stats() const {
+    Stats out;
+    out.flows_tracked = flows_tracked_;
+    out.packets_stamped = packets_stamped_;
+    for (const TxSlot& slot : tx_slots_) {
+      auto& tx = const_cast<TxSlot&>(slot);
+      tx.lock();
+      out.packets_observed += tx.observed;
+      out.ooo_packets += tx.ooo_packets;
+      if (tx.max_distance > out.max_distance) {
+        out.max_distance = tx.max_distance;
+      }
+      out.distance.merge(tx.distance);
+      tx.unlock();
+    }
+    return out;
+  }
+
+ private:
+  struct RxSlot {  // driver-private: no synchronization needed
+    u32 owner = 0;
+    bool claimed = false;
+    u64 next_seq = 0;
+  };
+  struct alignas(kCacheLineSize) TxSlot {
+    std::atomic_flag busy = ATOMIC_FLAG_INIT;
+    u64 high_water = 0;
+    u64 observed = 0;
+    u64 ooo_packets = 0;
+    u64 max_distance = 0;
+    LogHistogram distance{5};
+
+    void lock() noexcept {
+      while (busy.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    void unlock() noexcept { busy.clear(std::memory_order_release); }
+  };
+
+  std::array<RxSlot, kSlots> rx_slots_{};
+  u64 flows_tracked_ = 0;
+  u64 packets_stamped_ = 0;
+  std::array<TxSlot, kSlots> tx_slots_{};
+};
+
+}  // namespace sprayer::telemetry

@@ -1,0 +1,103 @@
+#include "telemetry/snapshot.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace sprayer::telemetry {
+
+namespace {
+
+Time steady_now() {
+  return static_cast<Time>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) *
+         kNanosecond;
+}
+
+}  // namespace
+
+TelemetrySnapshot SnapshotCollector::collect() {
+  TelemetrySnapshot snap;
+  snap.epoch = ++epoch_;
+  snap.taken_at = steady_now();
+
+  const auto& scalars = reg_.scalar_info();
+  const auto& hists = reg_.hist_info();
+  const u32 shards = reg_.num_shards();
+  const u32 hist_slots = reg_.hist_slots();
+
+  snap.scalars.reserve(scalars.size() + reg_.fn_gauges().size());
+  for (const auto& s : scalars) {
+    ScalarSnapshot out;
+    out.name = s.name;
+    out.kind = s.kind;
+    out.per_shard.assign(shards, 0);
+    snap.scalars.push_back(std::move(out));
+  }
+  snap.histograms.reserve(hists.size());
+  for (const auto& h : hists) {
+    snap.histograms.push_back(
+        HistogramSnapshot{h.name, LogHistogram(h.proto.significant_bits())});
+  }
+
+  // Per-shard seqlock copy: scalar cells and histogram buckets for one shard
+  // are captured together so cells updated inside one writer window agree.
+  std::vector<u64> scalar_buf(scalars.size());
+  std::vector<u64> hist_buf(hist_slots);
+  for (u32 shard = 0; shard < shards; ++shard) {
+    const auto& seq = reg_.shard_seq(shard);
+    bool clean = false;
+    for (u32 attempt = 0; attempt <= kMaxShardRetries; ++attempt) {
+      const u64 s1 = seq.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < scalar_buf.size(); ++i) {
+        scalar_buf[i] = reg_.scalar_cell(shard, static_cast<u32>(i));
+      }
+      for (u32 i = 0; i < hist_slots; ++i) {
+        hist_buf[i] = reg_.hist_cell(shard, i);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const u64 s2 = seq.load(std::memory_order_relaxed);
+      if ((s1 & 1) == 0 && s1 == s2) {
+        clean = true;
+        break;
+      }
+      ++retries_;
+    }
+    if (!clean) {
+      // Shard under continuous load: keep the last (untorn, monotonic) copy
+      // but flag that cross-cell alignment is best-effort.
+      snap.consistent = false;
+      ++inconsistent_;
+    }
+
+    for (std::size_t i = 0; i < scalar_buf.size(); ++i) {
+      snap.scalars[i].per_shard[shard] = scalar_buf[i];
+      if (snap.scalars[i].kind == MetricKind::kGaugeMax) {
+        if (scalar_buf[i] > snap.scalars[i].total) {
+          snap.scalars[i].total = scalar_buf[i];
+        }
+      } else {
+        snap.scalars[i].total += scalar_buf[i];
+      }
+    }
+    for (std::size_t h = 0; h < hists.size(); ++h) {
+      const u32 offset = hists[h].offset;
+      const u32 n = static_cast<u32>(hists[h].proto.num_buckets());
+      for (u32 b = 0; b < n; ++b) {
+        snap.histograms[h].merged.add_bucket(b, hist_buf[offset + b]);
+      }
+    }
+  }
+
+  for (const auto& fg : reg_.fn_gauges()) {
+    ScalarSnapshot out;
+    out.name = fg.name;
+    out.kind = MetricKind::kGaugeFn;
+    out.total = fg.fn();
+    snap.scalars.push_back(std::move(out));
+  }
+  return snap;
+}
+
+}  // namespace sprayer::telemetry

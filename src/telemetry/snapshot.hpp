@@ -1,0 +1,90 @@
+// Epoch snapshot collector: merges a MetricsRegistry's per-core shards into
+// one consistent TelemetrySnapshot without stopping the workers.
+//
+// Consistency contract:
+//  - Per-cell: every read is an untorn atomic load; counter cells only grow,
+//    so counter values are monotonic across snapshots unconditionally.
+//  - Per-shard: the collector copies a shard's cells between two reads of
+//    the shard's update sequence (seqlock). If a writer's
+//    begin_update/end_update window overlapped the copy, the sequence
+//    differs (or is odd) and the copy retries — so related cells updated
+//    inside one window (e.g. rx_packets and tx_packets for the same burst)
+//    land in the snapshot together. Retries are bounded: after
+//    kMaxShardRetries failed passes (a shard under continuous load) the
+//    last copy is kept and the snapshot is marked `consistent = false`;
+//    values are still untorn and monotonic, only the cross-cell alignment
+//    of that shard is best-effort.
+//  - Cross-shard: no global barrier; shards are copied one after another.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/units.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace sprayer::telemetry {
+
+struct ScalarSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  u64 total = 0;               // sum (counter/gauge) or max (kGaugeMax)
+  std::vector<u64> per_shard;  // one value per shard
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  LogHistogram merged;  // all shards folded together
+};
+
+struct TelemetrySnapshot {
+  u64 epoch = 0;           // collector invocation count
+  Time taken_at = 0;       // steady_now() at collection
+  bool consistent = true;  // false if any shard exhausted its retries
+  std::vector<ScalarSnapshot> scalars;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] const ScalarSnapshot* find(const std::string& name) const {
+    for (const auto& s : scalars) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] u64 value(const std::string& name) const {
+    const auto* s = find(name);
+    return s == nullptr ? 0 : s->total;
+  }
+  [[nodiscard]] const HistogramSnapshot* find_histogram(
+      const std::string& name) const {
+    for (const auto& h : histograms) {
+      if (h.name == name) return &h;
+    }
+    return nullptr;
+  }
+};
+
+class SnapshotCollector {
+ public:
+  static constexpr u32 kMaxShardRetries = 8;
+
+  explicit SnapshotCollector(const MetricsRegistry& reg) : reg_(reg) {}
+
+  /// Collect one snapshot. Safe to call from any single thread concurrently
+  /// with shard writers; allocation-heavy (per-metric vectors), so this is a
+  /// housekeeping/collector-thread operation, never a hot-path one.
+  [[nodiscard]] TelemetrySnapshot collect();
+
+  [[nodiscard]] u64 epochs() const noexcept { return epoch_; }
+  [[nodiscard]] u64 retries() const noexcept { return retries_; }
+  [[nodiscard]] u64 inconsistent_shards() const noexcept {
+    return inconsistent_; }
+
+ private:
+  const MetricsRegistry& reg_;
+  u64 epoch_ = 0;
+  u64 retries_ = 0;       // seqlock copy passes that had to restart
+  u64 inconsistent_ = 0;  // shards that fell back to best-effort copies
+};
+
+}  // namespace sprayer::telemetry

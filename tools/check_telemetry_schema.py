@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate "sprayer.telemetry.v1" snapshot files (telemetry/json_exporter).
+
+Usage: check_telemetry_schema.py FILE [FILE...]
+
+Exits non-zero (failing the CI job) if any file is malformed: wrong schema
+tag, missing sections, per-shard vectors that don't match num_shards, or
+counter/gauge totals that don't equal their per-shard fold.
+"""
+import json
+import sys
+
+SCHEMA = "sprayer.telemetry.v1"
+HIST_FIELDS = ("count", "min", "max", "mean", "p50", "p90", "p99", "p999")
+REORDER_FIELDS = (
+    "flows_tracked", "packets_stamped", "packets_observed", "ooo_packets",
+    "ooo_fraction", "max_distance", "distance_p50", "distance_p99",
+)
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def check_scalar(name, entry, num_shards, fold):
+    require(isinstance(entry, dict), f"{name}: entry must be an object")
+    require(isinstance(entry.get("total"), int) and entry["total"] >= 0,
+            f"{name}: total must be a non-negative integer")
+    per_shard = entry.get("per_shard")
+    if per_shard is None:  # fn-gauges are collector-evaluated, no shards
+        require(entry.get("kind") == "fn",
+                f"{name}: only fn-gauges may omit per_shard")
+        return
+    require(isinstance(per_shard, list) and len(per_shard) == num_shards,
+            f"{name}: per_shard must have num_shards={num_shards} entries")
+    require(all(isinstance(v, int) and v >= 0 for v in per_shard),
+            f"{name}: per_shard entries must be non-negative integers")
+    require(fold(per_shard) == entry["total"],
+            f"{name}: total {entry['total']} != per-shard fold")
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    require(doc.get("schema") == SCHEMA,
+            f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    for key in ("epoch", "taken_at_ps", "num_shards"):
+        require(isinstance(doc.get(key), int) and doc[key] >= 0,
+                f"{key} must be a non-negative integer")
+    require(isinstance(doc.get("consistent"), bool),
+            "consistent must be a boolean")
+    num_shards = doc["num_shards"]
+
+    counters = doc.get("counters")
+    require(isinstance(counters, dict), "counters section missing")
+    for name, entry in counters.items():
+        check_scalar(name, entry, num_shards, sum)
+
+    gauges = doc.get("gauges")
+    require(isinstance(gauges, dict), "gauges section missing")
+    for name, entry in gauges.items():
+        kind = entry.get("kind") if isinstance(entry, dict) else None
+        require(kind in ("gauge", "max", "fn"),
+                f"{name}: gauge kind must be gauge/max/fn, got {kind!r}")
+        fold = max if kind == "max" else sum
+        check_scalar(name, entry, num_shards,
+                     lambda shards, fold=fold: fold(shards) if shards else 0)
+
+    hists = doc.get("histograms")
+    require(isinstance(hists, dict), "histograms section missing")
+    for name, entry in hists.items():
+        require(isinstance(entry, dict), f"{name}: entry must be an object")
+        for field in HIST_FIELDS:
+            require(isinstance(entry.get(field), (int, float)),
+                    f"{name}: missing histogram field {field!r}")
+        require(entry["count"] == 0 or entry["min"] <= entry["max"],
+                f"{name}: min > max in a non-empty histogram")
+
+    if "reorder" in doc:
+        reorder = doc["reorder"]
+        for field in REORDER_FIELDS:
+            require(isinstance(reorder.get(field), (int, float)),
+                    f"reorder: missing field {field!r}")
+        require(reorder["packets_observed"] >= reorder["ooo_packets"],
+                "reorder: ooo_packets exceeds packets_observed")
+        require(0.0 <= reorder["ooo_fraction"] <= 1.0,
+                "reorder: ooo_fraction out of [0, 1]")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = 0
+    for path in argv[1:]:
+        try:
+            check_file(path)
+            print(f"{path}: OK")
+        except (SchemaError, json.JSONDecodeError, OSError) as err:
+            print(f"{path}: FAIL: {err}", file=sys.stderr)
+            failed = 1
+    return failed
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
