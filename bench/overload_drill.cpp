@@ -1,0 +1,278 @@
+// Overload drill: a SYN/RST churn plus elephant-mix workload pushed through
+// the threaded executor hard enough that admission control and the mesh
+// retry path both engage, proving the §3.3 contract end-to-end: connection
+// packets the framework accepts are never lost — goodput is shed instead.
+//
+// The driver interleaves connection churn (SYN then RST per flow slot,
+// injected per-packet so the conn-admission count is exact) with bursts of
+// template ACK elephants (payload variants keep per-packet checksum entropy
+// so spray placement stays per-packet). Mesh rings are sized small so
+// transfer_batch rejections are routine, and an optional deterministic
+// fault schedule (fault_period=N truncates every Nth transfer_batch)
+// stresses the park-and-retry path on top.
+//
+// Emits one JSON line per (policy, cores) configuration with the
+// conn-conservation proof inline:
+//
+//   conn_lost = conn_admitted - (conn_local + conn_foreign_in)  == 0
+//   transfer_drops == 0, pending_transfers == 0
+//
+//   ./bench/overload_drill [policies=drop-new,drop-regular-first,block]
+//       [cores=4] [duration=0.4] [flows=64] [burst=32] [conn_pairs=2]
+//       [rx_ring=256] [mesh_ring=16] [fault_period=7] [nf_cycles=0]
+//       [variants=4] [telemetry=1]
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/overload.hpp"
+#include "core/threaded.hpp"
+#include "net/packet_builder.hpp"
+#include "net/packet_pool.hpp"
+#include "nf/synthetic.hpp"
+#include "nic/pktgen.hpp"
+
+using namespace sprayer;
+
+namespace {
+
+constexpr u32 kMaxBurst = 64;
+
+struct RunConfig {
+  OverloadPolicy policy = OverloadPolicy::kDropRegularFirst;
+  u32 cores = 4;
+  double duration_s = 0.4;
+  u32 flows = 64;
+  u32 burst = 32;
+  u32 conn_pairs = 2;  // SYN+RST pairs injected between elephant bursts
+  u32 rx_ring = 256;
+  u32 mesh_ring = 16;
+  u32 fault_period = 7;  // 0 disables the fault schedule
+  Cycles nf_cycles = 0;
+  u32 variants = 4;
+  bool telemetry = true;
+};
+
+struct RunResult {
+  double elapsed_s = 0.0;
+  u64 conn_admitted = 0;
+  u64 reg_admitted = 0;
+  u64 forwarded = 0;
+  u64 shed_regular = 0;
+  u64 shed_conn = 0;
+  u64 rx_ring_drops = 0;
+  u64 forced_rejections = 0;
+  u32 pending = 0;
+  core::CoreStats total;
+};
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+OverloadPolicy parse_policy(const std::string& s) {
+  if (s == "drop-new") return OverloadPolicy::kDropNew;
+  if (s == "block") return OverloadPolicy::kBlock;
+  return OverloadPolicy::kDropRegularFirst;
+}
+
+/// One frame per (flow, variant) for the elephants, plus a SYN and an RST
+/// frame per flow for the churn — all pre-built so the measured loop only
+/// memcpys.
+struct Frames {
+  std::vector<std::vector<u8>> data;  // elephants: flow-major, then variant
+  std::vector<std::vector<u8>> syn;
+  std::vector<std::vector<u8>> rst;
+};
+
+Frames build_frames(const std::vector<net::FiveTuple>& flow_set,
+                    u32 variants) {
+  net::PacketPool scratch(64, 256);
+  Frames out;
+  for (const auto& flow : flow_set) {
+    for (u32 v = 0; v < variants; ++v) {
+      net::TcpSegmentSpec spec;
+      spec.tuple = flow;
+      spec.flags = net::TcpFlags::kAck;
+      spec.payload_len = 6;
+      const u8 payload[6] = {9, 8, 7, 6, 5, static_cast<u8>(v)};
+      spec.payload = payload;
+      net::Packet* pkt = net::build_tcp_raw(scratch, spec);
+      out.data.emplace_back(pkt->data(), pkt->data() + pkt->len());
+      scratch.free(pkt);
+    }
+    for (const u8 flags : {net::TcpFlags::kSyn, net::TcpFlags::kRst}) {
+      net::TcpSegmentSpec spec;
+      spec.tuple = flow;
+      spec.flags = flags;
+      net::Packet* pkt = net::build_tcp_raw(scratch, spec);
+      auto& dst = flags == net::TcpFlags::kSyn ? out.syn : out.rst;
+      dst.emplace_back(pkt->data(), pkt->data() + pkt->len());
+      scratch.free(pkt);
+    }
+  }
+  return out;
+}
+
+net::Packet* clone_frame(net::PacketPool& pool, const std::vector<u8>& frame) {
+  net::Packet* pkt = pool.alloc_raw();
+  if (pkt == nullptr) return nullptr;
+  std::memcpy(pkt->data(), frame.data(), frame.size());
+  pkt->set_len(static_cast<u32>(frame.size()));
+  return pkt;
+}
+
+RunResult run_one(const RunConfig& rc) {
+  net::PacketPool pool(1u << 15, 256);
+  nf::SyntheticNf nf(rc.nf_cycles);
+  std::atomic<u64> forwarded{0};
+
+  core::SprayerConfig cfg;
+  cfg.num_cores = rc.cores;
+  cfg.mode = core::DispatchMode::kSpray;
+  cfg.housekeeping_interval = 0;
+  cfg.telemetry = rc.telemetry;
+  cfg.overload_policy = rc.policy;
+  cfg.rx_ring_capacity = rc.rx_ring;
+  cfg.foreign_ring_capacity = rc.mesh_ring;
+  if (rc.fault_period > 0) {
+    cfg.transfer_fault = {.reject_period = rc.fault_period, .accept_cap = 0};
+  }
+
+  core::ThreadedMiddlebox mbox(
+      cfg, nf,
+      core::ThreadedMiddlebox::TxBatchHandler(
+          [&](std::span<net::Packet* const> pkts) {
+            forwarded.fetch_add(pkts.size(), std::memory_order_relaxed);
+            net::free_packets(pkts);
+          }));
+  mbox.start();
+
+  const auto flow_set = nic::random_tcp_flows(rc.flows, 42);
+  const Frames frames = build_frames(flow_set, std::max<u32>(rc.variants, 1));
+
+  using Clock = std::chrono::steady_clock;
+  const u32 burst_size = std::min(rc.burst, kMaxBurst);
+  std::array<net::Packet*, kMaxBurst> burst{};
+  RunResult res;
+  std::size_t next_elephant = 0;
+  std::size_t next_churn = 0;  // even: SYN, odd: RST, flow advances per pair
+  const auto t0 = Clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(rc.duration_s));
+  while (Clock::now() < deadline) {
+    // Connection churn: exact per-packet admission accounting.
+    for (u32 k = 0; k < rc.conn_pairs * 2; ++k) {
+      const std::size_t flow = (next_churn / 2) % frames.syn.size();
+      const bool syn = (next_churn & 1) == 0;
+      ++next_churn;
+      net::Packet* pkt =
+          clone_frame(pool, syn ? frames.syn[flow] : frames.rst[flow]);
+      if (pkt == nullptr) break;  // pool backpressure
+      if (mbox.inject(pkt)) ++res.conn_admitted;
+    }
+    // Elephant burst on the bulk path.
+    const u32 n = pool.alloc_bulk(std::span{burst.data(), burst_size});
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (u32 i = 0; i < n; ++i) {
+      const auto& frame = frames.data[next_elephant];
+      if (++next_elephant == frames.data.size()) next_elephant = 0;
+      std::memcpy(burst[i]->data(), frame.data(), frame.size());
+      burst[i]->set_len(static_cast<u32>(frame.size()));
+    }
+    res.reg_admitted += mbox.inject_bulk({burst.data(), n});
+  }
+  mbox.wait_idle();
+  res.elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  res.forwarded = forwarded.load();
+  res.shed_regular = mbox.shed_regular();
+  res.shed_conn = mbox.shed_conn();
+  res.rx_ring_drops = mbox.rx_ring_drops();
+  res.forced_rejections = mbox.forced_rejections();
+  res.pending = mbox.pending_transfers();
+  res.total = mbox.total_stats();
+  mbox.stop();
+  return res;
+}
+
+void print_json(const RunConfig& rc, const RunResult& res) {
+  const u64 conn_processed = res.total.conn_local + res.total.conn_foreign_in;
+  const long long conn_lost =
+      static_cast<long long>(res.conn_admitted) -
+      static_cast<long long>(conn_processed);
+  std::printf(
+      "{\"bench\":\"overload_drill\",\"policy\":\"%s\",\"cores\":%u,"
+      "\"rx_ring\":%u,\"mesh_ring\":%u,\"fault_period\":%u,"
+      "\"elapsed_s\":%.4f,\"conn_admitted\":%llu,\"reg_admitted\":%llu,"
+      "\"forwarded\":%llu,\"pps\":%.0f,"
+      "\"conn_processed\":%llu,\"conn_lost\":%lld,"
+      "\"shed_regular\":%llu,\"shed_conn\":%llu,\"rx_ring_drops\":%llu,"
+      "\"transfer_retries\":%llu,\"transfer_drops\":%llu,"
+      "\"forced_rejections\":%llu,\"pending_transfers\":%u}\n",
+      to_string(rc.policy), rc.cores, rc.rx_ring, rc.mesh_ring,
+      rc.fault_period, res.elapsed_s,
+      static_cast<unsigned long long>(res.conn_admitted),
+      static_cast<unsigned long long>(res.reg_admitted),
+      static_cast<unsigned long long>(res.forwarded),
+      static_cast<double>(res.forwarded) / res.elapsed_s,
+      static_cast<unsigned long long>(conn_processed), conn_lost,
+      static_cast<unsigned long long>(res.shed_regular),
+      static_cast<unsigned long long>(res.shed_conn),
+      static_cast<unsigned long long>(res.rx_ring_drops),
+      static_cast<unsigned long long>(res.total.transfer_retries),
+      static_cast<unsigned long long>(res.total.transfer_drops),
+      static_cast<unsigned long long>(res.forced_rejections), res.pending);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliConfig cli(argc, argv);
+  RunConfig base;
+  base.duration_s = cli.get_double("duration", 0.4);
+  base.flows = static_cast<u32>(cli.get_u64("flows", 64));
+  base.burst = static_cast<u32>(cli.get_u64("burst", 32));
+  base.conn_pairs = static_cast<u32>(cli.get_u64("conn_pairs", 2));
+  base.rx_ring = static_cast<u32>(cli.get_u64("rx_ring", 256));
+  base.mesh_ring = static_cast<u32>(cli.get_u64("mesh_ring", 16));
+  base.fault_period = static_cast<u32>(cli.get_u64("fault_period", 7));
+  base.nf_cycles = cli.get_u64("nf_cycles", 0);
+  base.variants = static_cast<u32>(cli.get_u64("variants", 4));
+  base.telemetry = cli.get_u64("telemetry", 1) != 0;
+
+  const auto policies =
+      split_list(cli.get("policies", "drop-new,drop-regular-first,block"));
+  for (const auto& cores_s : split_list(cli.get("cores", "4"))) {
+    for (const auto& policy_s : policies) {
+      RunConfig rc = base;
+      rc.cores = static_cast<u32>(std::stoul(cores_s));
+      rc.policy = parse_policy(policy_s);
+      print_json(rc, run_one(rc));
+    }
+  }
+  return 0;
+}

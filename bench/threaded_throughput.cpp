@@ -11,7 +11,7 @@
 //   ./bench/threaded_throughput [cores=1,2,4] [modes=spray,flow]
 //       [paths=packet,bulk] [duration=0.4] [flows=64] [rx_batch=32]
 //       [burst=32] [nf_cycles=0] [telemetry=1] [reorder=0]
-//       [telemetry_json=prefix] [variants=1]
+//       [telemetry_json=prefix] [variants=1] [policy=drop-new]
 //
 // telemetry=0 disables the metrics registry entirely (for overhead A/B
 // runs). reorder=1 turns on the spray-reorder observatory. telemetry_json
@@ -61,6 +61,13 @@ struct RunConfig {
   bool reorder = false;
   std::string telemetry_json;  // snapshot file prefix; empty = no export
   u32 variants = 1;            // payload variants per flow
+  // Default drop-new, not the framework's drop-regular-first: this bench
+  // floods open-loop, so it lives permanently above the shed watermark and
+  // any reserved conn headroom just rescales the effective ring capacity
+  // (~0.75x pps on an oversubscribed host). Tail-drop keeps the tracked
+  // series measuring the drain rate; use policy= for overload experiments
+  // (overload_drill compares the policies properly).
+  OverloadPolicy policy = OverloadPolicy::kDropNew;
 };
 
 struct RunResult {
@@ -121,6 +128,7 @@ RunResult run_one(const RunConfig& rc) {
   cfg.housekeeping_interval = 0;
   cfg.telemetry = rc.telemetry;
   cfg.reorder_observatory = rc.reorder;
+  cfg.overload_policy = rc.policy;
 
   std::unique_ptr<core::ThreadedMiddlebox> mbox;
   if (rc.bulk) {
@@ -273,6 +281,10 @@ int main(int argc, char** argv) {
   base.reorder = cli.get_u64("reorder", 0) != 0;
   base.telemetry_json = cli.get("telemetry_json", "");
   base.variants = static_cast<u32>(cli.get_u64("variants", 1));
+  const std::string policy_s = cli.get("policy", "drop-new");
+  base.policy = policy_s == "drop-new"   ? OverloadPolicy::kDropNew
+                : policy_s == "block"    ? OverloadPolicy::kBlock
+                                         : OverloadPolicy::kDropRegularFirst;
 
   for (const auto& cores_s : split_list(cli.get("cores", "1,2,4"))) {
     for (const auto& mode_s : split_list(cli.get("modes", "spray,flow"))) {

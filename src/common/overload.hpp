@@ -1,0 +1,48 @@
+// Overload-control policy shared by every admission boundary.
+//
+// The same policy enum governs the simulated NIC's rx queues
+// (nic::NicConfig) and the threaded executor's driver-side rx rings
+// (core::SprayerConfig), so benches run against either backend agree on
+// what "overload" means. The policies encode the paper's asymmetry between
+// packet classes (§3.3): connection packets (SYN/FIN/RST) are the only
+// writes to flow state — losing one corrupts state (half-open NAT
+// sessions pin ports forever, firewall contexts leak) — while losing a
+// regular packet merely costs goodput that TCP recovers.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace sprayer {
+
+enum class OverloadPolicy : u8 {
+  /// Tail drop: whatever arrives at a full queue is dropped, regardless of
+  /// class (legacy NIC behaviour).
+  kDropNew,
+  /// Shed regular packets once occupancy crosses the shed watermark; the
+  /// headroom between the watermark and full capacity is reserved for
+  /// connection packets, which are admitted until the queue is truly full.
+  kDropRegularFirst,
+  /// Never drop at this boundary: the producer spins until the queue has
+  /// room. Only meaningful where the producer can actually wait (the
+  /// threaded driver); the simulated NIC degrades it to kDropRegularFirst
+  /// because a wire cannot be paused.
+  kBlock,
+};
+
+[[nodiscard]] constexpr const char* to_string(OverloadPolicy p) noexcept {
+  switch (p) {
+    case OverloadPolicy::kDropNew: return "drop-new";
+    case OverloadPolicy::kDropRegularFirst: return "drop-regular-first";
+    case OverloadPolicy::kBlock: return "block";
+  }
+  return "?";
+}
+
+/// Occupancy at which kDropRegularFirst starts shedding regular packets.
+[[nodiscard]] constexpr u32 shed_threshold(u32 capacity,
+                                           double watermark) noexcept {
+  const u32 t = static_cast<u32>(static_cast<double>(capacity) * watermark);
+  return t < capacity ? t : capacity;
+}
+
+}  // namespace sprayer

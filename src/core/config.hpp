@@ -1,6 +1,7 @@
 // Sprayer framework configuration and the per-packet CPU cost model.
 #pragma once
 
+#include "common/overload.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 
@@ -32,12 +33,40 @@ struct CostModel {
   Cycles tx_per_packet = 30;        // tx descriptor write
 };
 
+/// Deterministic transfer-fault schedule (test/bench hook): every
+/// `reject_period`-th ICorePort::transfer_batch() call from a core is
+/// truncated to accept at most `accept_cap` descriptors, independent of
+/// actual ring occupancy. Drives the lossless-redirect retry machinery
+/// without having to win a timing race against real ring drain. 0 disables.
+struct TransferFaultConfig {
+  u32 reject_period = 0;
+  u32 accept_cap = 0;
+  [[nodiscard]] constexpr bool enabled() const noexcept {
+    return reject_period > 0;
+  }
+};
+
 struct SprayerConfig {
   u32 num_cores = 8;
   double core_freq_hz = 2.0e9;      // the paper's Xeon E5-2650
   DispatchMode mode = DispatchMode::kSpray;
   u32 rx_batch = 32;                // packets polled per iteration
   u32 foreign_ring_capacity = 4096; // connection-packet descriptor ring
+  /// Driver-to-worker rx descriptor ring depth (power of two).
+  u32 rx_ring_capacity = 4096;
+  /// What the rx boundary does when a worker's ring backs up. The mesh
+  /// (connection-packet) rings never drop regardless of policy: engine-side
+  /// rejections are staged and retried (the lossless-redirect invariant,
+  /// DESIGN.md §10).
+  OverloadPolicy overload_policy = OverloadPolicy::kDropRegularFirst;
+  /// Occupancy fraction of rx_ring_capacity above which kDropRegularFirst
+  /// sheds regular packets; the remainder is connection-packet headroom.
+  double rx_shed_watermark = 0.75;
+  /// Immediate same-flush re-offers after a mesh-ring rejection before the
+  /// remainder is parked for the next iteration's retry (bounded spin).
+  u32 transfer_retry_spin = 1;
+  /// Fault injection for the transfer path (tests/benches; see above).
+  TransferFaultConfig transfer_fault;
   /// Ablation knob: route FlowStateApi::get_flows through the prefetch-
   /// pipelined FlowTable::find_batch (true) or the scalar per-lookup path
   /// (false), for measuring what bulk lookup buys.

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/compiler.hpp"
 #include "hash/designated.hpp"
 #include "net/packet_pool.hpp"
 
@@ -68,17 +69,97 @@ void SprayerCore::flush_transfers() {
 void SprayerCore::flush_transfer_stage(CoreId dest) {
   transfer_dirty_ &= ~(u64{1} << dest);
   runtime::PacketBatch& stage = transfer_stage_[dest];
-  if (stage.empty()) return;
-  const u32 accepted = port_.transfer_batch(dest, stage.packets());
-  stats_.conn_transferred_out += accepted;
+  PendingQueue& pending = transfer_pending_[dest];
+  if (stage.empty() && pending.size() == 0) return;
   tm_.flush_calls.add(tm_.shard, 1);
-  tm_.flush_packets.add(tm_.shard, accepted);
-  if (accepted < stage.size()) {
-    stats_.transfer_drops += stage.size() - accepted;
-    tm_.flush_drops.add(tm_.shard, stage.size() - accepted);
-    net::free_packets(stage.packets().subspan(accepted));
+  const u32 pending_before = pending.size();
+
+  // The parked backlog goes first: connection-packet order within a flow is
+  // what keeps SYN-before-FIN holding across retries, so a descriptor
+  // rejected in an earlier round must never be overtaken by one staged now.
+  if (pending.size() > 0) {
+    pending.consume(offer_with_spin(dest, pending.view(), /*is_retry=*/true));
+    if (pending.size() > 0) {
+      // Destination still backed up: park the fresh stage behind the
+      // backlog and re-arm the dirty bit so the next flush retries.
+      ++pending.rounds;
+      if (!stage.empty()) {
+        pending.append(stage.packets());
+        stage.clear();
+      }
+      transfer_dirty_ |= u64{1} << dest;
+      set_pending_count(pending_count_.load(std::memory_order_relaxed) +
+                        pending.size() - pending_before);
+      return;
+    }
+    tm_.retry_rounds.record(tm_.shard, pending.rounds);
+    pending.rounds = 0;
   }
-  stage.clear();
+
+  if (!stage.empty()) {
+    const u32 accepted =
+        offer_with_spin(dest, stage.packets(), /*is_retry=*/false);
+    if (SPRAYER_UNLIKELY(accepted < stage.size())) {
+      pending.append(stage.packets().subspan(accepted));
+      pending.rounds = 1;
+      transfer_dirty_ |= u64{1} << dest;
+    }
+    stage.clear();
+  }
+  if (pending.size() != pending_before) {
+    set_pending_count(pending_count_.load(std::memory_order_relaxed) +
+                      pending.size() - pending_before);
+  }
+}
+
+u32 SprayerCore::offer_with_spin(CoreId dest,
+                                 std::span<net::Packet* const> pkts,
+                                 bool is_retry) {
+  if (is_retry) {
+    stats_.transfer_retries += pkts.size();
+    tm_.retry_packets.add(tm_.shard, pkts.size());
+  }
+  u32 accepted = port_.transfer_batch(dest, pkts);
+  // Bounded spin: a full ring usually means the consumer is one dequeue
+  // away, so a couple of immediate re-offers often clear the remainder
+  // without paying a whole park/retry round.
+  for (u32 spin = 0;
+       accepted < pkts.size() && spin < cfg_.transfer_retry_spin; ++spin) {
+    cpu_relax();
+    const auto rest = pkts.subspan(accepted);
+    stats_.transfer_retries += rest.size();
+    tm_.retry_packets.add(tm_.shard, rest.size());
+    accepted += port_.transfer_batch(dest, rest);
+  }
+  stats_.conn_transferred_out += accepted;
+  tm_.flush_packets.add(tm_.shard, accepted);
+  return accepted;
+}
+
+u32 SprayerCore::release_stranded() {
+  u32 freed = 0;
+  for (u32 d = 0; d < transfer_stage_.size(); ++d) {
+    runtime::PacketBatch& stage = transfer_stage_[d];
+    if (!stage.empty()) {
+      freed += stage.size();
+      net::free_packets(stage.packets());
+      stage.clear();
+    }
+    PendingQueue& pending = transfer_pending_[d];
+    if (pending.size() > 0) {
+      freed += pending.size();
+      net::free_packets(pending.view());
+      pending.consume(pending.size());
+      pending.rounds = 0;
+    }
+  }
+  transfer_dirty_ = 0;
+  pending_count_.store(0, std::memory_order_relaxed);
+  if (freed > 0) {
+    stats_.transfer_drops += freed;
+    tm_.flush_drops.add(tm_.shard, freed);
+  }
+  return freed;
 }
 
 Cycles SprayerCore::dispatch(runtime::PacketBatch& batch, Time now,

@@ -7,10 +7,12 @@
 // through the ICorePort services interface.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/relaxed.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "core/config.hpp"
@@ -55,16 +57,23 @@ class ICorePort {
   }
 };
 
+/// Per-core counters. Each field is a single-writer relaxed cell (only the
+/// owning worker mutates it) so total_stats()/stats() may be read from any
+/// thread while workers run: values are untorn, loosely consistent across
+/// fields, exact at quiescence — the telemetry-cell discipline (DESIGN.md §9).
 struct CoreStats {
-  u64 rx_packets = 0;         // polled from the NIC queue
-  u64 regular_packets = 0;    // handed to regular_packets()
-  u64 conn_local = 0;         // connection packets already on their core
-  u64 conn_transferred_out = 0;
-  u64 conn_foreign_in = 0;    // connection packets received over the ring
-  u64 transfer_drops = 0;     // foreign ring full
-  u64 nf_drops = 0;           // NF verdict: drop
-  u64 tx_packets = 0;
-  Cycles busy_cycles = 0;
+  RelaxedU64 rx_packets;         // polled from the NIC queue
+  RelaxedU64 regular_packets;    // handed to regular_packets()
+  RelaxedU64 conn_local;         // connection packets already on their core
+  RelaxedU64 conn_transferred_out;
+  RelaxedU64 conn_foreign_in;    // connection packets received over the ring
+  RelaxedU64 transfer_drops;     // conn descriptors lost (teardown only: the
+                                 // lossless redirect path retries, never drops)
+  RelaxedU64 transfer_retries;   // conn descriptors re-offered after a
+                                 // mesh-ring rejection (each offer counts)
+  RelaxedU64 nf_drops;           // NF verdict: drop
+  RelaxedU64 tx_packets;
+  RelaxedU64 busy_cycles;
 
   void merge(const CoreStats& o) noexcept {
     rx_packets += o.rx_packets;
@@ -73,6 +82,7 @@ struct CoreStats {
     conn_transferred_out += o.conn_transferred_out;
     conn_foreign_in += o.conn_foreign_in;
     transfer_drops += o.transfer_drops;
+    transfer_retries += o.transfer_retries;
     nf_drops += o.nf_drops;
     tx_packets += o.tx_packets;
     busy_cycles += o.busy_cycles;
@@ -85,7 +95,10 @@ struct EngineTelemetry {
   u32 shard = 0;  // registry shard owned by this engine's worker
   telemetry::Counter flush_calls;    // non-empty transfer-stage flushes
   telemetry::Counter flush_packets;  // descriptors accepted by mesh rings
-  telemetry::Counter flush_drops;    // descriptors a full ring rejected
+  telemetry::Counter flush_drops;    // descriptors lost (teardown release only)
+  telemetry::Counter retry_packets;  // descriptors re-offered after rejection
+  telemetry::Counter pending_hwm;    // kGaugeMax: parked-descriptor backlog
+  telemetry::Histogram retry_rounds;  // flush rounds a parked cohort needed
 };
 
 class SprayerCore {
@@ -100,7 +113,8 @@ class SprayerCore {
         picker_(picker),
         ctx_(ctx),
         port_(port),
-        transfer_stage_(cfg.num_cores) {
+        transfer_stage_(cfg.num_cores),
+        transfer_pending_(cfg.num_cores) {
     SPRAYER_CHECK_MSG(cfg.num_cores <= 64,
                       "transfer dirty mask covers at most 64 cores");
   }
@@ -122,16 +136,69 @@ class SprayerCore {
   /// Flush every per-destination transfer staging buffer (one
   /// transfer_batch doorbell per non-empty destination). process_rx()
   /// already calls this at batch end; the executor also invokes it when a
-  /// worker goes idle so staged descriptors can never strand.
+  /// worker goes idle so staged descriptors can never strand. Descriptors a
+  /// full ring rejects are parked and re-offered on the next flush — the
+  /// lossless-redirect invariant: a connection packet accepted at the rx
+  /// boundary is never dropped on its way to the designated core.
   void flush_transfers();
 
+  /// Connection-packet descriptors currently parked awaiting a mesh-ring
+  /// retry (staged-but-unflushed descriptors are not counted). Readable
+  /// from any thread; the executor's wait_idle() polls it.
+  [[nodiscard]] u32 pending_transfers() const noexcept {
+    return pending_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Teardown only: free every staged and parked descriptor (counted in
+  /// CoreStats::transfer_drops — the one place the lossless path may still
+  /// lose packets, when the executor is stopped mid-overload). Returns how
+  /// many were freed. Not thread-safe against a running worker.
+  u32 release_stranded();
+
  private:
+  /// Per-destination overflow queue for descriptors a full mesh ring
+  /// rejected: contiguous (so a whole backlog re-offers as one span), FIFO
+  /// (retries precede newly staged packets — connection-packet order within
+  /// a flow is what makes SYN-before-FIN hold).
+  struct PendingQueue {
+    std::vector<net::Packet*> buf;
+    std::size_t head = 0;
+    u32 rounds = 0;  // flush rounds this backlog has survived
+
+    [[nodiscard]] u32 size() const noexcept {
+      return static_cast<u32>(buf.size() - head);
+    }
+    [[nodiscard]] std::span<net::Packet* const> view() const noexcept {
+      return {buf.data() + head, buf.size() - head};
+    }
+    void consume(u32 n) noexcept {
+      head += n;
+      if (head == buf.size()) {
+        buf.clear();
+        head = 0;
+      }
+    }
+    void append(std::span<net::Packet* const> pkts) {
+      buf.insert(buf.end(), pkts.begin(), pkts.end());
+    }
+  };
+
   /// Run a handler over a batch, apply verdicts, transmit survivors.
   Cycles dispatch(runtime::PacketBatch& batch, Time now, bool connection);
 
-  /// Flush one destination's staging buffer; drops (and frees) whatever
-  /// the destination ring rejects.
+  /// Flush one destination's staging buffer (parked backlog first); parks
+  /// whatever the destination ring rejects after the bounded spin.
   void flush_transfer_stage(CoreId dest);
+
+  /// Offer `pkts` to `dest` with up to transfer_retry_spin immediate
+  /// re-offers; returns how many were accepted (prefix).
+  u32 offer_with_spin(CoreId dest, std::span<net::Packet* const> pkts,
+                      bool is_retry);
+
+  void set_pending_count(u32 n) noexcept {
+    pending_count_.store(n, std::memory_order_relaxed);
+    if (n > 0) tm_.pending_hwm.record_max(tm_.shard, n);
+  }
 
   CoreId id_;
   const SprayerConfig& cfg_;
@@ -149,6 +216,10 @@ class SprayerCore {
   // flush touches only destinations that actually staged packets.
   std::vector<runtime::PacketBatch> transfer_stage_;
   u64 transfer_dirty_ = 0;
+  // Parked descriptors per destination (mesh ring was full at flush time).
+  // The total is mirrored in pending_count_ for cross-thread idle checks.
+  std::vector<PendingQueue> transfer_pending_;
+  std::atomic<u32> pending_count_{0};
   // Verdict-partition scratch reused across dispatch() calls.
   runtime::PacketBatch tx_stage_;
   runtime::PacketBatch drop_stage_;

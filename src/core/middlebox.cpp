@@ -103,6 +103,16 @@ class SimMiddlebox::SimCore final : public sim::IEventTarget,
       // more backlog, and pending_tx_ must be flushed at completion time).
       mbox_.sim_.schedule_in(
           cycles_to_time(cycles, mbox_.cfg_.core_freq_hz), this);
+    } else if (engine_.pending_transfers() > 0) {
+      // No new input, but the lossless redirect path parked descriptors a
+      // full foreign ring rejected: keep polling so they retry instead of
+      // stranding (a drained destination never re-notifies the sender).
+      engine_.flush_transfers();
+      if (engine_.pending_transfers() > 0) {
+        mbox_.sim_.schedule_in(kMicrosecond, this, kTagRun);
+      } else {
+        event_pending_ = false;
+      }
     } else {
       event_pending_ = false;  // idle until the next notify()
     }

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "common/compiler.hpp"
+#include "common/overload.hpp"
 #include "net/packet_pool.hpp"
 
 namespace sprayer::core {
@@ -77,6 +79,9 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
     tm_.foreign_packets = registry_.counter("worker.foreign_packets");
     tm_.injected = registry_.counter("driver.injected");
     tm_.inject_drops = registry_.counter("driver.rx_ring_drops");
+    tm_.shed_regular = registry_.counter("driver.shed_regular");
+    tm_.shed_conn = registry_.counter("driver.shed_conn");
+    tm_.block_spins = registry_.counter("driver.block_spins");
     tm_.rx_ring_hwm = registry_.gauge("rx_ring.occupancy_hwm",
                                       telemetry::MetricKind::kGaugeMax);
     tm_.mesh_ring_hwm = registry_.gauge("mesh_ring.occupancy_hwm",
@@ -87,6 +92,12 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
     engine_tm.flush_packets =
         registry_.counter("engine.transfer_flush_packets");
     engine_tm.flush_drops = registry_.counter("engine.transfer_flush_drops");
+    engine_tm.retry_packets =
+        registry_.counter("engine.transfer_retry_packets");
+    engine_tm.pending_hwm = registry_.gauge(
+        "engine.transfer_pending_hwm", telemetry::MetricKind::kGaugeMax);
+    engine_tm.retry_rounds =
+        registry_.histogram("engine.transfer_retry_rounds", 5);
     nf_init_.registry = &registry_;
   }
   nf_.init(nf_init_, cfg_.num_cores);
@@ -114,15 +125,23 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
     contexts_.back()->flows().set_bulk_enabled(cfg_.bulk_flow_lookup);
     ports_.push_back(std::make_unique<CorePort>(*this,
                                                 static_cast<CoreId>(c)));
+    ICorePort* port = ports_.back().get();
+    if (cfg_.transfer_fault.enabled()) {
+      fault_ports_.push_back(std::make_unique<FaultInjectedPort>(
+          *port, cfg_.transfer_fault));
+      port = fault_ports_.back().get();
+    }
     engines_.push_back(std::make_unique<SprayerCore>(
         static_cast<CoreId>(c), cfg_, nf_init_.stateless, nf_,
-        picker_, *contexts_.back(), *ports_.back()));
+        picker_, *contexts_.back(), *port));
     if (cfg_.telemetry) {
       engine_tm.shard = c;
       engines_.back()->set_telemetry(engine_tm);
     }
-    rx_rings_.push_back(std::make_unique<Ring>(4096));
+    rx_rings_.push_back(std::make_unique<Ring>(cfg_.rx_ring_capacity));
   }
+  rx_shed_threshold_ =
+      shed_threshold(cfg_.rx_ring_capacity, cfg_.rx_shed_watermark);
   worker_state_.resize(cfg_.num_cores);
   inject_stage_.resize(cfg_.num_cores);
   mesh_.resize(cfg_.num_cores);
@@ -163,6 +182,35 @@ void ThreadedMiddlebox::stop() {
   for (auto& row : mesh_) {
     for (auto& ring : row) drain(*ring);
   }
+  // Descriptors the flush above could not place (mesh was full even after
+  // parking) are freed here — the only point the lossless path gives up,
+  // counted in CoreStats::transfer_drops.
+  for (auto& engine : engines_) engine->release_stranded();
+}
+
+bool ThreadedMiddlebox::admit(Ring& ring, net::Packet* pkt, bool conn,
+                              u64& spins) {
+  switch (cfg_.overload_policy) {
+    case OverloadPolicy::kDropNew:
+      return ring.push(pkt);
+    case OverloadPolicy::kDropRegularFirst:
+      // The headroom between the watermark and full capacity is reserved
+      // for connection packets: regular traffic sheds early so a burst of
+      // SYN/FIN/RST still finds ring space on a congested core.
+      if (!conn && ring.size_approx() >= rx_shed_threshold_) return false;
+      return ring.push(pkt);
+    case OverloadPolicy::kBlock:
+      while (!ring.push(pkt)) {
+        SPRAYER_CHECK_MSG(started_,
+                          "kBlock inject needs running workers to drain");
+        cpu_relax();
+        // Yield periodically: on oversubscribed hosts the consumer may
+        // need our timeslice to make room.
+        if ((++spins & 1023) == 0) std::this_thread::yield();
+      }
+      return true;
+  }
+  return ring.push(pkt);
 }
 
 bool ThreadedMiddlebox::inject(net::Packet* pkt) {
@@ -182,13 +230,28 @@ bool ThreadedMiddlebox::inject(net::Packet* pkt) {
   } else {
     queue = rss_.queue_for_hash(rss_hash);
   }
-  if (!rx_rings_[queue]->push(pkt)) {
+  const bool conn = !nf_init_.stateless && pkt->is_tcp() &&
+                    pkt->is_connection_packet();
+  u64 spins = 0;
+  const bool pushed = admit(*rx_rings_[queue], pkt, conn, spins);
+  if (cfg_.telemetry) {
+    registry_.begin_update(driver_shard());
+    if (pushed) {
+      tm_.injected.add(driver_shard(), 1);
+    } else {
+      tm_.inject_drops.add(driver_shard(), 1);
+      (conn ? tm_.shed_conn : tm_.shed_regular).add(driver_shard(), 1);
+    }
+    if (spins > 0) tm_.block_spins.add(driver_shard(), spins);
+    registry_.end_update(driver_shard());
+  }
+  if (!pushed) {
     rx_ring_drops_.fetch_add(1, std::memory_order_relaxed);
-    tm_.inject_drops.add(driver_shard(), 1);
+    (conn ? shed_conn_ : shed_regular_)
+        .fetch_add(1, std::memory_order_relaxed);
     pkt->pool()->free(pkt);
     return false;
   }
-  tm_.injected.add(driver_shard(), 1);
   return true;
 }
 
@@ -213,23 +276,93 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
     inject_stage_[queue].push_back(pkt);
   }
   u32 accepted = 0;
+  u64 shed_reg = 0;
+  u64 shed_cn = 0;
+  u64 spins = 0;
   for (u32 q = 0; q < cfg_.num_cores; ++q) {
     auto& group = inject_stage_[q];
     if (group.empty()) continue;
-    const u32 n =
-        rx_rings_[q]->push_bulk(std::span<net::Packet* const>{group});
-    accepted += n;
-    if (n < group.size()) {
-      const auto rejected = std::span<net::Packet* const>{group}.subspan(n);
-      rx_ring_drops_.fetch_add(rejected.size(), std::memory_order_relaxed);
-      net::free_packets(rejected);
+    Ring& ring = *rx_rings_[q];
+    const auto span = std::span<net::Packet* const>{group};
+    // Fast path — one doorbell for the whole group when no class-aware
+    // decision is needed: kDropNew always, kDropRegularFirst when the
+    // group fits entirely under the watermark (the single-producer
+    // contract means occupancy can only shrink underneath us).
+    if (cfg_.overload_policy == OverloadPolicy::kDropNew ||
+        (cfg_.overload_policy == OverloadPolicy::kDropRegularFirst &&
+         ring.size_approx() + group.size() <= rx_shed_threshold_)) {
+      const u32 n = ring.push_bulk(span);
+      accepted += n;
+      if (SPRAYER_UNLIKELY(n < group.size())) {
+        const auto rejected = span.subspan(n);
+        for (net::Packet* pkt : rejected) {
+          const bool conn = !nf_init_.stateless && pkt->is_tcp() &&
+                            pkt->is_connection_packet();
+          ++(conn ? shed_cn : shed_reg);
+        }
+        net::free_packets(rejected);
+      }
+      continue;
     }
+    // Watermark slow path — still one doorbell per group: walk the group in
+    // order shedding regular packets that would land above the watermark
+    // (occupancy can only shrink underneath us, so the prediction is
+    // conservative), then bulk-push the survivors and bulk-free the shed.
+    if (cfg_.overload_policy == OverloadPolicy::kDropRegularFirst) {
+      admit_scratch_.clear();
+      shed_scratch_.clear();
+      const u32 occupancy = static_cast<u32>(ring.size_approx());
+      for (net::Packet* pkt : group) {
+        const bool conn = !nf_init_.stateless && pkt->is_tcp() &&
+                          pkt->is_connection_packet();
+        if (!conn &&
+            occupancy + admit_scratch_.size() >= rx_shed_threshold_) {
+          ++shed_reg;
+          shed_scratch_.push_back(pkt);
+        } else {
+          admit_scratch_.push_back(pkt);
+        }
+      }
+      const auto stage = std::span<net::Packet* const>{admit_scratch_};
+      const u32 n = ring.push_bulk(stage);
+      accepted += n;
+      if (SPRAYER_UNLIKELY(n < stage.size())) {
+        const auto rejected = stage.subspan(n);
+        for (net::Packet* pkt : rejected) {
+          const bool conn = !nf_init_.stateless && pkt->is_tcp() &&
+                            pkt->is_connection_packet();
+          ++(conn ? shed_cn : shed_reg);
+        }
+        net::free_packets(rejected);
+      }
+      if (!shed_scratch_.empty()) net::free_packets(shed_scratch_);
+      continue;
+    }
+    // kBlock: per-descriptor admission — each push may have to wait.
+    for (net::Packet* pkt : group) {
+      const bool conn = !nf_init_.stateless && pkt->is_tcp() &&
+                        pkt->is_connection_packet();
+      if (admit(ring, pkt, conn, spins)) {
+        ++accepted;
+      } else {
+        ++(conn ? shed_cn : shed_reg);
+        pkt->pool()->free(pkt);
+      }
+    }
+  }
+  if (shed_reg + shed_cn > 0) {
+    rx_ring_drops_.fetch_add(shed_reg + shed_cn, std::memory_order_relaxed);
+    shed_regular_.fetch_add(shed_reg, std::memory_order_relaxed);
+    shed_conn_.fetch_add(shed_cn, std::memory_order_relaxed);
   }
   if (cfg_.telemetry) {
     registry_.begin_update(driver_shard());
     tm_.injected.add(driver_shard(), accepted);
     tm_.inject_drops.add(driver_shard(),
                          static_cast<u64>(pkts.size()) - accepted);
+    if (shed_reg > 0) tm_.shed_regular.add(driver_shard(), shed_reg);
+    if (shed_cn > 0) tm_.shed_conn.add(driver_shard(), shed_cn);
+    if (spins > 0) tm_.block_spins.add(driver_shard(), spins);
     registry_.end_update(driver_shard());
   }
   return accepted;
@@ -252,7 +385,12 @@ bool ThreadedMiddlebox::worker_body(CoreId core) {
       NfContext& ctx = *contexts_[core];
       ctx.set_now(now);
       ctx.flows().set_in_connection_handler(true);
+      // Housekeeping bumps NF registry counters (e.g. NAT expiry) — it
+      // needs the same update window as packet processing or a
+      // consistent=true snapshot can observe the burst half-applied.
+      registry_.begin_update(core);
       nf_.housekeeping(ctx);
+      registry_.end_update(core);
       engines_[core]->stats().busy_cycles += ctx.drain_consumed();
     }
   }
@@ -278,6 +416,12 @@ bool ThreadedMiddlebox::worker_body(CoreId core) {
     if (now == 0) now = steady_now();
     registry_.begin_update(core);
     engines_[core]->process_foreign(batch, now);
+    // process_foreign() stages nothing, but a backlog parked by an earlier
+    // rx batch must still get its retry this iteration (a worker can serve
+    // foreign traffic exclusively for a while under overload).
+    if (engines_[core]->pending_transfers() != 0) {
+      engines_[core]->flush_transfers();
+    }
     tm_.packets.add(core, batch.size());
     tm_.foreign_packets.add(core, batch.size());
     tm_.batches.add(core, 1);
@@ -306,8 +450,14 @@ bool ThreadedMiddlebox::worker_body(CoreId core) {
       did_work = true;
     } else {
       // Idle: make sure nothing is stranded in a staging buffer (no-op in
-      // the common case — process_rx flushes at batch end).
+      // the common case — process_rx flushes at batch end). Only a parked
+      // backlog makes this flush update counters, so only then is a
+      // seqlock window worth opening (bracketing every idle spin would
+      // keep the shard sequence moving and starve consistent snapshots).
+      const bool retrying = engines_[core]->pending_transfers() != 0;
+      if (retrying) registry_.begin_update(core);
       engines_[core]->flush_transfers();
+      if (retrying) registry_.end_update(core);
     }
   }
   busy_workers_.fetch_sub(1, std::memory_order_acq_rel);
@@ -324,6 +474,12 @@ void ThreadedMiddlebox::wait_idle() const {
       for (const auto& ring : row) {
         if (!ring->empty_approx()) return false;
       }
+    }
+    // Parked redirect descriptors are invisible to the rings but are still
+    // in flight: a worker between iterations may hold a backlog the
+    // destination has yet to make room for.
+    for (const auto& e : engines_) {
+      if (e->pending_transfers() != 0) return false;
     }
     return busy_workers_.load(std::memory_order_acquire) == 0;
   };

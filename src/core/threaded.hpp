@@ -30,6 +30,7 @@
 #include "core/config.hpp"
 #include "core/core_picker.hpp"
 #include "core/engine.hpp"
+#include "core/fault.hpp"
 #include "core/flow_table.hpp"
 #include "core/nf.hpp"
 #include "nic/flow_director.hpp"
@@ -62,14 +63,20 @@ class ThreadedMiddlebox {
   /// Drain and stop. Packets still queued in rings are freed.
   void stop();
 
-  /// Dispatch one packet (single-producer: call from one thread). Returns
-  /// false — and frees the packet — when the target rx ring is full.
+  /// Dispatch one packet (single-producer: call from one thread). Admission
+  /// follows SprayerConfig::overload_policy: under kDropRegularFirst a
+  /// regular packet is shed once the target ring crosses the watermark while
+  /// connection packets may use the reserved headroom; under kBlock the call
+  /// spins until the ring has room (workers must be start()ed). Returns
+  /// false — and frees the packet — when it is shed or the ring is full.
   bool inject(net::Packet* pkt);
 
   /// Dispatch a burst (single-producer): classifies every packet, groups
   /// them by destination queue, and enqueues each group with one bulk ring
-  /// operation. Returns how many were accepted; the rest hit a full ring
-  /// and are freed (counted in rx_ring_drops()).
+  /// operation when the whole group fits under the watermark (falling back
+  /// to per-packet class-aware admission when it does not). Returns how
+  /// many were accepted; the rest are shed per the overload policy and
+  /// freed (counted in rx_ring_drops()).
   u32 inject_bulk(std::span<net::Packet* const> pkts);
 
   /// Block until all rings are empty and workers are idle.
@@ -87,6 +94,29 @@ class ThreadedMiddlebox {
   }
   [[nodiscard]] u64 rx_ring_drops() const noexcept {
     return rx_ring_drops_.load(std::memory_order_relaxed);
+  }
+  /// Class-split of rx_ring_drops(): regular packets shed at the rx
+  /// boundary vs connection packets dropped there (the latter only when
+  /// even the reserved headroom is exhausted, or under kDropNew).
+  [[nodiscard]] u64 shed_regular() const noexcept {
+    return shed_regular_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 shed_conn() const noexcept {
+    return shed_conn_.load(std::memory_order_relaxed);
+  }
+  /// Connection-packet descriptors currently parked engine-side awaiting a
+  /// mesh-ring retry, summed over cores.
+  [[nodiscard]] u32 pending_transfers() const noexcept {
+    u32 n = 0;
+    for (const auto& e : engines_) n += e->pending_transfers();
+    return n;
+  }
+  /// transfer_batch calls the fault-injection schedule truncated (0 when
+  /// SprayerConfig::transfer_fault is disabled).
+  [[nodiscard]] u64 forced_rejections() const noexcept {
+    u64 n = 0;
+    for (const auto& p : fault_ports_) n += p->forced_rejections();
+    return n;
   }
 
   // --- runtime telemetry ------------------------------------------------
@@ -118,6 +148,7 @@ class ThreadedMiddlebox {
 
  private:
   class CorePort;
+  using Ring = runtime::SpscRing<net::Packet*>;
 
   /// Worker-owned loop state, cache-line separated per core.
   struct alignas(kCacheLineSize) WorkerState {
@@ -128,6 +159,11 @@ class ThreadedMiddlebox {
   /// One worker iteration; returns true if any work was done.
   bool worker_body(CoreId core);
 
+  /// Policy-gated admission of one classified packet to one rx ring.
+  /// Returns false when the packet is shed (caller frees and counts);
+  /// accumulates kBlock spin iterations into `spins`.
+  bool admit(Ring& ring, net::Packet* pkt, bool conn, u64& spins);
+
   /// Framework-level metric handles (all no-ops when telemetry is off).
   struct FrameworkTelemetry {
     telemetry::Counter packets;          // per worker: rx + foreign
@@ -135,6 +171,9 @@ class ThreadedMiddlebox {
     telemetry::Counter foreign_packets;  // per worker: via the mesh
     telemetry::Counter injected;         // driver shard
     telemetry::Counter inject_drops;     // driver shard: rx ring full
+    telemetry::Counter shed_regular;     // driver shard: watermark sheds
+    telemetry::Counter shed_conn;        // driver shard: conn-packet drops
+    telemetry::Counter block_spins;      // driver shard: kBlock wait loops
     telemetry::Counter rx_ring_hwm;      // kGaugeMax: rx ring occupancy
     telemetry::Counter mesh_ring_hwm;    // kGaugeMax: mesh ring occupancy
     telemetry::Histogram batch_size;
@@ -153,11 +192,13 @@ class ThreadedMiddlebox {
   std::vector<FlowTable*> table_ptrs_;
   std::vector<std::unique_ptr<NfContext>> contexts_;
   std::vector<std::unique_ptr<CorePort>> ports_;
+  // Fault-injection wrappers interposed between engine and CorePort when
+  // SprayerConfig::transfer_fault is enabled (empty otherwise).
+  std::vector<std::unique_ptr<FaultInjectedPort>> fault_ports_;
   std::vector<std::unique_ptr<SprayerCore>> engines_;
 
   // Per-core rx rings (driver -> core) and the transfer mesh
   // (src core -> dst core), all SPSC.
-  using Ring = runtime::SpscRing<net::Packet*>;
   std::vector<std::unique_ptr<Ring>> rx_rings_;
   std::vector<std::vector<std::unique_ptr<Ring>>> mesh_;
 
@@ -170,7 +211,15 @@ class ThreadedMiddlebox {
   std::vector<WorkerState> worker_state_;
   // Driver-side per-queue grouping scratch for inject_bulk().
   std::vector<std::vector<net::Packet*>> inject_stage_;
+  // Survivor / shed partitions for the watermark slow path (driver-only).
+  std::vector<net::Packet*> admit_scratch_;
+  std::vector<net::Packet*> shed_scratch_;
+  // Occupancy above which kDropRegularFirst sheds regular packets
+  // (precomputed from rx_ring_capacity * rx_shed_watermark).
+  u32 rx_shed_threshold_ = 0;
   std::atomic<u64> rx_ring_drops_{0};
+  std::atomic<u64> shed_regular_{0};
+  std::atomic<u64> shed_conn_{0};
   std::atomic<u32> busy_workers_{0};
   bool started_ = false;
 };

@@ -93,9 +93,25 @@ void SimNic::enqueue(u16 queue, net::Packet* pkt) {
   SPRAYER_CHECK_MSG(queue < queues_.size(), "rule points at missing queue");
 
   auto& q = queues_[queue];
-  if (q.size() >= cfg_.queue_depth) {
+  // Class-aware admission (overload-control subsystem): under
+  // kDropRegularFirst — and kBlock, which degrades to it because a wire
+  // cannot be paused — regular packets shed at the watermark so the
+  // remaining headroom stays available for connection packets. Every drop
+  // still counts in rx_missed (the total); the class splits are
+  // sub-counters.
+  const bool conn = pkt->is_tcp() && pkt->is_connection_packet();
+  const u32 limit =
+      cfg_.overload_policy == OverloadPolicy::kDropNew || conn
+          ? cfg_.queue_depth
+          : shed_threshold(cfg_.queue_depth, cfg_.shed_watermark);
+  if (q.size() >= limit) {
     ++counters_.rx_missed;
     ++per_queue_missed_[queue];
+    if (conn) {
+      ++counters_.rx_dropped_conn;
+    } else if (cfg_.overload_policy != OverloadPolicy::kDropNew) {
+      ++counters_.rx_shed_regular;
+    }
     pkt->pool()->free(pkt);
     return;
   }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/overload.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "net/packet.hpp"
@@ -40,6 +41,16 @@ struct NicConfig {
   /// Depth of the internal classification pipeline feeding FDIR (absorbs
   /// bursts below the ceiling without loss).
   u32 fdir_pipeline_depth = 64;
+  /// What a backed-up rx queue does with arrivals — the same policy enum
+  /// the threaded executor's rx boundary uses, so benches agree on what
+  /// overload means. A wire cannot be paused, so kBlock degrades to
+  /// kDropRegularFirst here. Default kDropNew preserves the classic
+  /// tail-drop NIC model.
+  OverloadPolicy overload_policy = OverloadPolicy::kDropNew;
+  /// Occupancy fraction of queue_depth above which kDropRegularFirst sheds
+  /// regular packets; the headroom above it is reserved for connection
+  /// packets.
+  double shed_watermark = 0.75;
 
   // --- Programmable-NIC extensions (paper §7, future work) ---------------
   /// Spray each flow over only a subset of `spray_subset` queues anchored
@@ -99,7 +110,9 @@ class SimNic final : public sim::IPacketSink {
 
   struct Counters {
     u64 rx_packets = 0;          // accepted into some queue
-    u64 rx_missed = 0;           // dropped: queue full
+    u64 rx_missed = 0;           // dropped at a queue (total, any class)
+    u64 rx_shed_regular = 0;     // of rx_missed: regular, watermark shed
+    u64 rx_dropped_conn = 0;     // of rx_missed: connection packets lost
     u64 fdir_matched = 0;        // dispatched by Flow Director
     u64 fdir_overload_drops = 0; // dropped: FDIR pps ceiling
     u64 rss_dispatched = 0;      // dispatched by RSS fallback

@@ -150,15 +150,73 @@ TEST(Engine, ConnectionPacketsRedirectedToDesignatedCore) {
   for (net::Packet* p : b.port.transmitted) b.pool.free(p);
 }
 
-TEST(Engine, TransferRejectionDropsPacket) {
+TEST(Engine, TransferRejectionParksAndRetriesLosslessly) {
   EngineBench b(/*id=*/0);
   b.port.reject_transfers = true;
   runtime::PacketBatch batch;
   batch.push(b.make(b.tuple_for_core(1), net::TcpFlags::kSyn));
   (void)b.engine->process_rx(batch, 0);
 
+  // The rejected descriptor is parked, not freed: transfer_drops stays
+  // zero and the packet is still owned by the engine.
+  EXPECT_EQ(b.engine->stats().transfer_drops, 0u);
+  EXPECT_EQ(b.engine->pending_transfers(), 1u);
+  EXPECT_GT(b.engine->stats().transfer_retries, 0u);
+  EXPECT_EQ(b.pool.available(), b.pool.size() - 1);
+
+  // Several more flush rounds against a still-full ring keep it parked.
+  b.engine->flush_transfers();
+  b.engine->flush_transfers();
+  EXPECT_EQ(b.engine->pending_transfers(), 1u);
+  EXPECT_EQ(b.engine->stats().transfer_drops, 0u);
+  EXPECT_EQ(b.engine->stats().conn_transferred_out, 0u);
+
+  // Once the destination has room again the backlog is delivered.
+  b.port.reject_transfers = false;
+  b.engine->flush_transfers();
+  EXPECT_EQ(b.engine->pending_transfers(), 0u);
+  EXPECT_EQ(b.engine->stats().conn_transferred_out, 1u);
+  ASSERT_EQ(b.port.transferred.size(), 1u);
+  EXPECT_EQ(b.port.transferred[0].first, 1);
+  for (auto& [core, p] : b.port.transferred) b.pool.free(p);
+  EXPECT_EQ(b.pool.available(), b.pool.size());
+}
+
+TEST(Engine, RetryPreservesOrderAndReleaseStrandedFrees) {
+  EngineBench b(/*id=*/0);
+  b.port.reject_transfers = true;
+  // Park a SYN, then stage a FIN for the same destination while the ring
+  // is still full: the retry must deliver the SYN first.
+  runtime::PacketBatch first;
+  first.push(b.make(b.tuple_for_core(1), net::TcpFlags::kSyn));
+  (void)b.engine->process_rx(first, 0);
+  runtime::PacketBatch second;
+  second.push(b.make(b.tuple_for_core(1),
+                     net::TcpFlags::kFin | net::TcpFlags::kAck));
+  (void)b.engine->process_rx(second, 0);
+  EXPECT_EQ(b.engine->pending_transfers(), 2u);
+
+  b.port.reject_transfers = false;
+  b.engine->flush_transfers();
+  ASSERT_EQ(b.port.transferred.size(), 2u);
+  EXPECT_TRUE(b.port.transferred[0].second->tcp().flags() &
+              net::TcpFlags::kSyn);
+  EXPECT_TRUE(b.port.transferred[1].second->tcp().flags() &
+              net::TcpFlags::kFin);
+  for (auto& [core, p] : b.port.transferred) b.pool.free(p);
+
+  // Teardown path: a backlog the executor could never place is freed and
+  // only then counted as dropped.
+  b.port.transferred.clear();
+  b.port.reject_transfers = true;
+  runtime::PacketBatch third;
+  third.push(b.make(b.tuple_for_core(1), net::TcpFlags::kRst));
+  (void)b.engine->process_rx(third, 0);
+  EXPECT_EQ(b.engine->pending_transfers(), 1u);
+  EXPECT_EQ(b.engine->release_stranded(), 1u);
+  EXPECT_EQ(b.engine->pending_transfers(), 0u);
   EXPECT_EQ(b.engine->stats().transfer_drops, 1u);
-  EXPECT_EQ(b.pool.available(), b.pool.size());  // dropped packet freed
+  EXPECT_EQ(b.pool.available(), b.pool.size());
 }
 
 TEST(Engine, ForeignBatchGoesToConnectionHandler) {

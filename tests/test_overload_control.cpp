@@ -1,0 +1,281 @@
+// Overload-control subsystem: the lossless-redirect invariant under tiny
+// mesh rings and injected transfer faults, class-aware shedding at the rx
+// boundary (drop-regular-first watermark, block), and the SimNic's matching
+// admission semantics. The through-line is the paper's §3.3 asymmetry:
+// connection packets are the only writes to flow state, so the framework
+// may shed goodput but never a SYN/FIN/RST it has accepted.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/threaded.hpp"
+#include "net/packet_builder.hpp"
+#include "nf/nat.hpp"
+#include "nf/synthetic.hpp"
+#include "nic/nic.hpp"
+#include "nic/pktgen.hpp"
+#include "sim/simulator.hpp"
+
+namespace sprayer::core {
+namespace {
+
+constexpr u32 kCores = 4;
+
+struct Collector {
+  std::atomic<u64> packets{0};
+
+  ThreadedMiddlebox::TxHandler handler() {
+    return [this](net::Packet* pkt) {
+      packets.fetch_add(1, std::memory_order_relaxed);
+      pkt->pool()->free(pkt);
+    };
+  }
+};
+
+net::Packet* make_packet(net::PacketPool& pool, const net::FiveTuple& t,
+                         u8 flags, u64 payload_seed) {
+  net::TcpSegmentSpec spec;
+  spec.tuple = t;
+  spec.flags = flags;
+  spec.payload_len = 8;
+  u8 payload[8];
+  std::memcpy(payload, &payload_seed, 8);
+  spec.payload = payload;
+  return net::build_tcp_raw(pool, spec);
+}
+
+// The S4 scenario: a SYN/RST churn through the threaded NAT with mesh
+// rings sized to reject and a deterministic fault schedule on top. Every
+// connection packet must still reach its designated core — no port-pool
+// leak, no stranded flow entries, transfer_drops == 0 — while regular
+// elephant traffic between the waves absorbs the shedding.
+TEST(OverloadControl, LosslessRedirectUnderTinyMeshRingsAndFaults) {
+  net::PacketPool pool(8192, 256);
+  nf::NatNf nat;
+  Collector out;
+  SprayerConfig cfg;
+  cfg.num_cores = kCores;
+  cfg.mode = DispatchMode::kSpray;
+  cfg.foreign_ring_capacity = 8;  // mesh rejections are the common case
+  cfg.transfer_fault = {.reject_period = 3, .accept_cap = 0};
+  ThreadedMiddlebox mbox(cfg, nat, out.handler());
+  mbox.start();
+
+  Rng rng(41);
+  const auto flows = nic::random_tcp_flows(64, 37);
+  u64 accepted = 0;
+  // Wave 1: SYN flood — sessions open, every SYN crosses the mesh.
+  for (const auto& f : flows) {
+    if (mbox.inject(make_packet(pool, f, net::TcpFlags::kSyn, 0))) {
+      ++accepted;
+    }
+  }
+  mbox.wait_idle();
+  EXPECT_EQ(nat.counters().sessions_opened, flows.size());
+
+  // Wave 2: elephant mix — sprayed data keeps the workers busy while the
+  // fault schedule keeps rejecting transfers underneath.
+  std::array<net::Packet*, 32> burst;
+  for (int round = 0; round < 200; ++round) {
+    u32 n = 0;
+    while (n < burst.size()) {
+      net::Packet* pkt = make_packet(pool, flows[rng.next() % flows.size()],
+                                     net::TcpFlags::kAck, rng.next());
+      if (pkt == nullptr) break;  // pool backpressure: inject what we have
+      burst[n++] = pkt;
+    }
+    accepted += mbox.inject_bulk({burst.data(), n});
+    if (n < burst.size()) std::this_thread::yield();
+  }
+  mbox.wait_idle();
+
+  // Wave 3: RST teardown — sessions abort, ports release, both again over
+  // the faulty mesh.
+  for (const auto& f : flows) {
+    if (mbox.inject(make_packet(pool, f, net::TcpFlags::kRst, 0))) {
+      ++accepted;
+    }
+  }
+  mbox.wait_idle();
+
+  const CoreStats total = mbox.total_stats();
+  EXPECT_GT(mbox.forced_rejections(), 0u);      // the schedule actually bit
+  EXPECT_GT(total.transfer_retries, 0u);        // and the engine retried
+  EXPECT_EQ(total.transfer_drops, 0u);          // ...without ever dropping
+  EXPECT_EQ(total.conn_transferred_out, total.conn_foreign_in);
+  EXPECT_EQ(mbox.pending_transfers(), 0u);
+  // The NAT forwards everything it matched (RSTs included), so every
+  // packet admitted at the rx boundary reached the sink.
+  EXPECT_EQ(out.packets.load(), accepted);
+
+  // State-correctness: every accepted SYN opened and every RST tore down.
+  EXPECT_EQ(nat.counters().unmatched_dropped, 0u);
+  EXPECT_EQ(nat.port_pool().claimed(), 0u);     // no leaked NAT ports
+  u64 entries = 0;
+  for (u32 c = 0; c < kCores; ++c) {
+    entries += mbox.flow_table(static_cast<CoreId>(c)).size();
+  }
+  EXPECT_EQ(entries, 0u);                       // no stranded flow entries
+
+  mbox.stop();
+  EXPECT_EQ(mbox.total_stats().transfer_drops, 0u);  // stop stranded nothing
+  EXPECT_EQ(pool.available(), pool.size());
+}
+
+TEST(OverloadControl, FaultInjectionForcesRetriesNotDrops) {
+  net::PacketPool pool(4096, 256);
+  nf::SyntheticNf nf(0);
+  Collector out;
+  SprayerConfig cfg;
+  cfg.num_cores = kCores;
+  cfg.mode = DispatchMode::kSpray;
+  cfg.transfer_fault = {.reject_period = 2, .accept_cap = 0};
+  ThreadedMiddlebox mbox(cfg, nf, out.handler());
+  mbox.start();
+
+  // Connection packets only: all the traffic rides the faulty mesh.
+  const auto flows = nic::random_tcp_flows(256, 51);
+  u64 accepted = 0;
+  for (const auto& f : flows) {
+    if (mbox.inject(make_packet(pool, f, net::TcpFlags::kSyn, 0))) {
+      ++accepted;
+    }
+  }
+  mbox.wait_idle();
+
+  const CoreStats total = mbox.total_stats();
+  EXPECT_GT(mbox.forced_rejections(), 0u);
+  EXPECT_GT(total.transfer_retries, 0u);
+  EXPECT_EQ(total.transfer_drops, 0u);
+  EXPECT_EQ(total.conn_transferred_out, total.conn_foreign_in);
+  EXPECT_EQ(out.packets.load(), accepted);
+  mbox.stop();
+  EXPECT_EQ(pool.available(), pool.size());
+}
+
+// Deterministic watermark arithmetic: inject before start() so ring
+// occupancy is exact. rx_ring_capacity 64 at watermark 0.75 → regular
+// packets shed from occupancy 48; the 16-slot headroom admits connection
+// packets until the ring is truly full.
+TEST(OverloadControl, DropRegularFirstShedsRegularKeepsConnHeadroom) {
+  net::PacketPool pool(256, 256);
+  nf::SyntheticNf nf(0);
+  Collector out;
+  SprayerConfig cfg;
+  cfg.num_cores = 1;  // one rx ring → exact occupancy
+  cfg.mode = DispatchMode::kRss;
+  cfg.rx_ring_capacity = 64;
+  cfg.overload_policy = OverloadPolicy::kDropRegularFirst;
+  cfg.rx_shed_watermark = 0.75;
+  ThreadedMiddlebox mbox(cfg, nf, out.handler());
+
+  const net::FiveTuple flow{net::Ipv4Addr{10, 0, 0, 1},
+                            net::Ipv4Addr{10, 0, 0, 2}, 1234, 80,
+                            net::kProtoTcp};
+  u32 regular_accepted = 0;
+  for (u64 i = 0; i < 100; ++i) {
+    if (mbox.inject(make_packet(pool, flow, net::TcpFlags::kAck, i))) {
+      ++regular_accepted;
+    }
+  }
+  EXPECT_EQ(regular_accepted, 48u);  // shed exactly at the watermark
+  EXPECT_EQ(mbox.shed_regular(), 52u);
+  EXPECT_EQ(mbox.shed_conn(), 0u);
+
+  const auto conn_flows = nic::random_tcp_flows(20, 61);
+  u32 conn_accepted = 0;
+  for (const auto& f : conn_flows) {
+    if (mbox.inject(make_packet(pool, f, net::TcpFlags::kSyn, 0))) {
+      ++conn_accepted;
+    }
+  }
+  EXPECT_EQ(conn_accepted, 16u);  // the reserved headroom, to the slot
+  EXPECT_EQ(mbox.shed_conn(), 4u);
+  EXPECT_EQ(mbox.rx_ring_drops(), 52u + 4u);
+
+  mbox.start();
+  mbox.wait_idle();
+  mbox.stop();
+  EXPECT_EQ(out.packets.load(), 48u + 16u);
+  EXPECT_EQ(pool.available(), pool.size());
+}
+
+TEST(OverloadControl, BlockPolicyNeverDropsAtRxBoundary) {
+  net::PacketPool pool(4096, 256);
+  nf::SyntheticNf nf(0);
+  Collector out;
+  SprayerConfig cfg;
+  cfg.num_cores = 2;
+  cfg.mode = DispatchMode::kSpray;
+  cfg.rx_ring_capacity = 64;  // small enough that the driver must wait
+  cfg.overload_policy = OverloadPolicy::kBlock;
+  ThreadedMiddlebox mbox(cfg, nf, out.handler());
+  mbox.start();
+
+  Rng rng(71);
+  const auto flows = nic::random_tcp_flows(16, 73);
+  u64 injected = 0;
+  for (const auto& f : flows) {
+    ASSERT_TRUE(mbox.inject(make_packet(pool, f, net::TcpFlags::kSyn, 0)));
+    ++injected;
+  }
+  mbox.wait_idle();
+  for (int i = 0; i < 2000; ++i) {
+    net::Packet* pkt = make_packet(pool, flows[i % flows.size()],
+                                   net::TcpFlags::kAck, rng.next());
+    if (pkt == nullptr) {
+      std::this_thread::yield();
+      --i;
+      continue;
+    }
+    ASSERT_TRUE(mbox.inject(pkt));  // kBlock: admission cannot fail
+    ++injected;
+  }
+  mbox.wait_idle();
+  mbox.stop();
+
+  EXPECT_EQ(mbox.rx_ring_drops(), 0u);
+  EXPECT_EQ(out.packets.load(), injected);
+  EXPECT_EQ(pool.available(), pool.size());
+}
+
+TEST(OverloadControl, SimNicShedsRegularFirstAtWatermark) {
+  sim::Simulator sim;
+  nic::NicConfig cfg{.num_queues = 1, .queue_depth = 8};
+  cfg.overload_policy = OverloadPolicy::kDropRegularFirst;
+  cfg.shed_watermark = 0.75;  // threshold 6 of 8
+  nic::SimNic nic(sim, cfg);
+  net::PacketPool pool(64);
+
+  const net::FiveTuple t{net::Ipv4Addr{10, 0, 0, 1},
+                         net::Ipv4Addr{10, 0, 0, 2}, 1111, 80,
+                         net::kProtoTcp};
+  for (u64 i = 0; i < 10; ++i) {
+    nic.receive(make_packet(pool, t, net::TcpFlags::kAck, i));
+  }
+  EXPECT_EQ(nic.counters().rx_packets, 6u);
+  EXPECT_EQ(nic.counters().rx_shed_regular, 4u);
+  EXPECT_EQ(nic.counters().rx_dropped_conn, 0u);
+  EXPECT_EQ(nic.counters().rx_missed, 4u);  // rx_missed stays the total
+
+  // Connection packets fill the reserved headroom, then drop (a NIC cannot
+  // park — kBlock degrades to this same behaviour).
+  for (u64 i = 0; i < 3; ++i) {
+    nic.receive(make_packet(pool, t, net::TcpFlags::kSyn, 100 + i));
+  }
+  EXPECT_EQ(nic.counters().rx_packets, 8u);
+  EXPECT_EQ(nic.counters().rx_dropped_conn, 1u);
+  EXPECT_EQ(nic.counters().rx_missed, 5u);
+
+  net::Packet* burst[16];
+  const u32 n = nic.rx_burst(0, burst, 16);
+  EXPECT_EQ(n, 8u);
+  for (u32 i = 0; i < n; ++i) pool.free(burst[i]);
+  EXPECT_EQ(pool.available(), pool.size());
+}
+
+}  // namespace
+}  // namespace sprayer::core

@@ -219,6 +219,65 @@ TEST(ThreadedMiddlebox, BulkInjectAndBatchedTxConservePackets) {
   EXPECT_EQ(nf.lookup_misses(), 0u);
 }
 
+TEST(ThreadedMiddlebox, StatsReadableWhileWorkersRun) {
+  // CoreStats fields are single-writer relaxed cells, so total_stats() and
+  // core_stats() may be polled from any thread while workers run — this
+  // test is the TSan witness for that contract (it raced on plain u64
+  // before the fields became RelaxedU64).
+  net::PacketPool pool(8192, 256);
+  nf::SyntheticNf nf(0);
+  Collector out;
+  SprayerConfig cfg;
+  cfg.num_cores = kCores;
+  cfg.mode = DispatchMode::kSpray;
+  ThreadedMiddlebox mbox(cfg, nf, out.handler());
+  mbox.start();
+
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&] {
+    u64 last_rx = 0;
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      const CoreStats total = mbox.total_stats();
+      const u64 rx = total.rx_packets;
+      EXPECT_GE(rx, last_rx);  // monotonic: single-writer counters
+      last_rx = rx;
+      u64 per_core = 0;
+      for (u32 c = 0; c < kCores; ++c) {
+        per_core += mbox.core_stats(static_cast<CoreId>(c)).rx_packets;
+      }
+      (void)per_core;  // the concurrent read itself is what TSan checks
+    }
+  });
+
+  Rng rng(23);
+  const auto flows = nic::random_tcp_flows(8, 29);
+  u64 injected = 0;
+  for (const auto& f : flows) {
+    if (mbox.inject(make_packet(pool, f, net::TcpFlags::kSyn, 0))) {
+      ++injected;
+    }
+  }
+  mbox.wait_idle();
+  for (int i = 0; i < 20000; ++i) {
+    net::Packet* pkt =
+        make_packet(pool, flows[i % flows.size()], net::TcpFlags::kAck,
+                    rng.next());
+    if (pkt == nullptr) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (mbox.inject(pkt)) ++injected;
+  }
+  mbox.wait_idle();
+  stop_reader.store(true);
+  reader.join();
+  mbox.stop();
+
+  EXPECT_EQ(mbox.total_stats().rx_packets, injected);
+  EXPECT_EQ(out.packets.load(), injected);
+  EXPECT_EQ(pool.available(), pool.size());
+}
+
 TEST(ThreadedMiddlebox, NatTranslatesUnderRealConcurrency) {
   net::PacketPool pool(8192, 256);
   nf::NatNf nat;
