@@ -1,0 +1,107 @@
+#include "core/chain.hpp"
+
+#include <chrono>
+
+namespace sprayer::core {
+
+Time chain_clock_ns() noexcept {
+  return static_cast<Time>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) *
+         kNanosecond;
+}
+
+ChainBase::ChainBase(std::vector<INetworkFunction*> hops)
+    : hops_(std::move(hops)),
+      hop_stateless_(hops_.size(), 0),
+      hop_tm_(hops_.size()) {
+  SPRAYER_CHECK_MSG(!hops_.empty(), "a chain needs at least one hop");
+  for (const INetworkFunction* nf : hops_) {
+    SPRAYER_CHECK_MSG(nf != nullptr, "chain hop must not be null");
+  }
+}
+
+void ChainBase::init(const ChainInit& ci) {
+  SPRAYER_CHECK_MSG(ci.hop_cfgs.size() == hops_.size(),
+                    "ChainInit::hop_cfgs must have one slot per hop");
+  timed_ = ci.hop_timing && ci.registry != nullptr;
+  for (u32 h = 0; h < hops_.size(); ++h) {
+    hops_[h]->init(ci.hop_cfgs[h], ci.num_cores);
+    hop_stateless_[h] = ci.hop_cfgs[h].stateless ? 1 : 0;
+    if (ci.registry != nullptr) {
+      const std::string prefix =
+          "chain.h" + std::to_string(h) + "." + hops_[h]->name();
+      hop_tm_[h].packets = ci.registry->counter(prefix + ".packets");
+      hop_tm_[h].drops = ci.registry->counter(prefix + ".drops");
+      if (timed_) hop_tm_[h].ns = ci.registry->counter(prefix + ".ns");
+    }
+  }
+}
+
+void ChainBase::housekeeping(std::span<NfContext* const> ctxs, Time now) {
+  SPRAYER_DCHECK(ctxs.size() == hops_.size());
+  for (u32 h = 0; h < hops_.size(); ++h) {
+    NfContext& ctx = *ctxs[h];
+    ctx.set_now(now);
+    // Housekeeping mutates flow state like connection handling does:
+    // attribute its accesses to the flow-event column.
+    ctx.flows().set_in_connection_handler(true);
+    hops_[h]->housekeeping(ctx);
+  }
+}
+
+void DynamicChain::regular_pass(runtime::PacketBatch& batch,
+                                ChainScratch& scratch,
+                                std::span<NfContext* const> ctxs, Time now,
+                                runtime::PacketBatch& drops) {
+  const u32 hops = num_hops();
+  for (u32 h = 0; h < hops && !batch.empty(); ++h) {
+    NfContext& ctx = *ctxs[h];
+    ctx.set_now(now);
+    ctx.flows().set_in_connection_handler(false);
+    const u32 before = batch.size();
+    const Time t0 = timed_ ? chain_clock_ns() : 0;
+    scratch.verdicts.reset(before);
+    hops_[h]->regular_packets(batch, ctx, scratch.verdicts);
+    if (scratch.verdicts.any()) {
+      (void)batch.compact(
+          [&](u32 i) { return scratch.verdicts.dropped(i); }, drops);
+    }
+    // Only downstream hops read the memoized hash; after the last hop an
+    // invalidated memo is recomputed lazily by whoever needs it.
+    if (h + 1 < hops && hops_[h]->rewrites_tuple()) refresh_hashes(batch);
+    record_hop(h, ctx.core(), before, before - batch.size(), t0);
+  }
+}
+
+void DynamicChain::connection_pass(runtime::PacketBatch& batch,
+                                   ChainScratch& scratch,
+                                   std::span<NfContext* const> ctxs, Time now,
+                                   runtime::PacketBatch& drops) {
+  const u32 hops = num_hops();
+  for (u32 h = 0; h < hops && !batch.empty(); ++h) {
+    NfContext& ctx = *ctxs[h];
+    ctx.set_now(now);
+    const bool stateless = hop_stateless_[h] != 0;
+    ctx.flows().set_in_connection_handler(!stateless);
+    const u32 before = batch.size();
+    const Time t0 = timed_ ? chain_clock_ns() : 0;
+    scratch.verdicts.reset(before);
+    if (stateless) {
+      // Stateless hops have no flow events to observe: a connection packet
+      // is just another packet to them.
+      hops_[h]->regular_packets(batch, ctx, scratch.verdicts);
+    } else {
+      hops_[h]->connection_packets(batch, ctx, scratch.verdicts);
+    }
+    if (scratch.verdicts.any()) {
+      (void)batch.compact(
+          [&](u32 i) { return scratch.verdicts.dropped(i); }, drops);
+    }
+    if (h + 1 < hops && hops_[h]->rewrites_tuple()) refresh_hashes(batch);
+    record_hop(h, ctx.core(), before, before - batch.size(), t0);
+  }
+}
+
+}  // namespace sprayer::core

@@ -78,6 +78,11 @@ struct SprayerConfig {
   /// store to a core-private cache line; false skips even that (handles
   /// become no-ops).
   bool telemetry = true;
+  /// Per-hop latency counters for service chains ("chain.h<i>.<nf>.ns"):
+  /// one extra clock read per hop per batch, so off by default (per-hop
+  /// packet/drop counters are plain telemetry stores and stay on whenever
+  /// telemetry is). The chain bench turns this on to report ns/packet/hop.
+  bool chain_hop_timing = false;
   /// Sampled per-flow sequence tracking that measures spray-induced
   /// reordering at the tx boundary (bounded to
   /// telemetry::ReorderObservatory::kSlots flows). Off by default: it adds

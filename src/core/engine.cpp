@@ -165,35 +165,27 @@ u32 SprayerCore::release_stranded() {
 Cycles SprayerCore::dispatch(runtime::PacketBatch& batch, Time now,
                              bool connection) {
   const CostModel& costs = cfg_.costs;
-  ctx_.set_now(now);
-  ctx_.flows().set_in_connection_handler(connection);
-  verdicts_.reset(batch.size());
+  // Run-to-completion: the whole chain processes the batch here, on this
+  // core, compacting it in place to the survivors hop by hop.
+  drop_stage_.clear();
   if (connection) {
-    nf_.connection_packets(batch, ctx_, verdicts_);
+    chain_.connection_pass(batch, scratch_, hop_ctxs_, now, drop_stage_);
   } else {
     stats_.regular_packets += batch.size();
-    nf_.regular_packets(batch, ctx_, verdicts_);
+    chain_.regular_pass(batch, scratch_, hop_ctxs_, now, drop_stage_);
   }
-  Cycles cycles = ctx_.drain_consumed();
-  // Partition by verdict, then free drops and transmit survivors as whole
-  // batches (one pool bulk-free, one sink invocation).
-  tx_stage_.clear();
-  drop_stage_.clear();
-  for (u32 i = 0; i < batch.size(); ++i) {
-    if (verdicts_.dropped(i)) {
-      drop_stage_.push(batch[i]);
-    } else {
-      cycles += costs.tx_per_packet;
-      tx_stage_.push(batch[i]);
-    }
-  }
+  Cycles cycles = 0;
+  for (NfContext* ctx : hop_ctxs_) cycles += ctx->drain_consumed();
+  // Free drops and transmit survivors as whole batches (one pool bulk-free,
+  // one sink invocation).
   if (!drop_stage_.empty()) {
     stats_.nf_drops += drop_stage_.size();
     net::free_packets(drop_stage_.packets());
   }
-  if (!tx_stage_.empty()) {
-    stats_.tx_packets += tx_stage_.size();
-    port_.transmit_batch(tx_stage_.packets());
+  if (!batch.empty()) {
+    cycles += costs.tx_per_packet * batch.size();
+    stats_.tx_packets += batch.size();
+    port_.transmit_batch(batch.packets());
   }
   return cycles;
 }

@@ -15,6 +15,7 @@
 #include "common/relaxed.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
+#include "core/chain.hpp"
 #include "core/config.hpp"
 #include "core/core_picker.hpp"
 #include "core/flow_table.hpp"
@@ -103,20 +104,25 @@ struct EngineTelemetry {
 
 class SprayerCore {
  public:
+  /// `hop_ctxs` holds one NfContext per chain hop, all for core `id`; the
+  /// span (and its contexts) must outlive the engine. `stateless` disables
+  /// connection-packet redirection (true only when every hop is stateless).
   SprayerCore(CoreId id, const SprayerConfig& cfg, bool stateless,
-              INetworkFunction& nf, const CorePicker& picker, NfContext& ctx,
-              ICorePort& port)
+              IChain& chain, const CorePicker& picker,
+              std::span<NfContext* const> hop_ctxs, ICorePort& port)
       : id_(id),
         cfg_(cfg),
         stateless_(stateless),
-        nf_(nf),
+        chain_(chain),
         picker_(picker),
-        ctx_(ctx),
+        hop_ctxs_(hop_ctxs),
         port_(port),
         transfer_stage_(cfg.num_cores),
         transfer_pending_(cfg.num_cores) {
     SPRAYER_CHECK_MSG(cfg.num_cores <= 64,
                       "transfer dirty mask covers at most 64 cores");
+    SPRAYER_CHECK_MSG(hop_ctxs_.size() == chain_.num_hops(),
+                      "one NfContext per chain hop");
   }
 
   [[nodiscard]] CoreId id() const noexcept { return id_; }
@@ -183,7 +189,8 @@ class SprayerCore {
     }
   };
 
-  /// Run a handler over a batch, apply verdicts, transmit survivors.
+  /// Run the whole chain over a batch (run-to-completion), free drops,
+  /// transmit survivors.
   Cycles dispatch(runtime::PacketBatch& batch, Time now, bool connection);
 
   /// Flush one destination's staging buffer (parked backlog first); parks
@@ -203,13 +210,15 @@ class SprayerCore {
   CoreId id_;
   const SprayerConfig& cfg_;
   bool stateless_;
-  INetworkFunction& nf_;
+  IChain& chain_;
   const CorePicker& picker_;
-  NfContext& ctx_;
+  std::span<NfContext* const> hop_ctxs_;
   ICorePort& port_;
   CoreStats stats_;
   EngineTelemetry tm_;
-  BatchVerdicts verdicts_;
+  // Per-engine chain scratch (verdict sheet + shared batch metadata): the
+  // chain object itself is shared across cores and holds no per-batch state.
+  ChainScratch scratch_;
   // Per-destination connection-packet staging: accumulated during
   // process_rx(), flushed as one bulk ring operation per destination.
   // transfer_dirty_ bit d set <=> transfer_stage_[d] is non-empty, so a
@@ -220,8 +229,8 @@ class SprayerCore {
   // The total is mirrored in pending_count_ for cross-thread idle checks.
   std::vector<PendingQueue> transfer_pending_;
   std::atomic<u32> pending_count_{0};
-  // Verdict-partition scratch reused across dispatch() calls.
-  runtime::PacketBatch tx_stage_;
+  // Dropped-packet accumulator reused across dispatch() calls (survivors
+  // stay in the caller's batch — chain hops compact in place).
   runtime::PacketBatch drop_stage_;
 };
 

@@ -13,10 +13,12 @@ namespace sprayer::core {
 class SimMiddlebox::SimCore final : public sim::IEventTarget,
                                     public ICorePort {
  public:
-  SimCore(SimMiddlebox& mbox, CoreId id, NfContext& ctx, bool stateless)
+  SimCore(SimMiddlebox& mbox, CoreId id, std::span<NfContext* const> hop_ctxs,
+          bool stateless)
       : mbox_(mbox),
         id_(id),
-        engine_(id, mbox.cfg_, stateless, mbox.nf_, mbox.picker_, ctx, *this) {}
+        engine_(id, mbox.cfg_, stateless, mbox.chain_, mbox.picker_, hop_ctxs,
+                *this) {}
 
   [[nodiscard]] SprayerCore& engine() noexcept { return engine_; }
 
@@ -62,13 +64,11 @@ class SimMiddlebox::SimCore final : public sim::IEventTarget,
     if (tag == kTagHousekeeping) {
       // Control-plane maintenance: modeled as free in time (rare, small),
       // but its NF cycles are still accounted in the busy counter.
-      NfContext& ctx = mbox_.context(engine_.id());
-      ctx.set_now(mbox_.sim_.now());
-      // Housekeeping mutates flow state like connection handling does:
-      // attribute its accesses to the flow-event column.
-      ctx.flows().set_in_connection_handler(true);
-      mbox_.nf_.housekeeping(ctx);
-      engine_.stats().busy_cycles += ctx.drain_consumed();
+      std::span<NfContext* const> ctxs{mbox_.ctx_ptrs_[engine_.id()]};
+      mbox_.chain_.housekeeping(ctxs, mbox_.sim_.now());
+      for (NfContext* ctx : ctxs) {
+        engine_.stats().busy_cycles += ctx->drain_consumed();
+      }
       mbox_.sim_.schedule_in(mbox_.cfg_.housekeeping_interval, this,
                              kTagHousekeeping);
       return;
@@ -143,29 +143,64 @@ nic::NicConfig adjust_nic_config(nic::NicConfig nic_cfg,
 
 SimMiddlebox::SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg,
                            INetworkFunction& nf, nic::NicConfig nic_cfg)
+    : SimMiddlebox(sim, cfg, std::make_unique<DynamicChain>(nf), nullptr,
+                   nic_cfg) {}
+
+SimMiddlebox::SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg,
+                           IChain& chain, nic::NicConfig nic_cfg)
+    : SimMiddlebox(sim, cfg, nullptr, &chain, nic_cfg) {}
+
+SimMiddlebox::SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg,
+                           std::unique_ptr<IChain> owned, IChain* chain,
+                           nic::NicConfig nic_cfg)
     : sim_(sim),
       cfg_(cfg),
-      nf_(nf),
+      owned_chain_(std::move(owned)),
+      chain_(chain != nullptr ? *chain : *owned_chain_),
       picker_(cfg.num_cores),
       nic_(sim, adjust_nic_config(nic_cfg, cfg)) {
   SPRAYER_CHECK(cfg_.num_cores >= 1);
-  nf_.init(nf_init_, cfg_.num_cores);
 
-  const u32 table_capacity =
-      nf_init_.stateless ? 2u : nf_init_.flow_table_capacity;
-  for (u32 c = 0; c < cfg_.num_cores; ++c) {
-    tables_.push_back(std::make_unique<FlowTable>(
-        table_capacity, nf_init_.flow_entry_size, static_cast<CoreId>(c)));
-    table_ptrs_.push_back(tables_.back().get());
+  const u32 hops = chain_.num_hops();
+  hop_init_.resize(hops);
+  ChainInit chain_init;
+  chain_init.hop_cfgs = hop_init_;
+  chain_init.num_cores = cfg_.num_cores;
+  chain_.init(chain_init);
+  stateless_chain_ = true;
+  for (u32 h = 0; h < hops; ++h) {
+    stateless_chain_ = stateless_chain_ && hop_init_[h].stateless;
   }
+
+  // Per-hop, per-core flow tables: each hop has its own key space and entry
+  // size, so hops never share tables.
+  tables_.resize(hops);
+  table_ptrs_.resize(hops);
+  for (u32 h = 0; h < hops; ++h) {
+    const u32 table_capacity =
+        hop_init_[h].stateless ? 2u : hop_init_[h].flow_table_capacity;
+    for (u32 c = 0; c < cfg_.num_cores; ++c) {
+      tables_[h].push_back(std::make_unique<FlowTable>(
+          table_capacity, hop_init_[h].flow_entry_size,
+          static_cast<CoreId>(c)));
+      table_ptrs_[h].push_back(tables_[h].back().get());
+    }
+  }
+  contexts_.resize(cfg_.num_cores);
+  ctx_ptrs_.resize(cfg_.num_cores);
   for (u32 c = 0; c < cfg_.num_cores; ++c) {
-    contexts_.push_back(std::make_unique<NfContext>(
-        static_cast<CoreId>(c), std::span<FlowTable* const>{table_ptrs_},
-        picker_, cfg_.costs));
-    contexts_.back()->flows().set_bulk_enabled(cfg_.bulk_flow_lookup);
+    for (u32 h = 0; h < hops; ++h) {
+      contexts_[c].push_back(std::make_unique<NfContext>(
+          static_cast<CoreId>(c),
+          std::span<FlowTable* const>{table_ptrs_[h]}, picker_, cfg_.costs));
+      contexts_[c].back()->flows().set_bulk_enabled(cfg_.bulk_flow_lookup);
+      ctx_ptrs_[c].push_back(contexts_[c].back().get());
+    }
+    // ctx_ptrs_[c] is complete (and ctx_ptrs_ fully sized) before the
+    // engine captures its span.
     cores_.push_back(std::make_unique<SimCore>(
-        *this, static_cast<CoreId>(c), *contexts_.back(),
-        nf_init_.stateless));
+        *this, static_cast<CoreId>(c),
+        std::span<NfContext* const>{ctx_ptrs_[c]}, stateless_chain_));
   }
 
   nic_.set_rx_listener(this);
@@ -195,7 +230,9 @@ MiddleboxReport SimMiddlebox::report() const {
     r.total.merge(c->engine().stats());
   }
   r.nic = nic_.counters();
-  for (const auto& t : tables_) r.flow_entries += t->size();
+  for (const auto& hop : tables_) {
+    for (const auto& t : hop) r.flow_entries += t->size();
+  }
   r.flow_access = access_stats();
   return r;
 }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/chain.hpp"
 #include "core/config.hpp"
 #include "core/core_picker.hpp"
 #include "core/engine.hpp"
@@ -33,7 +34,11 @@ struct MiddleboxReport {
 
 class SimMiddlebox final : public nic::IRxListener {
  public:
+  /// Single-NF convenience: wraps the NF in an owned one-hop DynamicChain.
   SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg, INetworkFunction& nf,
+               nic::NicConfig nic_cfg = {});
+  /// Run a service chain (chain and NFs must outlive the middlebox).
+  SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg, IChain& chain,
                nic::NicConfig nic_cfg = {});
   ~SimMiddlebox() override;
 
@@ -48,19 +53,31 @@ class SimMiddlebox final : public nic::IRxListener {
 
   [[nodiscard]] const SprayerConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] nic::SimNic& nic_dev() noexcept { return nic_; }
+  [[nodiscard]] IChain& chain() noexcept { return chain_; }
+  [[nodiscard]] u32 num_hops() const noexcept { return chain_.num_hops(); }
+  /// Hop 0's flow table on `core` (the whole table for single-NF setups).
   [[nodiscard]] FlowTable& flow_table(CoreId core) noexcept {
-    return *tables_[core];
+    return *tables_[0][core];
   }
+  [[nodiscard]] FlowTable& hop_flow_table(u32 hop, CoreId core) noexcept {
+    return *tables_[hop][core];
+  }
+  /// Hop 0's context on `core` (the whole context for single-NF setups).
   [[nodiscard]] NfContext& context(CoreId core) noexcept {
-    return *contexts_[core];
+    return *contexts_[core][0];
+  }
+  [[nodiscard]] NfContext& hop_context(u32 hop, CoreId core) noexcept {
+    return *contexts_[core][hop];
   }
   [[nodiscard]] const CorePicker& picker() const noexcept { return picker_; }
 
-  /// Aggregate observed flow-state access pattern across all cores.
+  /// Aggregate observed flow-state access pattern across all cores and hops.
   [[nodiscard]] FlowAccessStats access_stats() const {
     FlowAccessStats total;
-    for (const auto& ctx : contexts_) {
-      total.merge(ctx->flows().access_stats());
+    for (const auto& per_core : contexts_) {
+      for (const auto& ctx : per_core) {
+        total.merge(ctx->flows().access_stats());
+      }
     }
     return total;
   }
@@ -75,18 +92,27 @@ class SimMiddlebox final : public nic::IRxListener {
  private:
   class SimCore;
 
+  /// All ctors funnel here; `owned` is the compatibility DynamicChain (null
+  /// when the caller provided the chain).
+  SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg,
+               std::unique_ptr<IChain> owned, IChain* chain,
+               nic::NicConfig nic_cfg);
+
   /// Send a processed packet out of the port opposite its ingress.
   void transmit_out(net::Packet* pkt);
 
   sim::Simulator& sim_;
   SprayerConfig cfg_;
-  INetworkFunction& nf_;
-  NfInitConfig nf_init_;
+  std::unique_ptr<IChain> owned_chain_;  // declared before chain_ (ref target)
+  IChain& chain_;
+  std::vector<NfInitConfig> hop_init_;
+  bool stateless_chain_ = false;
   CorePicker picker_;
   nic::SimNic nic_;
-  std::vector<std::unique_ptr<FlowTable>> tables_;
-  std::vector<FlowTable*> table_ptrs_;
-  std::vector<std::unique_ptr<NfContext>> contexts_;
+  std::vector<std::vector<std::unique_ptr<FlowTable>>> tables_;  // [hop][core]
+  std::vector<std::vector<FlowTable*>> table_ptrs_;              // [hop][core]
+  std::vector<std::vector<std::unique_ptr<NfContext>>> contexts_;  // [core][hop]
+  std::vector<std::vector<NfContext*>> ctx_ptrs_;                  // [core][hop]
   std::vector<std::unique_ptr<SimCore>> cores_;
 };
 

@@ -9,12 +9,14 @@
 // plus an init() that sizes the flow table / declares itself stateless.
 #pragma once
 
+#include <array>
 #include <bitset>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "core/flow_state.hpp"
+#include "hash/designated.hpp"
 #include "runtime/batch.hpp"
 
 namespace sprayer::telemetry {
@@ -89,10 +91,84 @@ class BatchVerdicts {
   [[nodiscard]] bool dropped(u32 index) const noexcept {
     return drops_.test(index);
   }
+  /// True when at least one packet was marked; a hop with no drops skips
+  /// the compaction pass entirely.
+  [[nodiscard]] bool any() const noexcept { return drops_.any(); }
 
  private:
   std::bitset<runtime::kMaxBatchSize> drops_;
   u32 size_ = 0;
+};
+
+/// Per-batch packet metadata derived once and shared across service-chain
+/// hops: the five-tuple, its canonical form, and the memoized symmetric RSS
+/// hash. A fused chain builds this once per batch (and refreshes it once
+/// after each tuple-rewriting hop) instead of every hop re-extracting
+/// headers per packet; the standalone single-NF path builds it privately
+/// inside regular_packets(), so NFs carry exactly one implementation.
+/// Entries are only valid where is_tcp[i] != 0; the canonical array is
+/// filled lazily by the first hop that needs it.
+struct BatchMeta {
+  std::array<net::FiveTuple, runtime::kMaxBatchSize> tuple;
+  std::array<net::FiveTuple, runtime::kMaxBatchSize> canon;
+  std::array<FlowTable::FlowHash, runtime::kMaxBatchSize> hash;
+  std::array<u8, runtime::kMaxBatchSize> is_tcp;
+  u32 size = 0;
+  bool canon_valid = false;
+
+  /// Derive metadata for every packet of `batch` (tuple + memoized hash for
+  /// TCP packets; others are marked and skipped by hops).
+  void build(runtime::PacketBatch& batch) noexcept {
+    size = batch.size();
+    canon_valid = false;
+    for (u32 i = 0; i < size; ++i) {
+      net::Packet* pkt = batch[i];
+      if (pkt->is_tcp()) {
+        is_tcp[i] = 1;
+        tuple[i] = pkt->five_tuple();
+        hash[i] = hash::packet_flow_hash(*pkt);
+      } else {
+        is_tcp[i] = 0;
+      }
+    }
+  }
+
+  /// Fill the canonical-tuple array (no-op if already valid for this batch).
+  void ensure_canonical() noexcept {
+    if (canon_valid) return;
+    for (u32 i = 0; i < size; ++i) {
+      if (is_tcp[i]) canon[i] = tuple[i].canonical();
+    }
+    canon_valid = true;
+  }
+
+  /// Re-derive after a tuple-rewriting hop (NAT): recompute each survivor's
+  /// tuple and hash and restore the packet's memoized rx-descriptor hash so
+  /// downstream hops — and post-chain consumers — read a valid memo again.
+  void refresh(runtime::PacketBatch& batch) noexcept {
+    size = batch.size();
+    canon_valid = false;
+    for (u32 i = 0; i < size; ++i) {
+      net::Packet* pkt = batch[i];
+      if (pkt->is_tcp()) {
+        is_tcp[i] = 1;
+        tuple[i] = pkt->five_tuple();
+        pkt->invalidate_flow_hash();
+        hash[i] = hash::packet_flow_hash(*pkt);
+      } else {
+        is_tcp[i] = 0;
+      }
+    }
+  }
+
+  /// Compaction hook: relocate slot `from` to `to` (PacketBatch::compact's
+  /// on_move callback, keeping the metadata aligned with the survivors).
+  void move(u32 from, u32 to) noexcept {
+    tuple[to] = tuple[from];
+    if (canon_valid) canon[to] = canon[from];
+    hash[to] = hash[from];
+    is_tcp[to] = is_tcp[from];
+  }
 };
 
 class INetworkFunction {
@@ -117,6 +193,11 @@ class INetworkFunction {
   /// runs on every core with its own context, so NFs can expire local flow
   /// state (e.g. NAT TIME_WAIT) without violating the writing partition.
   virtual void housekeeping(NfContext& ctx) { (void)ctx; }
+
+  /// True for NFs that rewrite the five-tuple of forwarded packets (NAT):
+  /// a chain invalidates and recomputes the memoized RSS hash exactly once
+  /// after such a hop so downstream hops keep reading a valid memo.
+  [[nodiscard]] virtual bool rewrites_tuple() const noexcept { return false; }
 
   /// Human-readable name (for reports).
   [[nodiscard]] virtual const char* name() const noexcept { return "nf"; }

@@ -58,11 +58,13 @@ class ThreadedMiddlebox::CorePort final : public ICorePort {
   CoreId id_;
 };
 
-ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
-                                     TxBatchHandler tx)
-    : cfg_(cfg), nf_(nf), tx_(std::move(tx)), picker_(cfg.num_cores),
-      rss_(cfg.num_cores), registry_(cfg.num_cores + 1),
-      collector_(registry_) {
+ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
+                                     std::unique_ptr<IChain> owned,
+                                     IChain* chain, TxBatchHandler tx)
+    : cfg_(cfg), owned_chain_(std::move(owned)),
+      chain_(chain != nullptr ? *chain : *owned_chain_), tx_(std::move(tx)),
+      picker_(cfg.num_cores), rss_(cfg.num_cores),
+      registry_(cfg.num_cores + 1), collector_(registry_) {
   SPRAYER_CHECK(cfg_.num_cores >= 1);
   SPRAYER_CHECK(tx_ != nullptr);
   SPRAYER_CHECK_MSG(cfg_.rx_batch >= 1 &&
@@ -70,8 +72,8 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
                     "rx_batch must fit in a PacketBatch");
 
   // Shards 0..num_cores-1 are the workers; shard num_cores is the driver.
-  // Framework metrics first, then the NF registers its own during init(),
-  // then one finalize() lays out the slabs.
+  // Framework metrics first, then the chain's NFs register their own
+  // during init(), then one finalize() lays out the slabs.
   EngineTelemetry engine_tm;
   if (cfg_.telemetry) {
     tm_.packets = registry_.counter("worker.packets");
@@ -98,10 +100,21 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
         "engine.transfer_pending_hwm", telemetry::MetricKind::kGaugeMax);
     engine_tm.retry_rounds =
         registry_.histogram("engine.transfer_retry_rounds", 5);
-    nf_init_.registry = &registry_;
   }
-  nf_.init(nf_init_, cfg_.num_cores);
+  const u32 hops = chain_.num_hops();
+  hop_init_.resize(hops);
+  if (cfg_.telemetry) {
+    for (auto& hc : hop_init_) hc.registry = &registry_;
+  }
+  ChainInit chain_init;
+  chain_init.hop_cfgs = hop_init_;
+  chain_init.num_cores = cfg_.num_cores;
+  chain_init.registry = cfg_.telemetry ? &registry_ : nullptr;
+  chain_init.hop_timing = cfg_.chain_hop_timing;
+  chain_.init(chain_init);
   if (cfg_.telemetry) registry_.finalize();
+  stateless_chain_ = true;
+  for (const auto& hc : hop_init_) stateless_chain_ &= hc.stateless;
   if (cfg_.reorder_observatory) {
     reorder_ = std::make_unique<telemetry::ReorderObservatory>();
   }
@@ -111,18 +124,30 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
     SPRAYER_CHECK_MSG(s.ok(), "failed to program Flow Director spraying");
   }
 
-  const u32 table_capacity =
-      nf_init_.stateless ? 2u : nf_init_.flow_table_capacity;
-  for (u32 c = 0; c < cfg_.num_cores; ++c) {
-    tables_.push_back(std::make_unique<FlowTable>(
-        table_capacity, nf_init_.flow_entry_size, static_cast<CoreId>(c)));
-    table_ptrs_.push_back(tables_.back().get());
+  // Per-hop, per-core flow tables: each hop keys by its own tuple space and
+  // entry size, so hops never share a table.
+  tables_.resize(hops);
+  table_ptrs_.resize(hops);
+  for (u32 h = 0; h < hops; ++h) {
+    const u32 table_capacity =
+        hop_init_[h].stateless ? 2u : hop_init_[h].flow_table_capacity;
+    for (u32 c = 0; c < cfg_.num_cores; ++c) {
+      tables_[h].push_back(std::make_unique<FlowTable>(
+          table_capacity, hop_init_[h].flow_entry_size,
+          static_cast<CoreId>(c)));
+      table_ptrs_[h].push_back(tables_[h].back().get());
+    }
   }
+  contexts_.resize(cfg_.num_cores);
+  ctx_ptrs_.resize(cfg_.num_cores);
   for (u32 c = 0; c < cfg_.num_cores; ++c) {
-    contexts_.push_back(std::make_unique<NfContext>(
-        static_cast<CoreId>(c), std::span<FlowTable* const>{table_ptrs_},
-        picker_, cfg_.costs));
-    contexts_.back()->flows().set_bulk_enabled(cfg_.bulk_flow_lookup);
+    for (u32 h = 0; h < hops; ++h) {
+      contexts_[c].push_back(std::make_unique<NfContext>(
+          static_cast<CoreId>(c),
+          std::span<FlowTable* const>{table_ptrs_[h]}, picker_, cfg_.costs));
+      contexts_[c].back()->flows().set_bulk_enabled(cfg_.bulk_flow_lookup);
+      ctx_ptrs_[c].push_back(contexts_[c].back().get());
+    }
     ports_.push_back(std::make_unique<CorePort>(*this,
                                                 static_cast<CoreId>(c)));
     ICorePort* port = ports_.back().get();
@@ -132,8 +157,8 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
       port = fault_ports_.back().get();
     }
     engines_.push_back(std::make_unique<SprayerCore>(
-        static_cast<CoreId>(c), cfg_, nf_init_.stateless, nf_,
-        picker_, *contexts_.back(), *port));
+        static_cast<CoreId>(c), cfg_, stateless_chain_, chain_, picker_,
+        std::span<NfContext* const>{ctx_ptrs_[c]}, *port));
     if (cfg_.telemetry) {
       engine_tm.shard = c;
       engines_.back()->set_telemetry(engine_tm);
@@ -152,6 +177,15 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
     }
   }
 }
+
+ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, IChain& chain,
+                                     TxBatchHandler tx)
+    : ThreadedMiddlebox(cfg, nullptr, &chain, std::move(tx)) {}
+
+ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
+                                     TxBatchHandler tx)
+    : ThreadedMiddlebox(cfg, std::make_unique<DynamicChain>(nf), nullptr,
+                        std::move(tx)) {}
 
 ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
                                      TxHandler tx)
@@ -230,7 +264,7 @@ bool ThreadedMiddlebox::inject(net::Packet* pkt) {
   } else {
     queue = rss_.queue_for_hash(rss_hash);
   }
-  const bool conn = !nf_init_.stateless && pkt->is_tcp() &&
+  const bool conn = !stateless_chain_ && pkt->is_tcp() &&
                     pkt->is_connection_packet();
   u64 spins = 0;
   const bool pushed = admit(*rx_rings_[queue], pkt, conn, spins);
@@ -296,7 +330,7 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
       if (SPRAYER_UNLIKELY(n < group.size())) {
         const auto rejected = span.subspan(n);
         for (net::Packet* pkt : rejected) {
-          const bool conn = !nf_init_.stateless && pkt->is_tcp() &&
+          const bool conn = !stateless_chain_ && pkt->is_tcp() &&
                             pkt->is_connection_packet();
           ++(conn ? shed_cn : shed_reg);
         }
@@ -313,7 +347,7 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
       shed_scratch_.clear();
       const u32 occupancy = static_cast<u32>(ring.size_approx());
       for (net::Packet* pkt : group) {
-        const bool conn = !nf_init_.stateless && pkt->is_tcp() &&
+        const bool conn = !stateless_chain_ && pkt->is_tcp() &&
                           pkt->is_connection_packet();
         if (!conn &&
             occupancy + admit_scratch_.size() >= rx_shed_threshold_) {
@@ -329,7 +363,7 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
       if (SPRAYER_UNLIKELY(n < stage.size())) {
         const auto rejected = stage.subspan(n);
         for (net::Packet* pkt : rejected) {
-          const bool conn = !nf_init_.stateless && pkt->is_tcp() &&
+          const bool conn = !stateless_chain_ && pkt->is_tcp() &&
                             pkt->is_connection_packet();
           ++(conn ? shed_cn : shed_reg);
         }
@@ -340,7 +374,7 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
     }
     // kBlock: per-descriptor admission — each push may have to wait.
     for (net::Packet* pkt : group) {
-      const bool conn = !nf_init_.stateless && pkt->is_tcp() &&
+      const bool conn = !stateless_chain_ && pkt->is_tcp() &&
                         pkt->is_connection_packet();
       if (admit(ring, pkt, conn, spins)) {
         ++accepted;
@@ -382,16 +416,15 @@ bool ThreadedMiddlebox::worker_body(CoreId core) {
     now = steady_now();
     if (now - state.last_housekeeping >= cfg_.housekeeping_interval) {
       state.last_housekeeping = now;
-      NfContext& ctx = *contexts_[core];
-      ctx.set_now(now);
-      ctx.flows().set_in_connection_handler(true);
       // Housekeeping bumps NF registry counters (e.g. NAT expiry) — it
       // needs the same update window as packet processing or a
       // consistent=true snapshot can observe the burst half-applied.
       registry_.begin_update(core);
-      nf_.housekeeping(ctx);
+      chain_.housekeeping(ctx_ptrs_[core], now);
       registry_.end_update(core);
-      engines_[core]->stats().busy_cycles += ctx.drain_consumed();
+      for (NfContext* ctx : ctx_ptrs_[core]) {
+        engines_[core]->stats().busy_cycles += ctx->drain_consumed();
+      }
     }
   }
 

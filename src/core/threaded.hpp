@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "core/chain.hpp"
 #include "core/config.hpp"
 #include "core/core_picker.hpp"
 #include "core/engine.hpp"
@@ -50,6 +51,10 @@ class ThreadedMiddlebox {
   /// Legacy per-packet sink; wrapped into a TxBatchHandler.
   using TxHandler = std::function<void(net::Packet*)>;
 
+  /// Run a service chain (the chain and its NFs must outlive the middlebox;
+  /// the workers run every hop on the arrival core, run-to-completion).
+  ThreadedMiddlebox(SprayerConfig cfg, IChain& chain, TxBatchHandler tx);
+  /// Single-NF convenience: wraps the NF in an owned one-hop DynamicChain.
   ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf,
                     TxBatchHandler tx);
   ThreadedMiddlebox(SprayerConfig cfg, INetworkFunction& nf, TxHandler tx);
@@ -83,8 +88,14 @@ class ThreadedMiddlebox {
   void wait_idle() const;
 
   [[nodiscard]] const SprayerConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] IChain& chain() noexcept { return chain_; }
+  [[nodiscard]] u32 num_hops() const noexcept { return chain_.num_hops(); }
+  /// Hop 0's flow table on `core` (the whole table for single-NF setups).
   [[nodiscard]] FlowTable& flow_table(CoreId core) noexcept {
-    return *tables_[core];
+    return *tables_[0][core];
+  }
+  [[nodiscard]] FlowTable& hop_flow_table(u32 hop, CoreId core) noexcept {
+    return *tables_[hop][core];
   }
   [[nodiscard]] const CorePicker& picker() const noexcept { return picker_; }
   [[nodiscard]] CoreStats total_stats() const;
@@ -180,17 +191,25 @@ class ThreadedMiddlebox {
     telemetry::Histogram queue_delay_ns;  // inject_bulk stamp -> worker poll
   };
 
+  /// All ctors funnel here; `owned` is the compatibility DynamicChain (null
+  /// when the caller provided the chain).
+  ThreadedMiddlebox(SprayerConfig cfg, std::unique_ptr<IChain> owned,
+                    IChain* chain, TxBatchHandler tx);
+
   SprayerConfig cfg_;
-  INetworkFunction& nf_;
+  std::unique_ptr<IChain> owned_chain_;  // declared before chain_ (ref target)
+  IChain& chain_;
   TxBatchHandler tx_;
-  NfInitConfig nf_init_;
+  std::vector<NfInitConfig> hop_init_;  // one per hop, filled by chain init
+  bool stateless_chain_ = false;        // every hop stateless: never redirect
   CorePicker picker_;
   nic::RssEngine rss_;
   nic::FlowDirector fdir_;
 
-  std::vector<std::unique_ptr<FlowTable>> tables_;
-  std::vector<FlowTable*> table_ptrs_;
-  std::vector<std::unique_ptr<NfContext>> contexts_;
+  std::vector<std::vector<std::unique_ptr<FlowTable>>> tables_;  // [hop][core]
+  std::vector<std::vector<FlowTable*>> table_ptrs_;              // [hop][core]
+  std::vector<std::vector<std::unique_ptr<NfContext>>> contexts_;  // [core][hop]
+  std::vector<std::vector<NfContext*>> ctx_ptrs_;                  // [core][hop]
   std::vector<std::unique_ptr<CorePort>> ports_;
   // Fault-injection wrappers interposed between engine and CorePort when
   // SprayerConfig::transfer_fault is enabled (empty otherwise).

@@ -103,6 +103,11 @@ class Packet {
     SPRAYER_DCHECK(flow_hash_valid_);
     return flow_hash_;
   }
+  /// Header-mutating NFs (NAT) call this when they rewrite the tuple the
+  /// hash was computed over; the next packet_flow_hash() recomputes, and a
+  /// chain refreshes it eagerly once per rewriting hop so downstream hops
+  /// keep reading a memoized value.
+  void invalidate_flow_hash() noexcept { flow_hash_valid_ = 0; }
 
   // --- simulation metadata -------------------------------------------------
   /// Ingress port on the current device (set by links/NICs).

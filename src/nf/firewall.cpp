@@ -55,18 +55,28 @@ void FirewallNf::connection_packets(runtime::PacketBatch& batch,
 void FirewallNf::regular_packets(runtime::PacketBatch& batch,
                                  core::NfContext& ctx,
                                  core::BatchVerdicts& verdicts) {
+  // Standalone / virtual-dispatch path: derive the per-batch metadata here
+  // and run the same bulk pipeline the fused chain uses.
+  core::BatchMeta meta;
+  meta.build(batch);
+  regular_packets(batch, meta, ctx, verdicts);
+}
+
+void FirewallNf::regular_packets(runtime::PacketBatch& batch,
+                                 core::BatchMeta& meta, core::NfContext& ctx,
+                                 core::BatchVerdicts& verdicts) {
   // Bulk path: canonical keys share the packets' memoized symmetric rx
   // hashes, so the whole batch resolves with one pipelined get_flows.
+  meta.ensure_canonical();
   std::array<net::FiveTuple, runtime::kMaxBatchSize> keys;
   std::array<core::FlowStateApi::FlowHash, runtime::kMaxBatchSize> hashes;
   std::array<const void*, runtime::kMaxBatchSize> entries;
   std::array<u16, runtime::kMaxBatchSize> idx;
   u32 n = 0;
   for (u32 i = 0; i < batch.size(); ++i) {
-    net::Packet* pkt = batch[i];
-    if (!pkt->is_tcp()) continue;  // non-TCP passes (out of scope here)
-    keys[n] = pkt->five_tuple().canonical();
-    hashes[n] = hash::packet_flow_hash(*pkt);
+    if (!meta.is_tcp[i]) continue;  // non-TCP passes (out of scope here)
+    keys[n] = meta.canon[i];
+    hashes[n] = meta.hash[i];
     idx[n] = static_cast<u16>(i);
     ++n;
   }

@@ -33,6 +33,10 @@ class FirewallNf final : public core::INetworkFunction {
                           core::BatchVerdicts& verdicts) override;
   void regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
                        core::BatchVerdicts& verdicts) override;
+  /// Fused-chain fast path: canonical keys and hashes come pre-extracted
+  /// from the shared per-batch metadata.
+  void regular_packets(runtime::PacketBatch& batch, core::BatchMeta& meta,
+                       core::NfContext& ctx, core::BatchVerdicts& verdicts);
 
   [[nodiscard]] const char* name() const noexcept override {
     return "firewall";

@@ -42,8 +42,9 @@ void LoadBalancerNf::connection_packets(runtime::PacketBatch& batch,
         continue;
       }
       if (!e->valid) {
-        e->backend =
-            static_cast<u16>(rr_next_++ % cfg_.backends.size());
+        e->backend = static_cast<u16>(
+            rr_next_.fetch_add(1, std::memory_order_relaxed) %
+            cfg_.backends.size());
         e->valid = 1;
         m_assigned_.add(ctx.core());
         per_core_[ctx.core()].delta[e->backend] += 1;
@@ -74,26 +75,37 @@ void LoadBalancerNf::connection_packets(runtime::PacketBatch& batch,
 void LoadBalancerNf::regular_packets(runtime::PacketBatch& batch,
                                      core::NfContext& ctx,
                                      core::BatchVerdicts& verdicts) {
+  // Standalone / virtual-dispatch path: derive the per-batch metadata here
+  // and run the same bulk pipeline the fused chain uses.
+  core::BatchMeta meta;
+  meta.build(batch);
+  regular_packets(batch, meta, ctx, verdicts);
+}
+
+void LoadBalancerNf::regular_packets(runtime::PacketBatch& batch,
+                                     core::BatchMeta& meta,
+                                     core::NfContext& ctx,
+                                     core::BatchVerdicts& verdicts) {
   // Bulk path: filter to VIP-bound TCP packets, then resolve every backend
   // assignment with one pipelined get_flows over the canonical keys (which
   // share the packets' memoized symmetric rx hashes).
+  meta.ensure_canonical();
   std::array<net::FiveTuple, runtime::kMaxBatchSize> keys;
   std::array<core::FlowStateApi::FlowHash, runtime::kMaxBatchSize> hashes;
   std::array<const void*, runtime::kMaxBatchSize> entries;
   std::array<u16, runtime::kMaxBatchSize> idx;
   u32 n = 0;
   for (u32 i = 0; i < batch.size(); ++i) {
-    net::Packet* pkt = batch[i];
-    if (!pkt->is_tcp()) continue;
-    const net::FiveTuple tuple = pkt->five_tuple();
+    if (!meta.is_tcp[i]) continue;
+    const net::FiveTuple& tuple = meta.tuple[i];
     if (is_from_vip(tuple)) continue;  // DSR return path: pass through
     if (!is_to_vip(tuple)) {
       m_not_vip_.add(ctx.core());
       verdicts.drop(i);
       continue;
     }
-    keys[n] = tuple.canonical();
-    hashes[n] = hash::packet_flow_hash(*pkt);
+    keys[n] = meta.canon[i];
+    hashes[n] = meta.hash[i];
     idx[n] = static_cast<u16>(i);
     ++n;
   }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <vector>
 
 #include "core/nf.hpp"
@@ -54,6 +55,10 @@ class LoadBalancerNf final : public core::INetworkFunction {
                           core::BatchVerdicts& verdicts) override;
   void regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
                        core::BatchVerdicts& verdicts) override;
+  /// Fused-chain fast path: tuples, canonical keys, and hashes come
+  /// pre-extracted from the shared per-batch metadata.
+  void regular_packets(runtime::PacketBatch& batch, core::BatchMeta& meta,
+                       core::NfContext& ctx, core::BatchVerdicts& verdicts);
 
   [[nodiscard]] const char* name() const noexcept override { return "lb"; }
 
@@ -97,7 +102,10 @@ class LoadBalancerNf final : public core::INetworkFunction {
 
   LbConfig cfg_;
   u32 num_cores_ = 0;
-  u32 rr_next_ = 0;  // round-robin cursor (flow events only)
+  // Round-robin cursor. Flow events for different flows run concurrently on
+  // their designated cores, so the cursor is a relaxed atomic: assignment
+  // spread matters, inter-core ordering does not.
+  std::atomic<u32> rr_next_{0};
   std::array<CoreCounters, kMaxCores> per_core_{};
   telemetry::RegistrySlot tm_;
   telemetry::Counter m_assigned_;

@@ -47,19 +47,30 @@ void MonitorNf::connection_packets(runtime::PacketBatch& batch,
 
 void MonitorNf::regular_packets(runtime::PacketBatch& batch,
                                 core::NfContext& ctx,
+                                core::BatchVerdicts& verdicts) {
+  // Standalone / virtual-dispatch path: derive the per-batch metadata here
+  // and run the same bulk pipeline the fused chain uses.
+  core::BatchMeta meta;
+  meta.build(batch);
+  regular_packets(batch, meta, ctx, verdicts);
+}
+
+void MonitorNf::regular_packets(runtime::PacketBatch& batch,
+                                core::BatchMeta& meta, core::NfContext& ctx,
                                 core::BatchVerdicts& /*verdicts*/) {
   // Per-connection attribution: one pipelined bulk lookup over the batch's
   // canonical keys (sharing the packets' memoized rx hashes) counts how
   // much regular traffic belongs to tracked connections.
+  meta.ensure_canonical();
   std::array<net::FiveTuple, runtime::kMaxBatchSize> keys;
   std::array<core::FlowStateApi::FlowHash, runtime::kMaxBatchSize> hashes;
   std::array<const void*, runtime::kMaxBatchSize> entries;
   u32 n = 0;
-  for (net::Packet* pkt : batch) {
-    count_packet(pkt, ctx.core());
-    if (pkt->is_tcp()) {
-      keys[n] = pkt->five_tuple().canonical();
-      hashes[n] = hash::packet_flow_hash(*pkt);
+  for (u32 i = 0; i < batch.size(); ++i) {
+    count_packet(batch[i], ctx.core());
+    if (meta.is_tcp[i]) {
+      keys[n] = meta.canon[i];
+      hashes[n] = meta.hash[i];
       ++n;
     }
   }

@@ -46,6 +46,10 @@ void NatNf::rewrite(net::Packet* pkt, const Entry& e) noexcept {
   u16 tcks = net::checksum_update32(tcp.checksum(), old_ip, e.new_ip);
   tcks = net::checksum_update16(tcks, old_port, e.new_port);
   tcp.set_checksum(tcks);
+  // The tuple changed, so the memoized RSS hash no longer matches the
+  // headers; downstream consumers recompute it lazily (or the chain
+  // refreshes it eagerly once after this hop).
+  pkt->invalidate_flow_hash();
 }
 
 NatNf::Entry* NatNf::open_session(const net::FiveTuple& tuple,
@@ -208,6 +212,16 @@ void NatNf::connection_packets(runtime::PacketBatch& batch,
 
 void NatNf::regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
                             core::BatchVerdicts& verdicts) {
+  // Standalone / virtual-dispatch path: derive the per-batch metadata here
+  // and run the same bulk pipeline the fused chain uses.
+  core::BatchMeta meta;
+  meta.build(batch);
+  regular_packets(batch, meta, ctx, verdicts);
+}
+
+void NatNf::regular_packets(runtime::PacketBatch& batch, core::BatchMeta& meta,
+                            core::NfContext& ctx,
+                            core::BatchVerdicts& verdicts) {
   // Bulk path: gather each TCP packet's tuple and memoized rx hash, resolve
   // all translations with one pipelined get_flows, then apply rewrites.
   std::array<net::FiveTuple, runtime::kMaxBatchSize> keys;
@@ -216,10 +230,9 @@ void NatNf::regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
   std::array<u16, runtime::kMaxBatchSize> idx;
   u32 n = 0;
   for (u32 i = 0; i < batch.size(); ++i) {
-    net::Packet* pkt = batch[i];
-    if (!pkt->is_tcp()) continue;  // this NAT translates TCP only (§4)
-    keys[n] = pkt->five_tuple();
-    hashes[n] = hash::packet_flow_hash(*pkt);
+    if (!meta.is_tcp[i]) continue;  // this NAT translates TCP only (§4)
+    keys[n] = meta.tuple[i];
+    hashes[n] = meta.hash[i];
     idx[n] = static_cast<u16>(i);
     ++n;
   }

@@ -54,10 +54,17 @@ class NatNf final : public core::INetworkFunction {
                           core::BatchVerdicts& verdicts) override;
   void regular_packets(runtime::PacketBatch& batch, core::NfContext& ctx,
                        core::BatchVerdicts& verdicts) override;
+  /// Fused-chain fast path: tuples and hashes come pre-extracted from the
+  /// shared per-batch metadata instead of being re-derived per hop.
+  void regular_packets(runtime::PacketBatch& batch, core::BatchMeta& meta,
+                       core::NfContext& ctx, core::BatchVerdicts& verdicts);
   /// Expires TIME_WAIT sessions on this core and releases their ports.
   void housekeeping(core::NfContext& ctx) override;
 
   [[nodiscard]] const char* name() const noexcept override { return "nat"; }
+  /// rewrite() changes the five-tuple, so the chain must recompute the
+  /// memoized RSS hash of survivors after this hop.
+  [[nodiscard]] bool rewrites_tuple() const noexcept override { return true; }
 
   /// Counter totals, summed across the per-core registry shards (metrics
   /// "nat.*" — connection events only, never the per-packet path). Returned

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <span>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
@@ -41,6 +42,38 @@ class PacketBatch {
   }
 
   void clear() noexcept { size_ = 0; }
+
+  /// In-place survivor compaction: packets whose index satisfies `dropped`
+  /// are appended to `drops`; the rest slide down, order-preserving. Every
+  /// chain hop (and the single-NF verdict path) uses this instead of
+  /// per-NF erase/copy loops. Returns the number of survivors. `on_move`
+  /// is invoked as on_move(from, to) for every surviving packet that
+  /// changes slot, so callers keeping parallel per-packet arrays (e.g. the
+  /// chain's shared batch metadata) can relocate them in the same pass.
+  template <class DroppedFn, class MoveFn>
+  u32 compact(DroppedFn&& dropped, PacketBatch& drops,
+              MoveFn&& on_move) noexcept {
+    u32 w = 0;
+    for (u32 i = 0; i < size_; ++i) {
+      if (dropped(i)) {
+        drops.push(pkts_[i]);
+        continue;
+      }
+      if (w != i) {
+        pkts_[w] = pkts_[i];
+        on_move(i, w);
+      }
+      ++w;
+    }
+    size_ = w;
+    return w;
+  }
+
+  template <class DroppedFn>
+  u32 compact(DroppedFn&& dropped, PacketBatch& drops) noexcept {
+    return compact(std::forward<DroppedFn>(dropped), drops,
+                   [](u32, u32) {});
+  }
 
   /// Adopt `n` packets written directly into data() (e.g. by rx_burst).
   void set_size(u32 n) noexcept {

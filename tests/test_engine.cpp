@@ -73,8 +73,10 @@ struct EngineBench {
   std::vector<std::unique_ptr<FlowTable>> tables;
   std::vector<FlowTable*> table_ptrs;
   RecordingNf nf;
+  DynamicChain chain{nf};
   MockPort port;
   std::unique_ptr<NfContext> ctx;
+  std::vector<NfContext*> ctx_ptrs;
   std::unique_ptr<SprayerCore> engine;
   CoreId core_id;
 
@@ -88,8 +90,10 @@ struct EngineBench {
     }
     ctx = std::make_unique<NfContext>(
         id, std::span<FlowTable* const>{table_ptrs}, picker, cfg.costs);
-    engine = std::make_unique<SprayerCore>(id, cfg, stateless, nf, picker,
-                                           *ctx, port);
+    ctx_ptrs.push_back(ctx.get());
+    engine = std::make_unique<SprayerCore>(
+        id, cfg, stateless, chain, picker,
+        std::span<NfContext* const>{ctx_ptrs}, port);
   }
 
   net::Packet* make(const net::FiveTuple& t, u8 flags) {
