@@ -1,0 +1,413 @@
+// Adaptive spraying vs the two static policies (DESIGN.md §12).
+//
+// Three traffic regimes × three steering policies on the threaded executor:
+//
+//   mix=elephants   a handful of heavy flows — RSS's weak regime (it can
+//                   use at most one core per flow, so cores sit idle);
+//   mix=mice        many light flows — static spray's weak regime (every
+//                   flow is sprayed, so every flow pays reordering for
+//                   parallelism it does not need);
+//   mix=mixed       both at once — the regime the adaptive policy targets:
+//                   promote the elephants to full-width spray, pin the mice
+//                   to their designated cores.
+//
+//   policy=spray    static checksum-bit spraying (the paper's mechanism);
+//   policy=rss      per-flow RSS placement;
+//   policy=adaptive the §12 classify/pin/steer loop.
+//
+// The driver pre-builds template frames (several payload variants per flow,
+// so checksum-bit spraying keeps its per-packet entropy) and floods
+// open-loop for the duration; the reorder observatory measures out-of-order
+// arrivals per policy — in aggregate AND split by class (per-flow
+// flow_stats over the elephant and mouse populations), because the
+// aggregate distance quantiles are composition-sensitive: pinning the mice
+// removes their small-distance samples from the histogram, which shifts the
+// aggregate p99 up even when every sprayed flow reorders less. Mice are
+// chosen with pairwise-distinct adaptive flow-cache set indices so the
+// adaptive runs measure the policy, not 2-way cache-conflict pathology
+// (conflict behavior is covered by unit tests). Emits one JSON line per
+// (mix, policy):
+//
+//   ./bench/adaptive_spray [policies=spray,rss,adaptive]
+//       [mixes=elephants,mice,mixed] [cores=4] [duration=0.4] [mice=256]
+//       [elephants=2] [elephant_share=0.5] [variants=8] [rx_batch=32]
+//       [burst=32] [nf_cycles=120] [promote=256] [demote=64]
+//       [reorder_budget=16384] [p2c=1]
+//
+// reorder_budget defaults high enough that spray-set narrowing stays out
+// of the throughput comparison (at the config default every elephant is
+// quickly narrowed to min_spray_width, trading ~25% elephant-regime
+// throughput for a ~2x cut in sprayed-flow reorder distance — sweep
+// reorder_budget to map that frontier; narrowing correctness is covered by
+// unit tests).
+//
+// Validated by tools/check_adaptive_schema.py (CI) and recorded as
+// BENCH_adaptive.json.
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/threaded.hpp"
+#include "net/packet_builder.hpp"
+#include "net/packet_pool.hpp"
+#include "nf/synthetic.hpp"
+#include "nic/pktgen.hpp"
+#include "nic/rss.hpp"
+
+using namespace sprayer;
+
+namespace {
+
+constexpr u32 kMaxBurst = 64;
+
+enum class Policy { kSpray, kRss, kAdaptive };
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kSpray:
+      return "spray";
+    case Policy::kRss:
+      return "rss";
+    case Policy::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+struct RunConfig {
+  Policy policy = Policy::kAdaptive;
+  std::string mix = "mixed";
+  u32 cores = 4;
+  double duration_s = 0.4;
+  u32 num_elephants = 2;   // 0 in the mice mix
+  u32 num_mice = 256;      // 0 in the elephants mix
+  double elephant_share = 0.5;  // fraction of injected packets
+  u32 variants = 8;
+  u32 rx_batch = 32;
+  u32 burst = 32;
+  Cycles nf_cycles = 120;  // per-packet work, so load balance matters
+  u64 promote = 256;
+  u64 demote = 64;
+  u64 reorder_budget = 16384;
+  bool p2c = true;
+};
+
+/// Per-class reorder aggregate, folded from the observatory's per-flow
+/// sample slots.
+struct ClassReorder {
+  u64 sampled_flows = 0;
+  u64 observed = 0;
+  u64 ooo = 0;
+  u64 max_distance = 0;
+};
+
+struct RunResult {
+  double elapsed_s = 0.0;
+  u64 injected = 0;
+  u64 forwarded = 0;
+  u64 rx_ring_drops = 0;
+  telemetry::ReorderObservatory::Stats reorder;
+  ClassReorder elephants_reorder;
+  ClassReorder mice_reorder;
+  bool has_adaptive = false;
+  core::AdaptiveSprayPolicy::Stats adaptive;
+  u32 fdir_exact_rules = 0;
+};
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Pick `count` flows whose adaptive flow-cache set indices (and designated
+/// cores, round-robin as far as possible) are pairwise distinct — across
+/// calls too, via the shared `used_sets` — so every flow gets a private
+/// 2-way set and adaptive runs never hit the conflict fallback.
+std::vector<net::FiveTuple> pick_flows(u32 count, u32 seed, u32 cores,
+                                       u32 flow_sets,
+                                       std::unordered_set<u32>& used_sets) {
+  const nic::RssEngine rss(cores);
+  std::vector<net::FiveTuple> out;
+  const auto candidates = nic::random_tcp_flows(64 * count + 1024, seed);
+  for (const auto& f : candidates) {
+    if (out.size() == count) break;
+    const u32 set = rss.hash_of(f) & (flow_sets - 1);
+    if (used_sets.insert(set).second) out.push_back(f);
+  }
+  return out;
+}
+
+/// One valid TCP data frame per (flow, payload variant); the measured loop
+/// only memcpys.
+std::vector<std::vector<u8>> build_templates(
+    const std::vector<net::FiveTuple>& flow_set, u32 variants) {
+  net::PacketPool scratch(2, 256);
+  std::vector<std::vector<u8>> templates;
+  for (const auto& flow : flow_set) {
+    for (u32 v = 0; v < variants; ++v) {
+      net::TcpSegmentSpec spec;
+      spec.tuple = flow;
+      spec.flags = net::TcpFlags::kAck;
+      spec.payload_len = 6;
+      const u8 payload[6] = {1, 2, 3, 4, 5, static_cast<u8>(6 + v)};
+      spec.payload = payload;
+      net::Packet* pkt = net::build_tcp_raw(scratch, spec);
+      templates.emplace_back(pkt->data(), pkt->data() + pkt->len());
+      scratch.free(pkt);
+    }
+  }
+  return templates;
+}
+
+RunResult run_one(const RunConfig& rc,
+                  const std::vector<net::FiveTuple>& elephants,
+                  const std::vector<net::FiveTuple>& mice) {
+  net::PacketPool pool(1u << 15, 256);
+  nf::SyntheticNf nf(rc.nf_cycles);
+  std::atomic<u64> forwarded{0};
+
+  core::SprayerConfig cfg;
+  cfg.num_cores = rc.cores;
+  cfg.mode =
+      rc.policy == Policy::kRss ? core::DispatchMode::kRss
+                                : core::DispatchMode::kSpray;
+  cfg.rx_batch = rc.rx_batch;
+  // Same housekeeping cadence for all three policies (adaptive needs it for
+  // sketch decay) so the comparison stays apples-to-apples.
+  cfg.housekeeping_interval = kMillisecond;
+  cfg.telemetry = true;
+  cfg.reorder_observatory = true;
+  cfg.overload_policy = OverloadPolicy::kDropNew;
+  if (rc.policy == Policy::kAdaptive) {
+    cfg.adaptive.enabled = true;
+    cfg.adaptive.promote_count = rc.promote;
+    cfg.adaptive.demote_count = rc.demote;
+    cfg.adaptive.reorder_budget = rc.reorder_budget;
+    cfg.adaptive.p2c = rc.p2c;
+  }
+
+  core::ThreadedMiddlebox mbox(
+      cfg, nf,
+      core::ThreadedMiddlebox::TxBatchHandler(
+          [&](std::span<net::Packet* const> pkts) {
+            forwarded.fetch_add(pkts.size(), std::memory_order_relaxed);
+            net::free_packets(pkts);
+          }));
+  mbox.start();
+
+  std::vector<net::FiveTuple> all_flows = elephants;
+  all_flows.insert(all_flows.end(), mice.begin(), mice.end());
+  const auto eleph_templates = build_templates(elephants, rc.variants);
+  const auto mice_templates = build_templates(mice, rc.variants);
+
+  // Establish flow state (and, under adaptive, the initial mouse pins)
+  // before the measured interval.
+  for (const auto& flow : all_flows) {
+    net::TcpSegmentSpec spec;
+    spec.tuple = flow;
+    spec.flags = net::TcpFlags::kSyn;
+    net::Packet* syn = net::build_tcp_raw(pool, spec);
+    while (!mbox.inject(syn)) {
+      syn = net::build_tcp_raw(pool, spec);
+      std::this_thread::yield();
+    }
+  }
+  mbox.wait_idle();
+
+  using Clock = std::chrono::steady_clock;
+  const u32 burst_size = std::min(rc.burst, kMaxBurst);
+  std::array<net::Packet*, kMaxBurst> burst{};
+  u64 injected = 0;
+  std::size_t next_eleph = 0;
+  std::size_t next_mouse = 0;
+  double share_acc = 0.0;
+  const auto t0 = Clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(rc.duration_s));
+  while (Clock::now() < deadline) {
+    const u32 n = pool.alloc_bulk(std::span{burst.data(), burst_size});
+    if (n == 0) {  // backpressure: workers own every buffer right now
+      std::this_thread::yield();
+      continue;
+    }
+    for (u32 i = 0; i < n; ++i) {
+      // Deterministic interleave: elephant packets at `elephant_share` of
+      // the injected stream, round-robin within each class.
+      share_acc += rc.elephant_share;
+      bool from_elephant = share_acc >= 1.0;
+      if (from_elephant) share_acc -= 1.0;
+      if (mice_templates.empty()) from_elephant = true;
+      if (eleph_templates.empty()) from_elephant = false;
+      const auto& frame =
+          from_elephant
+              ? eleph_templates[next_eleph++ % eleph_templates.size()]
+              : mice_templates[next_mouse++ % mice_templates.size()];
+      std::memcpy(burst[i]->data(), frame.data(), frame.size());
+      burst[i]->set_len(static_cast<u32>(frame.size()));
+    }
+    injected += mbox.inject_bulk({burst.data(), n});
+  }
+  mbox.wait_idle();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  RunResult res;
+  res.elapsed_s = elapsed;
+  res.injected = injected;
+  res.forwarded = forwarded.load();
+  res.rx_ring_drops = mbox.rx_ring_drops();
+  res.reorder = mbox.reorder_stats();
+  if (mbox.reorder_observatory() != nullptr) {
+    const nic::RssEngine rss(rc.cores);  // same symmetric key as the driver
+    const auto fold = [&](const std::vector<net::FiveTuple>& flows) {
+      ClassReorder cls;
+      for (const auto& f : flows) {
+        const auto fr = mbox.reorder_observatory()->flow_stats(rss.hash_of(f));
+        if (!fr.sampled) continue;
+        ++cls.sampled_flows;
+        cls.observed += fr.observed;
+        cls.ooo += fr.ooo_packets;
+        cls.max_distance = std::max(cls.max_distance, fr.max_distance);
+      }
+      return cls;
+    };
+    res.elephants_reorder = fold(elephants);
+    res.mice_reorder = fold(mice);
+  }
+  if (mbox.adaptive() != nullptr) {
+    res.has_adaptive = true;
+    res.adaptive = mbox.adaptive()->stats();
+    res.fdir_exact_rules = mbox.flow_director().exact_rule_count();
+  }
+  mbox.stop();
+  return res;
+}
+
+void print_json(const RunConfig& rc, const RunResult& res) {
+  std::printf(
+      "{\"bench\":\"adaptive_spray\",\"policy\":\"%s\",\"mix\":\"%s\","
+      "\"cores\":%u,\"elephants\":%u,\"mice\":%u,\"elephant_share\":%.2f,"
+      "\"variants\":%u,\"nf_cycles\":%llu,\"elapsed_s\":%.4f,"
+      "\"injected\":%llu,\"forwarded\":%llu,\"pps\":%.0f,"
+      "\"rx_ring_drops\":%llu,\"reorder\":{\"observed\":%llu,\"ooo\":%llu,"
+      "\"max_distance\":%llu,\"p50\":%llu,\"p99\":%llu},"
+      "\"reorder_elephants\":{\"sampled_flows\":%llu,\"observed\":%llu,"
+      "\"ooo\":%llu,\"max_distance\":%llu},"
+      "\"reorder_mice\":{\"sampled_flows\":%llu,\"observed\":%llu,"
+      "\"ooo\":%llu,\"max_distance\":%llu},",
+      policy_name(rc.policy), rc.mix.c_str(), rc.cores, rc.num_elephants,
+      rc.num_mice, rc.elephant_share, rc.variants,
+      static_cast<unsigned long long>(rc.nf_cycles), res.elapsed_s,
+      static_cast<unsigned long long>(res.injected),
+      static_cast<unsigned long long>(res.forwarded),
+      static_cast<double>(res.forwarded) / res.elapsed_s,
+      static_cast<unsigned long long>(res.rx_ring_drops),
+      static_cast<unsigned long long>(res.reorder.packets_observed),
+      static_cast<unsigned long long>(res.reorder.ooo_packets),
+      static_cast<unsigned long long>(res.reorder.max_distance),
+      static_cast<unsigned long long>(res.reorder.distance.p50()),
+      static_cast<unsigned long long>(res.reorder.distance.p99()),
+      static_cast<unsigned long long>(res.elephants_reorder.sampled_flows),
+      static_cast<unsigned long long>(res.elephants_reorder.observed),
+      static_cast<unsigned long long>(res.elephants_reorder.ooo),
+      static_cast<unsigned long long>(res.elephants_reorder.max_distance),
+      static_cast<unsigned long long>(res.mice_reorder.sampled_flows),
+      static_cast<unsigned long long>(res.mice_reorder.observed),
+      static_cast<unsigned long long>(res.mice_reorder.ooo),
+      static_cast<unsigned long long>(res.mice_reorder.max_distance));
+  if (res.has_adaptive) {
+    const auto& a = res.adaptive;
+    std::printf(
+        "\"adaptive\":{\"pinned_flows\":%u,\"pins_installed\":%llu,"
+        "\"pin_fallbacks\":%llu,\"rule_evictions\":%llu,"
+        "\"elephant_promotions\":%llu,\"elephant_demotions\":%llu,"
+        "\"p2c_deflections\":%llu,\"narrowings\":%llu,"
+        "\"unpinned_sprays\":%llu,\"fdir_exact_rules\":%u}}\n",
+        a.pinned_flows, static_cast<unsigned long long>(a.pins_installed),
+        static_cast<unsigned long long>(a.pin_fallbacks),
+        static_cast<unsigned long long>(a.rule_evictions),
+        static_cast<unsigned long long>(a.elephant_promotions),
+        static_cast<unsigned long long>(a.elephant_demotions),
+        static_cast<unsigned long long>(a.p2c_deflections),
+        static_cast<unsigned long long>(a.narrowings),
+        static_cast<unsigned long long>(a.unpinned_sprays),
+        res.fdir_exact_rules);
+  } else {
+    std::printf("\"adaptive\":null}\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliConfig cli(argc, argv);
+  RunConfig base;
+  base.cores = static_cast<u32>(cli.get_u64("cores", 4));
+  base.duration_s = cli.get_double("duration", 0.4);
+  base.num_elephants = static_cast<u32>(cli.get_u64("elephants", 2));
+  base.num_mice = static_cast<u32>(cli.get_u64("mice", 256));
+  base.elephant_share = cli.get_double("elephant_share", 0.5);
+  base.variants = static_cast<u32>(cli.get_u64("variants", 8));
+  base.rx_batch = static_cast<u32>(cli.get_u64("rx_batch", 32));
+  base.burst = static_cast<u32>(cli.get_u64("burst", 32));
+  base.nf_cycles = cli.get_u64("nf_cycles", 120);
+  base.promote = cli.get_u64("promote", 256);
+  base.demote = cli.get_u64("demote", 64);
+  base.reorder_budget = cli.get_u64("reorder_budget", 16384);
+  base.p2c = cli.get_u64("p2c", 1) != 0;
+
+  // One shared flow universe per process: elephants and mice occupy
+  // disjoint adaptive cache sets, and every mix reuses the same flows so
+  // policies see identical traffic.
+  core::AdaptiveSprayConfig defaults;
+  std::unordered_set<u32> used_sets;
+  const auto elephants = pick_flows(base.num_elephants, 0xe1e, base.cores,
+                                    defaults.flow_sets, used_sets);
+  const auto mice = pick_flows(base.num_mice, 0x317ce, base.cores,
+                               defaults.flow_sets, used_sets);
+
+  for (const auto& mix :
+       split_list(cli.get("mixes", "elephants,mice,mixed"))) {
+    for (const auto& policy_s :
+         split_list(cli.get("policies", "spray,rss,adaptive"))) {
+      RunConfig rc = base;
+      rc.mix = mix;
+      rc.policy = policy_s == "spray" ? Policy::kSpray
+                  : policy_s == "rss" ? Policy::kRss
+                                      : Policy::kAdaptive;
+      std::vector<net::FiveTuple> run_elephants = elephants;
+      std::vector<net::FiveTuple> run_mice = mice;
+      if (mix == "elephants") {
+        run_mice.clear();
+        rc.num_mice = 0;
+        rc.elephant_share = 1.0;
+      } else if (mix == "mice") {
+        run_elephants.clear();
+        rc.num_elephants = 0;
+        rc.elephant_share = 0.0;
+      }
+      print_json(rc, run_one(rc, run_elephants, run_mice));
+    }
+  }
+  return 0;
+}

@@ -76,7 +76,10 @@ struct HopResult {
   std::string nf;
   u64 packets = 0;
   u64 drops = 0;
+  /// Valid only when `timed` — hop_timing=0 runs never measure it, and the
+  /// JSON emits null rather than a misleading 0.0.
   double ns_per_packet = 0.0;
+  bool timed = false;
 };
 
 struct RunResult {
@@ -310,6 +313,7 @@ RunResult run_inline(const RunConfig& rc) {
       if (hop.packets > 0 && ns > 0) {
         hop.ns_per_packet =
             static_cast<double>(ns) / static_cast<double>(hop.packets);
+        hop.timed = true;
       }
       res.per_hop.push_back(std::move(hop));
     }
@@ -403,6 +407,7 @@ RunResult run_threaded(const RunConfig& rc) {
       if (hop.packets > 0 && ns > 0) {
         hop.ns_per_packet =
             static_cast<double>(ns) / static_cast<double>(hop.packets);
+        hop.timed = true;
       }
       res.per_hop.push_back(std::move(hop));
     }
@@ -428,10 +433,16 @@ void print_json(const RunConfig& rc, const RunResult& res) {
     const auto& hop = res.per_hop[h];
     std::printf(
         "%s{\"hop\":%zu,\"nf\":\"%s\",\"packets\":%llu,\"drops\":%llu,"
-        "\"ns_per_packet\":%.2f}",
+        "\"ns_per_packet\":",
         h == 0 ? "" : ",", h, hop.nf.c_str(),
         static_cast<unsigned long long>(hop.packets),
-        static_cast<unsigned long long>(hop.drops), hop.ns_per_packet);
+        static_cast<unsigned long long>(hop.drops));
+    // Unmeasured (hop_timing=0) is null, not a fake 0.0.
+    if (hop.timed) {
+      std::printf("%.2f}", hop.ns_per_packet);
+    } else {
+      std::printf("null}");
+    }
   }
   std::printf("]}\n");
   std::fflush(stdout);

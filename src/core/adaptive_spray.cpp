@@ -1,0 +1,264 @@
+#include "core/adaptive_spray.hpp"
+
+#include <algorithm>
+
+namespace sprayer::core {
+
+AdaptiveSprayPolicy::AdaptiveSprayPolicy(const AdaptiveSprayConfig& cfg,
+                                         u32 num_cores,
+                                         nic::FlowDirector& fdir,
+                                         const CorePicker& picker)
+    : cfg_(cfg), num_cores_(num_cores), fdir_(fdir), picker_(picker) {
+  SPRAYER_CHECK(num_cores >= 1);
+  SPRAYER_CHECK_MSG(
+      cfg.flow_sets >= 1 && (cfg.flow_sets & (cfg.flow_sets - 1)) == 0,
+      "adaptive.flow_sets must be a power of two");
+  SPRAYER_CHECK_MSG(cfg.demote_count <= cfg.promote_count,
+                    "demote_count above promote_count inverts the hysteresis");
+  SPRAYER_CHECK_MSG(cfg.min_spray_width >= 1,
+                    "min_spray_width 0 has no meaning");
+  sketches_.reserve(num_cores);
+  for (u32 c = 0; c < num_cores; ++c) {
+    sketches_.push_back(std::make_unique<HeavyHitterSketch>(cfg.sketch_slots));
+  }
+  flows_.resize(static_cast<std::size_t>(cfg.flow_sets) * 2);
+  set_mask_ = cfg.flow_sets - 1;
+}
+
+void AdaptiveSprayPolicy::register_metrics(telemetry::MetricsRegistry& registry,
+                                           u32 shard) {
+  registry_ = &registry;
+  shard_ = shard;
+  tm_.pinned_flows = registry.gauge("spray.adaptive.pinned_flows");
+  tm_.pins_installed = registry.counter("spray.adaptive.pins_installed");
+  tm_.pin_fallbacks = registry.counter("spray.adaptive.pin_fallbacks");
+  tm_.rule_evictions = registry.counter("spray.adaptive.rule_evictions");
+  tm_.elephant_promotions =
+      registry.counter("spray.adaptive.elephant_promotions");
+  tm_.elephant_demotions =
+      registry.counter("spray.adaptive.elephant_demotions");
+  tm_.p2c_deflections = registry.counter("spray.adaptive.p2c_deflections");
+  tm_.narrowings = registry.counter("spray.adaptive.narrowings");
+  tm_.unpinned_sprays = registry.counter("spray.adaptive.unpinned_sprays");
+}
+
+AdaptiveSprayPolicy::FlowSlot* AdaptiveSprayPolicy::lookup(u32 hash) noexcept {
+  FlowSlot* set = &flows_[static_cast<std::size_t>(hash & set_mask_) * 2];
+  for (u32 way = 0; way < 2; ++way) {
+    if (set[way].state != FlowState::kEmpty && set[way].hash == hash) {
+      return &set[way];
+    }
+  }
+  return nullptr;
+}
+
+AdaptiveSprayPolicy::FlowSlot* AdaptiveSprayPolicy::claim(u32 hash,
+                                                          Time now) noexcept {
+  FlowSlot* set = &flows_[static_cast<std::size_t>(hash & set_mask_) * 2];
+  for (u32 way = 0; way < 2; ++way) {
+    if (set[way].state == FlowState::kEmpty) return &set[way];
+  }
+  for (u32 way = 0; way < 2; ++way) {
+    FlowSlot& victim = set[way];
+    if (now - victim.last_seen > cfg_.idle_timeout) {
+      if (victim.state == FlowState::kPinned) {
+        unpin(victim);
+        ++stats_.rule_evictions;
+      }
+      victim.state = FlowState::kEmpty;
+      return &victim;
+    }
+  }
+  return nullptr;  // both ways live: newcomer sprays uncached
+}
+
+bool AdaptiveSprayPolicy::try_pin(FlowSlot& slot) {
+  if (stats_.pinned_flows >= cfg_.rule_budget) return false;
+  const u16 queue = static_cast<u16>(picker_.pick_hash(slot.hash));
+  if (!fdir_.add_exact_rule(slot.tuple, queue).ok()) {
+    return false;  // shared 8K table exhausted (or tuple aliased): spray
+  }
+  ++stats_.pinned_flows;
+  ++stats_.pins_installed;
+  return true;
+}
+
+void AdaptiveSprayPolicy::unpin(FlowSlot& slot) {
+  if (slot.state != FlowState::kPinned) return;
+  fdir_.remove_exact_rule(slot.tuple);
+  --stats_.pinned_flows;
+}
+
+u16 AdaptiveSprayPolicy::steer_sprayed(net::Packet& pkt, u32 flow_hash,
+                                       u32 width) {
+  width = std::clamp<u32>(width, 1, num_cores_);
+  const u32 r = static_cast<u32>(p2c_salt_++);
+  // The "natural" member: at full width the static checksum rule's verdict
+  // (so p2c disabled degrades to exactly the static spray), otherwise a
+  // rotating member of the narrowed set. Only this full-width path needs
+  // the Flow Director at all, and only its checksum side — pinned flows
+  // never reach here.
+  u16 natural;
+  nic::FlowDirector::MatchResult match{};
+  if (width >= num_cores_ &&
+      (match = fdir_.match_checksum(pkt)).kind ==
+          nic::FlowDirector::MatchKind::kChecksum) {
+    natural = match.queue;
+  } else {
+    natural = static_cast<u16>(picker_.spray_member(flow_hash, width, r));
+  }
+  if (!cfg_.p2c || depth_probe_ == nullptr || width < 2) return natural;
+  const u16 alt =
+      static_cast<u16>(picker_.spray_member(flow_hash, width, r + 1));
+  if (alt != natural &&
+      depth_probe_->depth(alt) < depth_probe_->depth(natural)) {
+    ++stats_.p2c_deflections;
+    return alt;
+  }
+  return natural;
+}
+
+u16 AdaptiveSprayPolicy::steer(net::Packet& pkt, u32 flow_hash, Time now) {
+  FlowSlot* slot = lookup(flow_hash);
+  if (slot == nullptr) {
+    slot = claim(flow_hash, now);
+    if (slot == nullptr) {
+      // Cache-conflict flow: never pinned, never tracked — full-width spray
+      // (elephant-equivalent behavior, so heavy flows lose nothing here).
+      ++stats_.unpinned_sprays;
+      return steer_sprayed(pkt, flow_hash, num_cores_);
+    }
+    // First sight: presume mouse, pin to the designated queue.
+    slot->hash = flow_hash;
+    slot->dwell = 0;
+    slot->spray_width = static_cast<u16>(num_cores_);
+    slot->last_ooo = 0;
+    slot->last_seen = now;
+    slot->tuple = pkt.five_tuple();
+    if (try_pin(*slot)) {
+      slot->state = FlowState::kPinned;
+      return static_cast<u16>(picker_.pick_hash(flow_hash));
+    }
+    slot->state = FlowState::kPinFallback;
+    ++stats_.pin_fallbacks;
+    return steer_sprayed(pkt, flow_hash, num_cores_);
+  }
+  slot->last_seen = now;
+  switch (slot->state) {
+    case FlowState::kPinned:
+      // Deterministic designated queue for the flow's whole pinned life —
+      // identical to what the installed exact rule resolves to (and to RSS).
+      return static_cast<u16>(picker_.pick_hash(flow_hash));
+    case FlowState::kPinFallback:
+      return steer_sprayed(pkt, flow_hash, num_cores_);
+    case FlowState::kElephant:
+      return steer_sprayed(pkt, flow_hash, slot->spray_width);
+    case FlowState::kEmpty:
+      break;  // unreachable: lookup() skips empty slots
+  }
+  return steer_sprayed(pkt, flow_hash, num_cores_);
+}
+
+void AdaptiveSprayPolicy::tick(Time now) {
+  last_tick_ = now;
+
+  // 1. Merge the per-core worker sketches (racy-but-untorn reads) into one
+  //    aggregate rate estimate per surviving flow hash.
+  merge_scratch_.clear();
+  for (const auto& sketch : sketches_) {
+    const u32 n = sketch->slots();
+    for (u32 i = 0; i < n; ++i) {
+      const HeavyHitterSketch::Cell cell = sketch->read(i);
+      if (cell.count > 0) merge_scratch_[cell.hash] += cell.count;
+    }
+  }
+
+  // 2. Promote: any cached mouse whose aggregate crossed the threshold
+  //    drops its pin rule and sprays. Uncached heavy flows already spray
+  //    full-width, so only cached flows need state changes.
+  for (const auto& [hash, count] : merge_scratch_) {
+    if (count < cfg_.promote_count) continue;
+    FlowSlot* slot = lookup(hash);
+    if (slot == nullptr || slot->state == FlowState::kElephant) continue;
+    unpin(*slot);
+    slot->state = FlowState::kElephant;
+    slot->spray_width = static_cast<u16>(num_cores_);
+    slot->dwell = 0;
+    // Latch the flow's current reorder high-water so only distance growth
+    // *as an elephant* triggers narrowing.
+    slot->last_ooo =
+        observatory_ != nullptr ? observatory_->flow_stats(hash).max_distance
+                                : 0;
+    ++stats_.elephant_promotions;
+  }
+
+  // 3. Demote + narrow: full scan over the elephants (the cache is small
+  //    and the cadence is update_interval, so this is off-path and cheap).
+  for (FlowSlot& slot : flows_) {
+    if (slot.state != FlowState::kElephant) continue;
+    if (observatory_ != nullptr && cfg_.reorder_budget > 0 &&
+        slot.spray_width > cfg_.min_spray_width) {
+      const telemetry::ReorderObservatory::FlowReorder fr =
+          observatory_->flow_stats(slot.hash);
+      if (fr.sampled &&
+          fr.max_distance >= slot.last_ooo + cfg_.reorder_budget) {
+        slot.spray_width = static_cast<u16>(std::max<u32>(
+            cfg_.min_spray_width, slot.spray_width / 2));
+        slot.last_ooo = fr.max_distance;
+        ++stats_.narrowings;
+      }
+    }
+    const auto it = merge_scratch_.find(slot.hash);
+    const u64 rate = it == merge_scratch_.end() ? 0 : it->second;
+    if (rate >= cfg_.demote_count) {
+      slot.dwell = 0;
+      continue;
+    }
+    if (++slot.dwell < cfg_.demote_dwell_ticks) continue;
+    // Dwell satisfied: re-pin (or fall back to full spray if the budget is
+    // gone — it stays a demoted mouse either way and may pin later).
+    slot.dwell = 0;
+    slot.spray_width = static_cast<u16>(num_cores_);
+    slot.state =
+        try_pin(slot) ? FlowState::kPinned : FlowState::kPinFallback;
+    ++stats_.elephant_demotions;
+  }
+
+  // 4. Bounded idle sweep: reclaim rules (and cache slots) from dead flows,
+  //    and retry pinning for fallback mice now that rules may have freed up.
+  const u32 n = static_cast<u32>(flows_.size());
+  const u32 scan = std::min(cfg_.evict_scan, n);
+  for (u32 k = 0; k < scan; ++k) {
+    FlowSlot& slot = flows_[(evict_cursor_ + k) & (n - 1)];
+    if (slot.state == FlowState::kEmpty) continue;
+    if (now - slot.last_seen > cfg_.idle_timeout) {
+      if (slot.state == FlowState::kPinned) {
+        unpin(slot);
+        ++stats_.rule_evictions;
+      }
+      slot.state = FlowState::kEmpty;
+    } else if (slot.state == FlowState::kPinFallback && try_pin(slot)) {
+      slot.state = FlowState::kPinned;
+    }
+  }
+  evict_cursor_ = (evict_cursor_ + scan) & (n - 1);
+
+  mirror_metrics();
+}
+
+void AdaptiveSprayPolicy::mirror_metrics() {
+  if (registry_ == nullptr) return;
+  registry_->begin_update(shard_);
+  tm_.pinned_flows.set(shard_, stats_.pinned_flows);
+  tm_.pins_installed.set(shard_, stats_.pins_installed);
+  tm_.pin_fallbacks.set(shard_, stats_.pin_fallbacks);
+  tm_.rule_evictions.set(shard_, stats_.rule_evictions);
+  tm_.elephant_promotions.set(shard_, stats_.elephant_promotions);
+  tm_.elephant_demotions.set(shard_, stats_.elephant_demotions);
+  tm_.p2c_deflections.set(shard_, stats_.p2c_deflections);
+  tm_.narrowings.set(shard_, stats_.narrowings);
+  tm_.unpinned_sprays.set(shard_, stats_.unpinned_sprays);
+  registry_->end_update(shard_);
+}
+
+}  // namespace sprayer::core

@@ -1,0 +1,251 @@
+// Adaptive spraying: runtime elephant/mice classification with
+// Flow-Director pinning and queue-depth-aware steering (DESIGN.md §12).
+//
+// The paper's spray decision is a static pure function of checksum bits —
+// ideal for elephants (packet-level parallelism), a net loss for mice,
+// which pay the reorder and cache-affinity costs of spraying without ever
+// being large enough to need more than one core. This layer closes the
+// loop with three cooperating pieces:
+//
+//   * HeavyHitterSketch — one per core, updated by the owning worker for
+//     every polled packet: a direct-mapped Misra-Gries-style frequent-item
+//     sketch over the memoized RSS flow hash. The worker halves its counts
+//     on each housekeeping tick, so a cell approximates an exponentially
+//     decayed rate, and the driver merges all per-core sketches on its own
+//     maintenance tick to find flows whose aggregate rate crosses the
+//     elephant threshold.
+//
+//   * AdaptiveSprayPolicy — driver-side (single-threaded with the
+//     injection path): a 2-way-associative flow cache keyed by flow hash.
+//     A new flow is presumed a mouse and pinned to its *designated* queue
+//     via FlowDirector::add_exact_rule — exact rules outrank the masked
+//     checksum spray rules, so the pinned flow gets RSS-style per-flow
+//     placement (zero reorder, conn packets already local, flow-state
+//     writes on the designated core per §3.3) while everything else keeps
+//     spraying. Flows the merge promotes to elephant drop their rule and
+//     spray; demotion re-pins only after a dwell of consecutive
+//     below-threshold ticks (no rule-churn flapping). Pin rules are
+//     budgeted against the shared 8K table and evicted when idle; when the
+//     budget is gone a mouse simply keeps spraying — fallback, never
+//     failure.
+//
+//   * Queue-depth-aware steering — sprayed packets take a
+//     power-of-two-choices pick inside the flow's spray set (spray_member
+//     anchoring) using live per-queue depths, and a flow whose reorder
+//     observatory distance exceeds its budget has that set halved.
+//
+// Thread contract: HeavyHitterSketch cells are single-writer (the owning
+// worker) atomics with racy-but-untorn reads from the merging driver.
+// Everything in AdaptiveSprayPolicy — steer(), tick(), the flow cache, all
+// FlowDirector rule mutations — runs on the injection driver thread only.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "core/config.hpp"
+#include "core/core_picker.hpp"
+#include "net/five_tuple.hpp"
+#include "net/packet.hpp"
+#include "nic/flow_director.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/reorder.hpp"
+
+namespace sprayer::core {
+
+/// Live queue-occupancy feedback for the p2c pick. The threaded executor
+/// answers from its rx rings; a NIC model could answer from its queues.
+class IQueueDepthProbe {
+ public:
+  virtual ~IQueueDepthProbe() = default;
+  [[nodiscard]] virtual u32 depth(u16 queue) const noexcept = 0;
+};
+
+/// Per-core frequent-item sketch over flow hashes. Direct-mapped cells of
+/// packed {owner_hash:32 | count:32}; on a collision the incumbent's count
+/// is decremented (Misra-Gries) so sustained heavy flows reclaim their cell
+/// while one-shot mice decay away. Single writer (the owning worker);
+/// cells are atomics so the driver's merge reads untorn values.
+class HeavyHitterSketch {
+ public:
+  explicit HeavyHitterSketch(u32 slots)
+      : mask_(slots - 1), cells_(new std::atomic<u64>[slots]()) {
+    SPRAYER_CHECK_MSG(slots >= 2 && (slots & (slots - 1)) == 0,
+                      "sketch slots must be a power of two");
+  }
+
+  /// Worker side: account one packet of `hash`.
+  void update(u32 hash) noexcept {
+    std::atomic<u64>& cell = cells_[hash & mask_];
+    const u64 v = cell.load(std::memory_order_relaxed);
+    const u32 owner = static_cast<u32>(v >> 32);
+    const u32 count = static_cast<u32>(v);
+    u64 next;
+    if (count == 0) {
+      next = pack(hash, 1);  // empty (or fully decayed): claim
+    } else if (owner == hash) {
+      next = count == 0xffffffffu ? v : v + 1;
+    } else {
+      next = v - 1;  // decrement the incumbent toward eviction
+    }
+    cell.store(next, std::memory_order_relaxed);
+  }
+
+  /// Worker side (housekeeping tick): halve every count so cells track an
+  /// exponentially decayed rate instead of an all-time total.
+  void decay() noexcept {
+    for (u32 i = 0; i <= mask_; ++i) {
+      const u64 v = cells_[i].load(std::memory_order_relaxed);
+      if ((v & 0xffffffffu) == 0) continue;
+      cells_[i].store((v & ~0xffffffffULL) | ((v & 0xffffffffULL) >> 1),
+                      std::memory_order_relaxed);
+    }
+  }
+
+  struct Cell {
+    u32 hash = 0;
+    u32 count = 0;
+  };
+  [[nodiscard]] u32 slots() const noexcept { return mask_ + 1; }
+  /// Driver side: racy-but-untorn read of one cell.
+  [[nodiscard]] Cell read(u32 i) const noexcept {
+    const u64 v = cells_[i].load(std::memory_order_relaxed);
+    return Cell{static_cast<u32>(v >> 32), static_cast<u32>(v)};
+  }
+
+ private:
+  [[nodiscard]] static constexpr u64 pack(u32 hash, u32 count) noexcept {
+    return (static_cast<u64>(hash) << 32) | count;
+  }
+
+  u32 mask_;
+  std::unique_ptr<std::atomic<u64>[]> cells_;
+};
+
+class AdaptiveSprayPolicy {
+ public:
+  /// Driver-visible counters (plain u64: driver-thread writes; read them
+  /// from other threads only at quiescence). The telemetry mirror
+  /// (spray.adaptive.*) is refreshed once per tick.
+  struct Stats {
+    u64 pins_installed = 0;       // exact rules added (initial + re-pins)
+    u64 pin_fallbacks = 0;        // new mouse kept spraying: budget gone
+    u64 rule_evictions = 0;       // exact rules removed: idle or slot loss
+    u64 elephant_promotions = 0;  // pinned flow unpinned into the spray set
+    u64 elephant_demotions = 0;   // elephant re-pinned after demote dwell
+    u64 p2c_deflections = 0;      // packets moved off the deeper candidate
+    u64 narrowings = 0;           // spray-set halvings (reorder budget)
+    u64 unpinned_sprays = 0;      // new flows with no claimable cache slot
+    u32 pinned_flows = 0;         // currently installed pin rules
+  };
+
+  AdaptiveSprayPolicy(const AdaptiveSprayConfig& cfg, u32 num_cores,
+                      nic::FlowDirector& fdir, const CorePicker& picker);
+
+  AdaptiveSprayPolicy(const AdaptiveSprayPolicy&) = delete;
+  AdaptiveSprayPolicy& operator=(const AdaptiveSprayPolicy&) = delete;
+
+  /// Optional wiring (all before traffic): live queue depths enable the
+  /// p2c pick; the observatory enables reorder-budget narrowing; the
+  /// registry mirror must be registered before the registry is finalized.
+  void set_depth_probe(const IQueueDepthProbe* probe) noexcept {
+    depth_probe_ = probe;
+  }
+  void set_observatory(const telemetry::ReorderObservatory* obs) noexcept {
+    observatory_ = obs;
+  }
+  void register_metrics(telemetry::MetricsRegistry& registry, u32 shard);
+
+  [[nodiscard]] HeavyHitterSketch& sketch(u32 core) noexcept {
+    return *sketches_[core];
+  }
+
+  /// Driver side: final queue for one classified TCP packet. Pinned flows
+  /// resolve from the flow cache alone — the cache mirrors the exact rule
+  /// set (a pin rule exists only while its slot is kPinned), so the
+  /// per-packet exact-table probe is skipped; spray decisions consult only
+  /// the checksum rule set. Maintains the flow cache — may install a pin
+  /// rule for a first-seen flow before returning.
+  [[nodiscard]] u16 steer(net::Packet& pkt, u32 flow_hash, Time now);
+
+  /// Driver side: run the maintenance tick (sketch merge, promote/demote,
+  /// idle rule eviction, telemetry mirror) when update_interval elapsed.
+  void maybe_tick(Time now) {
+    if (now - last_tick_ >= cfg_.update_interval) tick(now);
+  }
+  void tick(Time now);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const AdaptiveSprayConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  enum class FlowState : u8 {
+    kEmpty = 0,
+    kPinned,       // mouse with an installed exact rule
+    kPinFallback,  // mouse that found no rule budget: sprays full-width
+    kElephant,     // sprayed, p2c-steered, reorder-narrowed
+  };
+
+  struct FlowSlot {
+    u32 hash = 0;
+    FlowState state = FlowState::kEmpty;
+    u8 dwell = 0;          // elephant: consecutive below-demote ticks
+    u16 spray_width = 0;   // elephant: current spray-set width
+    u64 last_ooo = 0;      // last observatory distance acted upon
+    Time last_seen = 0;
+    net::FiveTuple tuple;  // for rule removal on eviction
+  };
+
+  [[nodiscard]] FlowSlot* lookup(u32 hash) noexcept;
+  /// Claim a cache slot for a first-seen flow: an empty way, or a way whose
+  /// incumbent has been idle past idle_timeout (active flows are never
+  /// displaced — that is what bounds rule churn). Null when both ways are
+  /// live.
+  [[nodiscard]] FlowSlot* claim(u32 hash, Time now) noexcept;
+  bool try_pin(FlowSlot& slot);
+  void unpin(FlowSlot& slot);
+  [[nodiscard]] u16 steer_sprayed(net::Packet& pkt, u32 flow_hash, u32 width);
+  void mirror_metrics();
+
+  const AdaptiveSprayConfig cfg_;
+  const u32 num_cores_;
+  nic::FlowDirector& fdir_;
+  const CorePicker& picker_;
+  const IQueueDepthProbe* depth_probe_ = nullptr;
+  const telemetry::ReorderObservatory* observatory_ = nullptr;
+
+  std::vector<std::unique_ptr<HeavyHitterSketch>> sketches_;  // [core]
+  std::vector<FlowSlot> flows_;  // 2-way sets: ways 2k, 2k+1
+  u32 set_mask_;
+  Time last_tick_ = 0;
+  u64 p2c_salt_ = 0;
+  u32 evict_cursor_ = 0;
+  Stats stats_;
+
+  // Scratch for the per-tick sketch merge (hash -> aggregated count),
+  // reused across ticks to amortize its allocations.
+  std::unordered_map<u32, u64> merge_scratch_;
+
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  u32 shard_ = 0;
+  struct {
+    telemetry::Counter pinned_flows;  // gauge: live pin rules
+    telemetry::Counter pins_installed;
+    telemetry::Counter pin_fallbacks;
+    telemetry::Counter rule_evictions;
+    telemetry::Counter elephant_promotions;
+    telemetry::Counter elephant_demotions;
+    telemetry::Counter p2c_deflections;
+    telemetry::Counter narrowings;
+    telemetry::Counter unpinned_sprays;
+  } tm_;
+};
+
+}  // namespace sprayer::core

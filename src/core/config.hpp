@@ -46,6 +46,48 @@ struct TransferFaultConfig {
   }
 };
 
+/// Adaptive spraying (DESIGN.md §12): classify flows at runtime into
+/// elephants (sprayed for packet-level parallelism) and mice (pinned to
+/// their designated queue with Flow Director exact rules — no reordering,
+/// warm per-flow state), steer the sprayed remainder toward shallow queues
+/// with a power-of-two-choices pick, and narrow a flow's spray set when the
+/// reorder observatory reports its out-of-order distance over budget.
+/// Off by default: static checksum spraying remains the shipping
+/// configuration until the adaptive bench justifies flipping it.
+struct AdaptiveSprayConfig {
+  bool enabled = false;
+  /// Flow-cache sets (2-way associative); power of two.
+  u32 flow_sets = 2048;
+  /// Per-core heavy-hitter sketch cells; power of two.
+  u32 sketch_slots = 1024;
+  /// Aggregated (decayed) sketch count at/above which a flow is promoted
+  /// to elephant and sprayed.
+  u64 promote_count = 512;
+  /// Aggregated count below which an elephant accumulates demote dwell
+  /// (kept well under promote_count: the gap is the flap hysteresis).
+  u64 demote_count = 128;
+  /// Consecutive ticks below demote_count before an elephant is re-pinned.
+  u32 demote_dwell_ticks = 3;
+  /// Driver-side sketch-merge / rule-maintenance cadence.
+  Time update_interval = 2 * kMillisecond;
+  /// Cap on installed exact pin rules. Shares the Flow Director 8K table
+  /// with the 2^b checksum spray rules; when either budget is exhausted a
+  /// new mouse simply keeps spraying (never an error).
+  u32 rule_budget = 4096;
+  /// A pinned flow idle longer than this loses its rule and cache slot.
+  Time idle_timeout = 50 * kMillisecond;
+  /// Flow-cache slots swept for idle eviction per maintenance tick.
+  u32 evict_scan = 512;
+  /// Queue-depth-aware power-of-two-choices steering of sprayed packets.
+  bool p2c = true;
+  /// Observatory out-of-order distance above which a sprayed flow's spray
+  /// set is halved (0 disables narrowing; needs reorder_observatory=true
+  /// to ever fire — unsampled flows are never narrowed).
+  u64 reorder_budget = 128;
+  /// Narrowest spray set narrowing may reach (1 would de-facto pin).
+  u32 min_spray_width = 2;
+};
+
 struct SprayerConfig {
   u32 num_cores = 8;
   double core_freq_hz = 2.0e9;      // the paper's Xeon E5-2650
@@ -88,6 +130,9 @@ struct SprayerConfig {
   /// telemetry::ReorderObservatory::kSlots flows). Off by default: it adds
   /// a driver-side stamp and a tx-side check per packet.
   bool reorder_observatory = false;
+  /// Runtime elephant/mice classification with Flow-Director pinning and
+  /// queue-depth-aware steering (threaded executor only; see above).
+  AdaptiveSprayConfig adaptive;
   CostModel costs;
 };
 

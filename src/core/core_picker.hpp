@@ -23,12 +23,14 @@ namespace sprayer::core {
 
 class CorePicker {
  public:
-  explicit CorePicker(u32 num_cores) : rss_(num_cores) {
+  explicit CorePicker(u32 num_cores) : rss_(num_cores), num_cores_(num_cores) {
     SPRAYER_CHECK(num_cores >= 1);
     SPRAYER_CHECK_MSG(nic::RssEngine::kIndirectionEntries % num_cores == 0,
                       "core count must divide the RSS indirection table for "
                       "designated cores to match RSS placement");
   }
+
+  [[nodiscard]] u32 num_cores() const noexcept { return num_cores_; }
 
   [[nodiscard]] CoreId pick(const net::FiveTuple& tuple) const noexcept {
     return pick_hash(rss_.hash_of(tuple));
@@ -40,8 +42,22 @@ class CorePicker {
     return static_cast<CoreId>(rss_.queue_for_hash(flow_hash));
   }
 
+  /// Member `i` of a flow's width-`width` spray set: the `width` cores
+  /// starting at the flow's designated core, wrapping modulo the core
+  /// count. Width num_cores() is full spraying; narrowing the width trades
+  /// packet-level parallelism for less reordering while keeping the
+  /// designated core (and so §3.3 flow-state locality) in every set. Used
+  /// by the adaptive spray policy (DESIGN.md §12).
+  [[nodiscard]] CoreId spray_member(u32 flow_hash, u32 width,
+                                    u32 i) const noexcept {
+    SPRAYER_DCHECK(width >= 1 && width <= num_cores_);
+    const u32 base = static_cast<u32>(pick_hash(flow_hash));
+    return static_cast<CoreId>((base + (i % width)) % num_cores_);
+  }
+
  private:
   nic::RssEngine rss_;  // symmetric key by default
+  u32 num_cores_;
 };
 
 }  // namespace sprayer::core

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/compiler.hpp"
+#include "core/adaptive_spray.hpp"
 #include "hash/designated.hpp"
 #include "net/packet_pool.hpp"
 
@@ -18,6 +19,12 @@ Cycles SprayerCore::process_rx(runtime::PacketBatch& batch, Time now) {
 
   for (net::Packet* pkt : batch) {
     cycles += costs.classify_per_packet;
+    // Adaptive spraying: account the packet against this core's
+    // heavy-hitter sketch (the driver merges all cores' sketches on its
+    // maintenance tick to classify elephants vs mice).
+    if (sketch_ != nullptr && pkt->has_flow_hash()) {
+      sketch_->update(pkt->flow_hash());
+    }
     if (stateless_ || !pkt->is_tcp() || !pkt->is_connection_packet()) {
       regular.push(pkt);
       continue;

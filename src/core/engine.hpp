@@ -25,6 +25,8 @@
 
 namespace sprayer::core {
 
+class HeavyHitterSketch;  // core/adaptive_spray.hpp
+
 /// Services the execution platform provides to one core.
 class ICorePort {
  public:
@@ -131,6 +133,13 @@ class SprayerCore {
 
   void set_telemetry(EngineTelemetry t) noexcept { tm_ = t; }
 
+  /// Adaptive spraying: this core's heavy-hitter sketch, fed one update per
+  /// polled rx packet with a memoized flow hash (single-writer: only this
+  /// engine's worker calls update). Null (default) skips the accounting.
+  void set_flow_sketch(HeavyHitterSketch* sketch) noexcept {
+    sketch_ = sketch;
+  }
+
   /// Process one batch polled from this core's NIC rx queue. Returns the
   /// cycles consumed. `now` is the batch start time (forwarded to the NF).
   Cycles process_rx(runtime::PacketBatch& batch, Time now);
@@ -216,6 +225,7 @@ class SprayerCore {
   ICorePort& port_;
   CoreStats stats_;
   EngineTelemetry tm_;
+  HeavyHitterSketch* sketch_ = nullptr;
   // Per-engine chain scratch (verdict sheet + shared batch metadata): the
   // chain object itself is shared across cores and holds no per-batch state.
   ChainScratch scratch_;

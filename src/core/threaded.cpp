@@ -101,6 +101,22 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
     engine_tm.retry_rounds =
         registry_.histogram("engine.transfer_retry_rounds", 5);
   }
+  if (cfg_.adaptive.enabled) {
+    SPRAYER_CHECK_MSG(cfg_.mode == DispatchMode::kSpray,
+                      "adaptive spraying refines spray mode; RSS has no "
+                      "spray decision to adapt");
+    SPRAYER_CHECK_MSG(cfg_.housekeeping_interval > 0,
+                      "adaptive spraying needs the housekeeping tick to "
+                      "decay the heavy-hitter sketches");
+    adaptive_ = std::make_unique<AdaptiveSprayPolicy>(
+        cfg_.adaptive, cfg_.num_cores, fdir_, picker_);
+    // Before finalize(): the spray.adaptive.* mirror lives on the driver
+    // shard alongside the other injection-side metrics.
+    if (cfg_.telemetry) {
+      adaptive_->register_metrics(registry_, driver_shard());
+    }
+  }
+
   const u32 hops = chain_.num_hops();
   hop_init_.resize(hops);
   if (cfg_.telemetry) {
@@ -117,6 +133,9 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
   for (const auto& hc : hop_init_) stateless_chain_ &= hc.stateless;
   if (cfg_.reorder_observatory) {
     reorder_ = std::make_unique<telemetry::ReorderObservatory>();
+  }
+  if (adaptive_ != nullptr && reorder_ != nullptr) {
+    adaptive_->set_observatory(reorder_.get());
   }
 
   if (cfg_.mode == DispatchMode::kSpray) {
@@ -163,7 +182,14 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
       engine_tm.shard = c;
       engines_.back()->set_telemetry(engine_tm);
     }
+    if (adaptive_ != nullptr) {
+      engines_.back()->set_flow_sketch(&adaptive_->sketch(c));
+    }
     rx_rings_.push_back(std::make_unique<Ring>(cfg_.rx_ring_capacity));
+  }
+  if (adaptive_ != nullptr && cfg_.adaptive.p2c) {
+    depth_probe_ = std::make_unique<RxDepthProbe>(*this);
+    adaptive_->set_depth_probe(depth_probe_.get());
   }
   rx_shed_threshold_ =
       shed_threshold(cfg_.rx_ring_capacity, cfg_.rx_shed_watermark);
@@ -258,11 +284,20 @@ bool ThreadedMiddlebox::inject(net::Packet* pkt) {
   }
   if (reorder_ != nullptr) reorder_->stamp(*pkt);
   u16 queue;
-  const auto fdir_queue = fdir_.match(*pkt);
-  if (fdir_queue.has_value()) {
-    queue = *fdir_queue;
+  if (adaptive_ != nullptr && pkt->is_tcp() && pkt->has_flow_hash()) {
+    // Adaptive spraying: the policy settles the final queue (pinned flows
+    // from its flow cache, sprayed ones from the checksum rule set) and
+    // runs its maintenance tick when due.
+    const Time now = steady_now();
+    queue = adaptive_->steer(*pkt, rss_hash, now);
+    adaptive_->maybe_tick(now);
   } else {
-    queue = rss_.queue_for_hash(rss_hash);
+    const auto fdir_queue = fdir_.match(*pkt);
+    if (fdir_queue.has_value()) {
+      queue = *fdir_queue;
+    } else {
+      queue = rss_.queue_for_hash(rss_hash);
+    }
   }
   const bool conn = !stateless_chain_ && pkt->is_tcp() &&
                     pkt->is_connection_packet();
@@ -292,9 +327,12 @@ bool ThreadedMiddlebox::inject(net::Packet* pkt) {
 u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
   for (auto& group : inject_stage_) group.clear();
   // One clock read covers the whole burst: every packet gets the same rx
-  // timestamp for the queue-delay histogram.
+  // timestamp for the queue-delay histogram, and the adaptive policy gets
+  // one coherent "now" for flow aging and its maintenance tick.
   const Time rx_stamp =
-      cfg_.telemetry && !pkts.empty() ? steady_now() : 0;
+      (cfg_.telemetry || adaptive_ != nullptr) && !pkts.empty()
+          ? steady_now()
+          : 0;
   for (net::Packet* pkt : pkts) {
     pkt->parse();
     u32 rss_hash = 0;
@@ -304,11 +342,17 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
     }
     pkt->ts_rx = rx_stamp;
     if (reorder_ != nullptr) reorder_->stamp(*pkt);
-    const auto fdir_queue = fdir_.match(*pkt);
-    const u16 queue =
-        fdir_queue.has_value() ? *fdir_queue : rss_.queue_for_hash(rss_hash);
+    u16 queue;
+    if (adaptive_ != nullptr && pkt->is_tcp() && pkt->has_flow_hash()) {
+      queue = adaptive_->steer(*pkt, rss_hash, rx_stamp);
+    } else {
+      const auto fdir_queue = fdir_.match(*pkt);
+      queue = fdir_queue.has_value() ? *fdir_queue
+                                     : rss_.queue_for_hash(rss_hash);
+    }
     inject_stage_[queue].push_back(pkt);
   }
+  if (adaptive_ != nullptr && !pkts.empty()) adaptive_->maybe_tick(rx_stamp);
   u32 accepted = 0;
   u64 shed_reg = 0;
   u64 shed_cn = 0;
@@ -425,6 +469,9 @@ bool ThreadedMiddlebox::worker_body(CoreId core) {
       for (NfContext* ctx : ctx_ptrs_[core]) {
         engines_[core]->stats().busy_cycles += ctx->drain_consumed();
       }
+      // Halve this core's heavy-hitter sketch so it tracks a decayed rate
+      // (worker-owned: the sketch is single-writer per core).
+      if (adaptive_ != nullptr) adaptive_->sketch(core).decay();
     }
   }
 

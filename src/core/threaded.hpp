@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "core/adaptive_spray.hpp"
 #include "core/chain.hpp"
 #include "core/config.hpp"
 #include "core/core_picker.hpp"
@@ -148,8 +149,29 @@ class ThreadedMiddlebox {
     return collector_.collect();
   }
 
+  // --- adaptive spraying ------------------------------------------------
+  /// The adaptive spray policy (null when cfg.adaptive.enabled is false).
+  /// Its steer/tick surface is driver-internal; exposed for stats and for
+  /// tests/benches that want to force a maintenance tick at a known time.
+  [[nodiscard]] AdaptiveSprayPolicy* adaptive() noexcept {
+    return adaptive_.get();
+  }
+  [[nodiscard]] bool adaptive_enabled() const noexcept {
+    return adaptive_ != nullptr;
+  }
+  /// The shared Flow Director (checksum spray rules + adaptive pin rules).
+  [[nodiscard]] const nic::FlowDirector& flow_director() const noexcept {
+    return fdir_;
+  }
+
   [[nodiscard]] bool reorder_enabled() const noexcept {
     return reorder_ != nullptr;
+  }
+  /// The observatory itself (null when off) — for per-flow queries
+  /// (flow_stats), which follow its driver-thread read contract.
+  [[nodiscard]] const telemetry::ReorderObservatory* reorder_observatory()
+      const noexcept {
+    return reorder_.get();
   }
   /// Reorder-observatory totals (all-zero when the observatory is off).
   [[nodiscard]] telemetry::ReorderObservatory::Stats reorder_stats() const {
@@ -160,6 +182,21 @@ class ThreadedMiddlebox {
  private:
   class CorePort;
   using Ring = runtime::SpscRing<net::Packet*>;
+
+  /// Queue-depth feedback for the adaptive policy's p2c pick: approximate
+  /// occupancy of the destination rx rings (driver-side reads of SPSC
+  /// indices — racy but monotonic-safe, same contract as size_approx()).
+  class RxDepthProbe final : public IQueueDepthProbe {
+   public:
+    explicit RxDepthProbe(const ThreadedMiddlebox& owner) noexcept
+        : owner_(owner) {}
+    [[nodiscard]] u32 depth(u16 queue) const noexcept override {
+      return static_cast<u32>(owner_.rx_rings_[queue]->size_approx());
+    }
+
+   private:
+    const ThreadedMiddlebox& owner_;
+  };
 
   /// Worker-owned loop state, cache-line separated per core.
   struct alignas(kCacheLineSize) WorkerState {
@@ -225,6 +262,8 @@ class ThreadedMiddlebox {
   telemetry::SnapshotCollector collector_;
   FrameworkTelemetry tm_;
   std::unique_ptr<telemetry::ReorderObservatory> reorder_;
+  std::unique_ptr<AdaptiveSprayPolicy> adaptive_;
+  std::unique_ptr<RxDepthProbe> depth_probe_;
 
   runtime::WorkerGroup workers_;
   std::vector<WorkerState> worker_state_;

@@ -8,6 +8,33 @@ namespace sprayer::nic {
 
 namespace {
 constexpr u16 kNoRule = 0xffff;
+constexpr u32 kMinExactCapacity = 64;
+}
+
+const FlowDirector::ExactSlot* FlowDirector::find_exact(
+    const net::FiveTuple& tuple, u64 hash) const noexcept {
+  if (exact_slots_.empty()) return nullptr;
+  const u32 mask = static_cast<u32>(exact_slots_.size()) - 1;
+  for (u32 i = static_cast<u32>(hash) & mask;; i = (i + 1) & mask) {
+    const ExactSlot& slot = exact_slots_[i];
+    if (slot.state == kSlotEmpty) return nullptr;
+    if (slot.state == kSlotFull && slot.hash == hash && slot.tuple == tuple) {
+      return &slot;
+    }
+  }
+}
+
+void FlowDirector::rehash_exact(u32 new_capacity) {
+  std::vector<ExactSlot> old = std::move(exact_slots_);
+  exact_slots_.assign(new_capacity, ExactSlot{});
+  exact_tombstones_ = 0;
+  const u32 mask = new_capacity - 1;
+  for (const ExactSlot& slot : old) {
+    if (slot.state != kSlotFull) continue;
+    u32 i = static_cast<u32>(slot.hash) & mask;
+    while (exact_slots_[i].state == kSlotFull) i = (i + 1) & mask;
+    exact_slots_[i] = slot;
+  }
 }
 
 Status FlowDirector::add_exact_rule(const net::FiveTuple& tuple, u16 queue) {
@@ -15,12 +42,42 @@ Status FlowDirector::add_exact_rule(const net::FiveTuple& tuple, u16 queue) {
     return make_error(Error::Code::kExhausted,
                       "Flow Director rule table full (8K)");
   }
-  const auto [it, inserted] = exact_.emplace(tuple, queue);
-  if (!inserted) {
+  const u64 hash = tuple.pack();
+  if (find_exact(tuple, hash) != nullptr) {
     return make_error(Error::Code::kAlreadyExists,
                       "duplicate Flow Director rule for " + tuple.to_string());
   }
+  // Keep the table at most half full (counting tombstones, which also
+  // lengthen probe runs) so misses stay near one probe.
+  const u32 capacity = static_cast<u32>(exact_slots_.size());
+  if (capacity == 0 ||
+      (exact_count_ + exact_tombstones_ + 1) * 2 > capacity) {
+    u32 grown = capacity == 0 ? kMinExactCapacity : capacity;
+    while ((exact_count_ + 1) * 2 > grown) grown *= 2;
+    rehash_exact(grown);
+  }
+  const u32 mask = static_cast<u32>(exact_slots_.size()) - 1;
+  u32 i = static_cast<u32>(hash) & mask;
+  while (exact_slots_[i].state == kSlotFull) i = (i + 1) & mask;
+  if (exact_slots_[i].state == kSlotTombstone) --exact_tombstones_;
+  exact_slots_[i] = ExactSlot{hash, tuple, queue, kSlotFull};
+  ++exact_count_;
   return {};
+}
+
+bool FlowDirector::remove_exact_rule(const net::FiveTuple& tuple) noexcept {
+  const ExactSlot* slot = find_exact(tuple, tuple.pack());
+  if (slot == nullptr) return false;
+  auto& mutable_slot = exact_slots_[slot - exact_slots_.data()];
+  mutable_slot.state = kSlotTombstone;
+  --exact_count_;
+  ++exact_tombstones_;
+  // Idle-rule eviction churns rules one at a time; fold tombstones back in
+  // before they dominate probe runs.
+  if (exact_tombstones_ > static_cast<u32>(exact_slots_.size()) / 4) {
+    rehash_exact(static_cast<u32>(exact_slots_.size()));
+  }
+  return true;
 }
 
 Status FlowDirector::add_checksum_rule(u16 mask, u16 value, u16 queue) {
@@ -40,6 +97,12 @@ Status FlowDirector::add_checksum_rule(u16 mask, u16 value, u16 queue) {
   if (checksum_rule_count_ == 0) {
     checksum_mask_ = mask;
     checksum_queues_.assign(1u << std::popcount(mask), kNoRule);
+    // One contiguous run of bits compresses with a shift; the general case
+    // (non-contiguous masks) keeps the per-bit loop in match_detail().
+    const u32 shifted = mask == 0 ? 0u : mask >> std::countr_zero(mask);
+    checksum_mask_contiguous_ = mask != 0 && (shifted & (shifted + 1)) == 0;
+    checksum_shift_ =
+        mask == 0 ? 0 : static_cast<u8>(std::countr_zero(mask));
   }
   // Compress (value & mask) into a dense index over the mask's bits.
   u32 index = 0;
@@ -78,21 +141,23 @@ Status FlowDirector::program_checksum_spray(u32 num_queues) {
 }
 
 void FlowDirector::clear() noexcept {
-  exact_.clear();
+  exact_slots_.clear();
+  exact_count_ = 0;
+  exact_tombstones_ = 0;
   checksum_mask_ = 0;
   checksum_rule_count_ = 0;
+  checksum_mask_contiguous_ = false;
+  checksum_shift_ = 0;
   checksum_queues_.clear();
 }
 
-std::optional<u16> FlowDirector::match(net::Packet& pkt) const noexcept {
-  if (!pkt.is_tcp()) return std::nullopt;
-  if (!exact_.empty()) {
-    const auto it = exact_.find(pkt.five_tuple());
-    if (it != exact_.end()) return it->second;
-  }
-  if (checksum_rule_count_ > 0) {
-    const u16 cks = pkt.tcp().checksum();
-    u32 index = 0;
+FlowDirector::MatchResult FlowDirector::checksum_verdict(
+    u16 cks) const noexcept {
+  u32 index;
+  if (checksum_mask_contiguous_) {
+    index = static_cast<u32>(cks & checksum_mask_) >> checksum_shift_;
+  } else {
+    index = 0;
     u32 bit_out = 0;
     for (u32 bit = 0; bit < 16; ++bit) {
       if (checksum_mask_ & (1u << bit)) {
@@ -100,10 +165,24 @@ std::optional<u16> FlowDirector::match(net::Packet& pkt) const noexcept {
         ++bit_out;
       }
     }
-    const u16 q = checksum_queues_[index];
-    if (q != 0xffff) return q;
   }
-  return std::nullopt;
+  const u16 q = checksum_queues_[index];
+  if (q != kNoRule) return {q, MatchKind::kChecksum};
+  return {};
+}
+
+FlowDirector::MatchResult FlowDirector::match_detail(
+    net::Packet& pkt) const noexcept {
+  if (!pkt.is_tcp()) return {};
+  // Exact rules first: a full-tuple perfect match is more specific than a
+  // checksum-masked one (precedence contract in the header).
+  if (exact_count_ > 0) {
+    const net::FiveTuple tuple = pkt.five_tuple();
+    const ExactSlot* slot = find_exact(tuple, tuple.pack());
+    if (slot != nullptr) return {slot->queue, MatchKind::kExact};
+  }
+  if (checksum_rule_count_ > 0) return checksum_verdict(pkt.tcp().checksum());
+  return {};
 }
 
 }  // namespace sprayer::nic

@@ -10,10 +10,25 @@
 //     exactly 2^b rules, exhausting the match space;
 //   * FDIR lookups cap the NIC around 10 Mpps (the plateau in Fig. 6a).
 //     The rate cap itself is enforced by SimNic.
+//
+// Rule precedence contract: exact five-tuple rules ALWAYS win over masked
+// checksum rules. A packet is matched against the exact table first and
+// falls through to the checksum table only on a miss — so a pinned flow
+// gets RSS-style per-flow placement while every other TCP packet keeps
+// spraying. This mirrors the 82599, where a perfect-match filter on the
+// full tuple is more specific than one whose input mask ignores everything
+// but checksum bits. The adaptive spray layer (core/adaptive_spray.hpp)
+// relies on this to pin mice underneath an installed spray rule set.
+//
+// Budget contract: exact and checksum rules share the one 8 K table. Both
+// add paths return Error::Code::kExhausted — and only that code — when the
+// shared capacity is gone, so callers can tell "table full" (back off, keep
+// spraying) from kAlreadyExists (duplicate rule; harmless) without string
+// matching. remaining_exact_capacity() lets a caller budget insertions
+// up front instead of probing for kExhausted.
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.hpp"
@@ -28,8 +43,28 @@ class FlowDirector {
   /// 82599 perfect-match filter capacity.
   static constexpr u32 kMaxRules = 8192;
 
-  /// Exact five-tuple rule (the conventional use of Flow Director).
+  /// Which rule class claimed a packet (see match_detail()).
+  enum class MatchKind : u8 {
+    kNone,      // no rule matched: fall back to RSS
+    kExact,     // exact five-tuple rule (pinned flow)
+    kChecksum,  // masked checksum rule (sprayed)
+  };
+  struct MatchResult {
+    u16 queue = 0;
+    MatchKind kind = MatchKind::kNone;
+    [[nodiscard]] bool hit() const noexcept { return kind != MatchKind::kNone; }
+  };
+
+  /// Exact five-tuple rule (the conventional use of Flow Director). Takes
+  /// precedence over any checksum rule. Returns kExhausted when the shared
+  /// 8 K table is full, kAlreadyExists on a duplicate tuple.
   Status add_exact_rule(const net::FiveTuple& tuple, u16 queue);
+
+  /// Eviction hook: remove one exact rule, freeing its table slot. Returns
+  /// true when a rule for `tuple` existed. Checksum rules are not
+  /// individually removable (the 82599 reprograms the whole masked set);
+  /// use clear() for those.
+  bool remove_exact_rule(const net::FiveTuple& tuple) noexcept;
 
   /// Masked TCP-checksum rule (the Sprayer trick): packets whose
   /// (checksum & mask) == value go to `queue`. All rules must share one mask.
@@ -45,17 +80,75 @@ class FlowDirector {
   /// Match a parsed packet. Only TCP packets are considered (82599 FDIR
   /// filters are per-L4-type; we model the TCP filter set the paper uses).
   /// Returns the destination queue, or nullopt to fall back to RSS.
-  [[nodiscard]] std::optional<u16> match(net::Packet& pkt) const noexcept;
+  [[nodiscard]] std::optional<u16> match(net::Packet& pkt) const noexcept {
+    const MatchResult r = match_detail(pkt);
+    if (!r.hit()) return std::nullopt;
+    return r.queue;
+  }
+
+  /// match() plus which rule class fired — the adaptive layer steers
+  /// checksum-sprayed packets but must leave exact-pinned ones alone.
+  [[nodiscard]] MatchResult match_detail(net::Packet& pkt) const noexcept;
+
+  /// Checksum-rules-only verdict: skips the exact table entirely. For the
+  /// adaptive driver path, whose flow cache mirrors the exact rule set (a
+  /// pin rule exists only while its cache slot is kPinned), so pinned flows
+  /// are resolved from the cache and only spray decisions need the rule
+  /// lookup. Never returns kExact.
+  [[nodiscard]] MatchResult match_checksum(net::Packet& pkt) const noexcept {
+    if (!pkt.is_tcp() || checksum_rule_count_ == 0) return {};
+    return checksum_verdict(pkt.tcp().checksum());
+  }
 
   [[nodiscard]] u32 rule_count() const noexcept {
-    return static_cast<u32>(exact_.size()) + checksum_rule_count_;
+    return exact_rule_count() + checksum_rule_count();
+  }
+  [[nodiscard]] u32 exact_rule_count() const noexcept {
+    return exact_count_;
+  }
+  [[nodiscard]] u32 checksum_rule_count() const noexcept {
+    return checksum_rule_count_;
+  }
+  /// Exact rules that can still be added before the shared table is full.
+  [[nodiscard]] u32 remaining_exact_capacity() const noexcept {
+    const u32 used = rule_count();
+    return used >= kMaxRules ? 0 : kMaxRules - used;
   }
 
  private:
-  std::unordered_map<net::FiveTuple, u16, net::FiveTupleHash> exact_;
+  // Exact rules live in an open-addressed, linear-probe table rather than a
+  // std::unordered_map: match_detail() runs once per injected TCP packet on
+  // the driver thread, where a node-based map costs a hash-bucket pointer
+  // chase per probe. Slots are kept at most half full so a miss (the common
+  // case when only a minority of flows are pinned) terminates on the first
+  // empty slot after ~1 cache line.
+  struct ExactSlot {
+    u64 hash = 0;
+    net::FiveTuple tuple{};
+    u16 queue = 0;
+    u8 state = 0;  // kSlotEmpty / kSlotFull / kSlotTombstone
+  };
+  static constexpr u8 kSlotEmpty = 0;
+  static constexpr u8 kSlotFull = 1;
+  static constexpr u8 kSlotTombstone = 2;
+
+  [[nodiscard]] const ExactSlot* find_exact(const net::FiveTuple& tuple,
+                                            u64 hash) const noexcept;
+  void rehash_exact(u32 new_capacity);
+  [[nodiscard]] MatchResult checksum_verdict(u16 cks) const noexcept;
+
+  std::vector<ExactSlot> exact_slots_;  // power-of-two sized, or empty
+  u32 exact_count_ = 0;
+  u32 exact_tombstones_ = 0;
+
   u16 checksum_mask_ = 0;
   u32 checksum_rule_count_ = 0;
-  // Dense table indexed by (checksum & mask); 0xffff = no rule.
+  // When the mask is one contiguous bit run (always true for
+  // program_checksum_spray()), the dense index is a mask-and-shift instead
+  // of the general bit-compress loop.
+  bool checksum_mask_contiguous_ = false;
+  u8 checksum_shift_ = 0;
+  // Dense table indexed by the compressed (checksum & mask); 0xffff = none.
   std::vector<u16> checksum_queues_;
 };
 

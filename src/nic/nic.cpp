@@ -40,8 +40,8 @@ void SimNic::receive(net::Packet* pkt) {
     enqueue(queue, pkt);
     return;
   }
-  const std::optional<u16> fdir_queue = fdir_.match(*pkt);
-  if (fdir_queue.has_value()) {
+  const FlowDirector::MatchResult fdir_match = fdir_.match_detail(*pkt);
+  if (fdir_match.hit()) {
     // Enforce the FDIR classification ceiling: each lookup occupies the
     // classifier for 1/fdir_max_pps; a bounded pipeline absorbs bursts.
     if (cfg_.fdir_max_pps > 0) {
@@ -59,7 +59,7 @@ void SimNic::receive(net::Packet* pkt) {
       fdir_busy_until_ = backlog_start + per_pkt;
     }
     ++counters_.fdir_matched;
-    queue = *fdir_queue;
+    queue = fdir_match.queue;
     if (cfg_.flowlet_gap > 0) {
       // Flowlet mode: reuse the previous queue while the flow's packets
       // arrive within the gap; re-spray (to the checksum-chosen queue) on
@@ -81,6 +81,28 @@ void SimNic::receive(net::Packet* pkt) {
       const u16 offset =
           static_cast<u16>(pkt->tcp().checksum() % cfg_.spray_subset);
       queue = static_cast<u16>((anchor + offset) % cfg_.num_queues);
+    }
+    if (cfg_.p2c_spray && cfg_.flowlet_gap == 0 &&
+        fdir_match.kind == FlowDirector::MatchKind::kChecksum &&
+        cfg_.num_queues > 1) {
+      // Power-of-two choices: a second candidate from the checksum's upper
+      // bits (independent of the rule-selecting low bits), kept inside the
+      // spray window when subset spraying is on; land on the shallower
+      // queue. Exact-rule pins never reach here (kind is kExact).
+      const u16 entropy = static_cast<u16>(pkt->tcp().checksum() >> 8);
+      u16 alt;
+      if (cfg_.spray_subset > 1 && cfg_.spray_subset < cfg_.num_queues) {
+        const u16 anchor = rss_.queue_for_hash(rss_hash);
+        alt = static_cast<u16>((anchor + entropy % cfg_.spray_subset) %
+                               cfg_.num_queues);
+      } else {
+        alt = static_cast<u16>(
+            (queue + 1 + entropy % (cfg_.num_queues - 1)) % cfg_.num_queues);
+      }
+      if (alt != queue && queues_[alt].size() < queues_[queue].size()) {
+        queue = alt;
+        ++counters_.p2c_deflections;
+      }
     }
   } else {
     ++counters_.rss_dispatched;

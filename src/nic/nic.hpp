@@ -69,6 +69,13 @@ struct NicConfig {
   /// queue. 0 disables (pure per-packet spraying). Reduces reordering at
   /// the cost of shorter-timescale balancing.
   Time flowlet_gap = 0;
+  /// Queue-depth-aware spraying (hardware analog of the adaptive policy's
+  /// power-of-two-choices pick, DESIGN.md §12): each checksum-sprayed
+  /// packet draws a second candidate queue from the checksum's upper bits
+  /// and lands on the shallower of the two rx queues. Exact-rule (pinned)
+  /// packets are never deflected. Ignored while flowlet_gap > 0 —
+  /// deflecting a sticky flowlet would defeat its reorder guarantee.
+  bool p2c_spray = false;
 };
 
 /// Cores register to learn when an empty queue becomes non-empty.
@@ -116,6 +123,7 @@ class SimNic final : public sim::IPacketSink {
     u64 fdir_matched = 0;        // dispatched by Flow Director
     u64 fdir_overload_drops = 0; // dropped: FDIR pps ceiling
     u64 rss_dispatched = 0;      // dispatched by RSS fallback
+    u64 p2c_deflections = 0;     // sprayed packets moved to a shallower queue
     u64 tx_packets = 0;
   };
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }

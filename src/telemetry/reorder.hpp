@@ -93,6 +93,35 @@ class ReorderObservatory {
     }
   }
 
+  /// One sampled flow's reorder state (all-zero with sampled=false when the
+  /// flow lost the slot race or was never stamped). Per-flow back-pressure
+  /// sensor for the adaptive spray policy: max_distance exceeding a flow's
+  /// reorder budget narrows its spray set (DESIGN.md §12).
+  ///
+  /// Thread contract: call from the stamping (driver) thread only — it
+  /// reads the driver-private rx slot table; the tx-side counters are read
+  /// under the slot spinlock, safe concurrently with observe().
+  struct FlowReorder {
+    bool sampled = false;
+    u64 observed = 0;
+    u64 ooo_packets = 0;
+    u64 max_distance = 0;
+  };
+  [[nodiscard]] FlowReorder flow_stats(u32 flow_hash) const noexcept {
+    FlowReorder out;
+    const u32 slot = flow_hash % kSlots;
+    const RxSlot& rx = rx_slots_[slot];
+    if (!rx.claimed || rx.owner != flow_hash) return out;
+    out.sampled = true;
+    auto& tx = const_cast<TxSlot&>(tx_slots_[slot]);
+    tx.lock();
+    out.observed = tx.observed;
+    out.ooo_packets = tx.ooo_packets;
+    out.max_distance = tx.max_distance;
+    tx.unlock();
+    return out;
+  }
+
   /// Collector side: merge all slots. Takes each slot's spinlock briefly;
   /// safe concurrently with observe().
   [[nodiscard]] Stats stats() const {

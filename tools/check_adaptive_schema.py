@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validate adaptive_spray bench output (JSONL, one record per run).
+
+Usage: check_adaptive_schema.py FILE [FILE...]
+
+Each non-comment line must be an adaptive_spray record: identifying fields,
+sane counters, a reorder block, and an adaptive block that is null exactly
+for the static policies. Beyond shape, the checker enforces the structural
+invariants that hold regardless of host speed (performance comparisons are
+evaluated when BENCH_adaptive.json is recorded, not here — CI runners are
+too noisy for cross-record pps gates):
+
+  * per-flow RSS placement can never reorder: policy=rss => ooo == 0;
+  * a run where every flow stayed a pinned mouse (no promotions, no
+    cache-conflict fallbacks, no budget fallbacks) must also show zero
+    out-of-order arrivals — pinned flows ride one FIFO end to end;
+  * on any adaptive run where every mouse stayed pinned (no fallbacks, no
+    conflict sprays, promotions accounted for by the elephant population),
+    the mouse class specifically must show zero out-of-order arrivals;
+  * pinned_flows must agree with the installed exact-rule count and fit
+    the flow population.
+
+Exits non-zero on the first malformed file, failing the CI job. Lines whose
+object carries a "comment" key are baseline annotations and only need that
+key.
+"""
+import json
+import sys
+
+NUMBER = (int, float)
+TOP_FIELDS = {
+    "bench": str,
+    "policy": str,
+    "mix": str,
+    "cores": int,
+    "elephants": int,
+    "mice": int,
+    "elephant_share": NUMBER,
+    "variants": int,
+    "nf_cycles": int,
+    "elapsed_s": NUMBER,
+    "injected": int,
+    "forwarded": int,
+    "pps": NUMBER,
+    "rx_ring_drops": int,
+    "reorder": dict,
+}
+REORDER_FIELDS = {
+    "observed": int,
+    "ooo": int,
+    "max_distance": int,
+    "p50": int,
+    "p99": int,
+}
+CLASS_REORDER_FIELDS = {
+    "sampled_flows": int,
+    "observed": int,
+    "ooo": int,
+    "max_distance": int,
+}
+ADAPTIVE_FIELDS = {
+    "pinned_flows": int,
+    "pins_installed": int,
+    "pin_fallbacks": int,
+    "rule_evictions": int,
+    "elephant_promotions": int,
+    "elephant_demotions": int,
+    "p2c_deflections": int,
+    "narrowings": int,
+    "unpinned_sprays": int,
+    "fdir_exact_rules": int,
+}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def check_record(rec, where):
+    for field, ftype in TOP_FIELDS.items():
+        require(isinstance(rec.get(field), ftype),
+                f"{where}: field {field!r} missing or not {ftype}")
+    require(rec["bench"] == "adaptive_spray",
+            f"{where}: bench must be 'adaptive_spray'")
+    require(rec["policy"] in ("spray", "rss", "adaptive"),
+            f"{where}: policy must be spray|rss|adaptive")
+    require(rec["mix"] in ("elephants", "mice", "mixed"),
+            f"{where}: mix must be elephants|mice|mixed")
+    require(rec["cores"] >= 1, f"{where}: cores must be positive")
+    require(rec["elapsed_s"] > 0, f"{where}: elapsed_s must be positive")
+    require(rec["pps"] >= 0, f"{where}: negative pps")
+    require(0.0 <= rec["elephant_share"] <= 1.0,
+            f"{where}: elephant_share out of [0, 1]")
+
+    reorder = rec["reorder"]
+    for field, ftype in REORDER_FIELDS.items():
+        require(isinstance(reorder.get(field), ftype),
+                f"{where}: reorder field {field!r} missing or not {ftype}")
+    require(reorder["ooo"] <= reorder["observed"],
+            f"{where}: more ooo packets than observed")
+    # p50/p99 are LogHistogram bucket *upper edges* while max_distance is the
+    # exact maximum, so p99 may land just above max_distance (same bucket);
+    # only quantile-vs-quantile ordering is checkable.
+    require(reorder["p50"] <= reorder["p99"] or reorder["ooo"] == 0,
+            f"{where}: reorder quantiles not monotonic")
+    if rec["policy"] == "rss":
+        require(reorder["ooo"] == 0,
+                f"{where}: per-flow RSS placement must never reorder")
+
+    for cls in ("reorder_elephants", "reorder_mice"):
+        block = rec.get(cls)
+        require(isinstance(block, dict),
+                f"{where}: field {cls!r} missing or not an object")
+        for field, ftype in CLASS_REORDER_FIELDS.items():
+            require(isinstance(block.get(field), ftype),
+                    f"{where}: {cls} field {field!r} missing or not {ftype}")
+        require(block["ooo"] <= block["observed"],
+                f"{where}: {cls} has more ooo packets than observed")
+    require(rec["reorder_elephants"]["ooo"] + rec["reorder_mice"]["ooo"]
+            <= reorder["ooo"],
+            f"{where}: per-class ooo exceeds the aggregate")
+
+    require("adaptive" in rec, f"{where}: field 'adaptive' missing")
+    adaptive = rec["adaptive"]
+    if rec["policy"] != "adaptive":
+        require(adaptive is None,
+                f"{where}: adaptive stats on a static-policy run")
+        return
+    require(isinstance(adaptive, dict),
+            f"{where}: adaptive block must be an object")
+    for field, ftype in ADAPTIVE_FIELDS.items():
+        require(isinstance(adaptive.get(field), ftype),
+                f"{where}: adaptive field {field!r} missing or not {ftype}")
+    require(adaptive["pinned_flows"] == adaptive["fdir_exact_rules"],
+            f"{where}: pinned_flows disagrees with installed exact rules")
+    require(adaptive["pinned_flows"] <= rec["elephants"] + rec["mice"],
+            f"{where}: more pinned flows than flows")
+    require(adaptive["pins_installed"] >= adaptive["pinned_flows"],
+            f"{where}: pinned_flows exceeds pins ever installed")
+    if (adaptive["elephant_promotions"] == 0
+            and adaptive["unpinned_sprays"] == 0
+            and adaptive["pin_fallbacks"] == 0):
+        require(reorder["ooo"] == 0,
+                f"{where}: all flows were pinned mice yet packets arrived "
+                f"out of order")
+    if (adaptive["unpinned_sprays"] == 0
+            and adaptive["pin_fallbacks"] == 0
+            and adaptive["elephant_promotions"] <= rec["elephants"]):
+        require(rec["reorder_mice"]["ooo"] == 0,
+                f"{where}: pinned mice must arrive in order")
+
+
+def check_file(path):
+    records = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if "comment" in rec:
+                continue
+            check_record(rec, f"line {lineno}")
+            records += 1
+    require(records > 0, "no bench records found")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = 0
+    for path in argv[1:]:
+        try:
+            check_file(path)
+            print(f"{path}: OK")
+        except (SchemaError, json.JSONDecodeError, OSError) as err:
+            print(f"{path}: FAIL: {err}", file=sys.stderr)
+            failed = 1
+    return failed
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,12 +33,13 @@ TOP_FIELDS = {
     "nf_drops": int,
     "per_hop": list,
 }
+# ns_per_packet is NUMBER-or-null: hop_timing=0 runs never measure it and
+# must say null (a numeric value there would be a fabricated measurement).
 HOP_FIELDS = {
     "hop": int,
     "nf": str,
     "packets": int,
     "drops": int,
-    "ns_per_packet": NUMBER,
 }
 
 
@@ -81,8 +82,18 @@ def check_record(rec, where):
         require(hop["hop"] == i, f"{hwhere}: hop index mismatch")
         require(hop["drops"] <= hop["packets"],
                 f"{hwhere}: drops exceed packets")
-        require(hop["ns_per_packet"] >= 0,
-                f"{hwhere}: negative ns_per_packet")
+        require("ns_per_packet" in hop,
+                f"{hwhere}: field 'ns_per_packet' missing")
+        nspp = hop["ns_per_packet"]
+        if rec["hop_timing"] == 0:
+            require(nspp is None,
+                    f"{hwhere}: ns_per_packet must be null when hop timing "
+                    f"is off (got {nspp!r})")
+        else:
+            require(nspp is None or isinstance(nspp, NUMBER),
+                    f"{hwhere}: ns_per_packet must be a number or null")
+            if nspp is not None:
+                require(nspp >= 0, f"{hwhere}: negative ns_per_packet")
 
 
 def check_file(path):
