@@ -12,6 +12,7 @@
 //       [paths=packet,bulk] [duration=0.4] [flows=64] [rx_batch=32]
 //       [burst=32] [nf_cycles=0] [telemetry=1] [reorder=0]
 //       [telemetry_json=prefix] [variants=1] [policy=drop-new]
+//       [flow_export=0] [trace=0] [trace_shift=6] [live_json=path]
 //
 // telemetry=0 disables the metrics registry entirely (for overhead A/B
 // runs). reorder=1 turns on the spray-reorder observatory. telemetry_json
@@ -21,6 +22,13 @@
 // packet of a flow carries the same TCP checksum, so checksum-bit spraying
 // degenerates to per-flow placement — variant payloads restore the
 // per-packet entropy real traffic has (needed to observe reordering).
+//
+// flow_export=1 turns on the per-core flow-record tables and the live
+// "sprayer.flowexport.v1" stream (live_json= names the sink file/FIFO;
+// empty keeps accounting on with no stream, the pure-overhead case).
+// trace=1 enables the sampled packet-path tracer (requires telemetry=1)
+// at 1-in-2^trace_shift; the result line grows records/records_per_s and
+// per-stage (steer/queue/nf) p50/p99 latency fields.
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -61,6 +69,10 @@ struct RunConfig {
   bool reorder = false;
   std::string telemetry_json;  // snapshot file prefix; empty = no export
   u32 variants = 1;            // payload variants per flow
+  bool flow_export = false;
+  bool trace = false;
+  u32 trace_shift = 6;    // 1-in-2^shift sampled packets
+  std::string live_json;  // flow-export stream sink; empty = no stream
   // Default drop-new, not the framework's drop-regular-first: this bench
   // floods open-loop, so it lives permanently above the shed watermark and
   // any reserved conn headroom just rescales the effective ring capacity
@@ -78,6 +90,15 @@ struct RunResult {
   u64 rx_ring_drops = 0;
   core::CoreStats total;
   std::vector<core::CoreStats> per_core;
+  // Flow export / trace observability (populated only when enabled).
+  u64 flow_records = 0;
+  u64 flows_seen = 0;
+  u64 trace_sampled = 0;
+  struct StageLat {
+    u64 p50 = 0;
+    u64 p99 = 0;
+  };
+  StageLat steer_ns, queue_ns, nf_ns;
 };
 
 std::vector<std::string> split_list(const std::string& s) {
@@ -129,6 +150,10 @@ RunResult run_one(const RunConfig& rc) {
   cfg.telemetry = rc.telemetry;
   cfg.reorder_observatory = rc.reorder;
   cfg.overload_policy = rc.policy;
+  cfg.flow_export.enabled = rc.flow_export;
+  cfg.flow_export.sink_path = rc.live_json;
+  cfg.trace.enabled = rc.trace;
+  cfg.trace.sample_shift = rc.trace_shift;
 
   std::unique_ptr<core::ThreadedMiddlebox> mbox;
   if (rc.bulk) {
@@ -221,9 +246,29 @@ RunResult run_one(const RunConfig& rc) {
     telemetry::JsonExporter::write_file(
         path, snap, rc.reorder ? &reorder_stats : nullptr);
   }
-  mbox->stop();
+  mbox->stop();  // flushes the final flow-export records
 
   RunResult res;
+  if (auto* fx = mbox->flow_exporter()) {
+    const auto& st = fx->stats();
+    res.flow_records = st.records;
+    res.flows_seen = st.flows_seen;
+  }
+  if (mbox->tracer() != nullptr) {
+    res.trace_sampled = mbox->tracer()->sampled();
+    const auto snap = mbox->telemetry_snapshot();
+    const auto stage = [&](const char* name) {
+      RunResult::StageLat lat;
+      if (const auto* h = snap.find_histogram(name)) {
+        lat.p50 = h->merged.p50();
+        lat.p99 = h->merged.p99();
+      }
+      return lat;
+    };
+    res.steer_ns = stage("trace.steer_ns");
+    res.queue_ns = stage("trace.queue_ns");
+    res.nf_ns = stage("trace.nf_ns");
+  }
   res.elapsed_s = elapsed;
   res.injected = injected;
   res.forwarded = forwarded.load();
@@ -242,7 +287,7 @@ void print_json(const RunConfig& rc, const RunResult& res) {
       "\"path\":\"%s\",\"cores\":%u,\"rx_batch\":%u,\"nf_cycles\":%llu,"
       "\"elapsed_s\":%.4f,\"injected\":%llu,\"forwarded\":%llu,"
       "\"pps\":%.0f,\"tx_calls\":%llu,\"rx_ring_drops\":%llu,"
-      "\"transfer_drops\":%llu,\"per_core\":[",
+      "\"transfer_drops\":%llu,",
       rc.mode == core::DispatchMode::kSpray ? "spray" : "flow",
       rc.bulk ? "bulk" : "packet", rc.cores, rc.rx_batch,
       static_cast<unsigned long long>(rc.nf_cycles), res.elapsed_s,
@@ -252,6 +297,28 @@ void print_json(const RunConfig& rc, const RunResult& res) {
       static_cast<unsigned long long>(res.tx_calls),
       static_cast<unsigned long long>(res.rx_ring_drops),
       static_cast<unsigned long long>(res.total.transfer_drops));
+  if (rc.flow_export) {
+    std::printf(
+        "\"flow_records\":%llu,\"flow_records_per_s\":%.0f,"
+        "\"flows_seen\":%llu,",
+        static_cast<unsigned long long>(res.flow_records),
+        static_cast<double>(res.flow_records) / res.elapsed_s,
+        static_cast<unsigned long long>(res.flows_seen));
+  }
+  if (rc.trace) {
+    const auto stage = [](const char* name, const RunResult::StageLat& s,
+                          const char* trailer) {
+      std::printf("\"%s\":{\"p50\":%llu,\"p99\":%llu}%s", name,
+                  static_cast<unsigned long long>(s.p50),
+                  static_cast<unsigned long long>(s.p99), trailer);
+    };
+    std::printf("\"trace_sampled\":%llu,\"trace_ns\":{",
+                static_cast<unsigned long long>(res.trace_sampled));
+    stage("steer", res.steer_ns, ",");
+    stage("queue", res.queue_ns, ",");
+    stage("nf", res.nf_ns, "},");
+  }
+  std::printf("\"per_core\":[");
   for (std::size_t c = 0; c < res.per_core.size(); ++c) {
     const auto& s = res.per_core[c];
     std::printf(
@@ -281,6 +348,10 @@ int main(int argc, char** argv) {
   base.reorder = cli.get_u64("reorder", 0) != 0;
   base.telemetry_json = cli.get("telemetry_json", "");
   base.variants = static_cast<u32>(cli.get_u64("variants", 1));
+  base.flow_export = cli.get_u64("flow_export", 0) != 0;
+  base.trace = cli.get_u64("trace", 0) != 0;
+  base.trace_shift = static_cast<u32>(cli.get_u64("trace_shift", 6));
+  base.live_json = cli.get("live_json", "");
   const std::string policy_s = cli.get("policy", "drop-new");
   base.policy = policy_s == "drop-new"   ? OverloadPolicy::kDropNew
                 : policy_s == "block"    ? OverloadPolicy::kBlock

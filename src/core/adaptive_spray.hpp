@@ -185,6 +185,15 @@ class AdaptiveSprayPolicy {
     return cfg_;
   }
 
+  /// Driver side (same single-thread contract as steer): whether `hash`
+  /// currently holds an installed pin rule. Flow-export placement
+  /// attribution reads this at record-emission time.
+  [[nodiscard]] bool is_pinned(u32 hash) const noexcept {
+    const FlowSlot* slot =
+        const_cast<AdaptiveSprayPolicy*>(this)->lookup(hash);
+    return slot != nullptr && slot->state == FlowState::kPinned;
+  }
+
  private:
   enum class FlowState : u8 {
     kEmpty = 0,

@@ -4,6 +4,7 @@
 #include "common/overload.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
+#include "telemetry/observability_config.hpp"
 
 namespace sprayer::core {
 
@@ -133,6 +134,13 @@ struct SprayerConfig {
   /// Runtime elephant/mice classification with Flow-Director pinning and
   /// queue-depth-aware steering (threaded executor only; see above).
   AdaptiveSprayConfig adaptive;
+  /// Live flow-record export: per-core single-writer accounting harvested
+  /// on the driver tick and streamed as JSON lines (threaded executor
+  /// only; DESIGN.md §13). Off by default.
+  telemetry::FlowExportConfig flow_export;
+  /// Sampled packet-path tracing (1-in-2^N stage latencies; requires
+  /// `telemetry`). Off by default.
+  telemetry::TraceConfig trace;
   CostModel costs;
 };
 

@@ -6,6 +6,7 @@
 #include "core/adaptive_spray.hpp"
 #include "hash/designated.hpp"
 #include "net/packet_pool.hpp"
+#include "telemetry/flow_export.hpp"
 
 namespace sprayer::core {
 
@@ -24,6 +25,12 @@ Cycles SprayerCore::process_rx(runtime::PacketBatch& batch, Time now) {
     // maintenance tick to classify elephants vs mice).
     if (sketch_ != nullptr && pkt->has_flow_hash()) {
       sketch_->update(pkt->flow_hash());
+    }
+    // Flow export: fold the packet into this core's record table (foreign
+    // batches skip this — counted at their original rx poll).
+    if (recorder_ != nullptr && pkt->has_flow_hash()) {
+      recorder_->account(pkt->flow_hash(), pkt->len(),
+                         pkt->is_tcp() ? pkt->tcp().flags() : u8{0}, now);
     }
     if (stateless_ || !pkt->is_tcp() || !pkt->is_connection_packet()) {
       regular.push(pkt);

@@ -23,6 +23,10 @@
 #include "runtime/batch.hpp"
 #include "telemetry/metrics.hpp"
 
+namespace sprayer::telemetry {
+class FlowRecorder;  // telemetry/flow_export.hpp
+}
+
 namespace sprayer::core {
 
 class HeavyHitterSketch;  // core/adaptive_spray.hpp
@@ -140,6 +144,14 @@ class SprayerCore {
     sketch_ = sketch;
   }
 
+  /// Flow export: this core's flow-record table, fed one account() per
+  /// polled rx packet (single-writer, same contract as the sketch). Foreign
+  /// batches are NOT re-accounted — a transferred connection packet was
+  /// already counted at its original rx poll. Null (default) skips it.
+  void set_flow_recorder(telemetry::FlowRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
   /// Process one batch polled from this core's NIC rx queue. Returns the
   /// cycles consumed. `now` is the batch start time (forwarded to the NF).
   Cycles process_rx(runtime::PacketBatch& batch, Time now);
@@ -226,6 +238,7 @@ class SprayerCore {
   CoreStats stats_;
   EngineTelemetry tm_;
   HeavyHitterSketch* sketch_ = nullptr;
+  telemetry::FlowRecorder* recorder_ = nullptr;
   // Per-engine chain scratch (verdict sheet + shared batch metadata): the
   // chain object itself is shared across cores and holds no per-batch state.
   ChainScratch scratch_;

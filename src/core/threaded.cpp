@@ -50,6 +50,12 @@ class ThreadedMiddlebox::CorePort final : public ICorePort {
     // The tx boundary is where spray-induced reordering becomes visible:
     // fold stamped packets into the observatory before the sink sees them.
     if (owner_.reorder_ != nullptr) owner_.reorder_->observe(pkts);
+    // Close the NF stage for traced packets (runs inside the worker's
+    // registry update window — dispatch is called under it). The clock is
+    // read once per batch, and only when the batch holds a traced packet.
+    if (owner_.tracer_ != nullptr) {
+      owner_.tracer_->record_tx(pkts, id_, [] { return steady_now(); });
+    }
     owner_.tx_(pkts);
   }
 
@@ -116,6 +122,15 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
       adaptive_->register_metrics(registry_, driver_shard());
     }
   }
+  if (cfg_.trace.enabled) {
+    SPRAYER_CHECK_MSG(cfg_.telemetry,
+                      "path tracing records into the metrics registry; "
+                      "enable SprayerConfig::telemetry");
+    tracer_ =
+        std::make_unique<telemetry::PathTracer>(cfg_.trace, steady_now());
+    // Before finalize(): the trace.* stage histograms are sharded metrics.
+    tracer_->register_metrics(registry_);
+  }
 
   const u32 hops = chain_.num_hops();
   hop_init_.resize(hops);
@@ -136,6 +151,54 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
   }
   if (adaptive_ != nullptr && reorder_ != nullptr) {
     adaptive_->set_observatory(reorder_.get());
+  }
+
+  if (cfg_.flow_export.enabled) {
+    live_ = std::make_unique<telemetry::LiveExporter>(cfg_.flow_export,
+                                                      registry_);
+    for (u32 c = 0; c < cfg_.num_cores; ++c) {
+      recorders_.push_back(std::make_unique<telemetry::FlowRecorder>(
+          cfg_.flow_export.table_slots, cfg_.flow_export.idle_timeout));
+      live_->add_recorder(recorders_.back().get());
+    }
+    // fn gauges may be registered after finalize().
+    if (cfg_.telemetry) live_->register_metrics(registry_);
+    if (!cfg_.flow_export.sink_path.empty()) {
+      live_sink_ = std::make_unique<std::ofstream>(cfg_.flow_export.sink_path);
+      SPRAYER_CHECK_MSG(live_sink_->good(),
+                        "failed to open flow-export sink path");
+      live_->set_sink(live_sink_.get());
+    }
+    // Placement and reorder evidence are resolved per flow at emission
+    // time, on the driver thread — the thread the adaptive policy and the
+    // observatory's rx table belong to.
+    live_->set_flow_info([this](u32 hash) {
+      telemetry::LiveExporter::FlowInfo info;
+      if (adaptive_ != nullptr) {
+        info.placement = adaptive_->is_pinned(hash) ? "pinned" : "sprayed";
+      } else {
+        info.placement =
+            cfg_.mode == DispatchMode::kSpray ? "sprayed" : "rss";
+      }
+      if (reorder_ != nullptr) {
+        const auto flow = reorder_->flow_stats(hash);
+        info.ooo_sampled = flow.sampled;
+        info.ooo_max = flow.max_distance;
+      }
+      return info;
+    });
+  }
+  if (cfg_.telemetry) {
+    // Satellite of DESIGN.md §13: snapshots that exhausted their seqlock
+    // retries are counted, not silently kept — summed over the end-of-run
+    // collector and the live exporter's stream collector.
+    registry_.gauge_fn("telemetry.snapshot.inconsistent", [this] {
+      u64 n = collector_.inconsistent_snapshots();
+      if (live_ != nullptr) {
+        n += live_->stats().inconsistent_snapshots.load();
+      }
+      return n;
+    });
   }
 
   if (cfg_.mode == DispatchMode::kSpray) {
@@ -184,6 +247,9 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
     }
     if (adaptive_ != nullptr) {
       engines_.back()->set_flow_sketch(&adaptive_->sketch(c));
+    }
+    if (live_ != nullptr) {
+      engines_.back()->set_flow_recorder(recorders_[c].get());
     }
     rx_rings_.push_back(std::make_unique<Ring>(cfg_.rx_ring_capacity));
   }
@@ -246,6 +312,9 @@ void ThreadedMiddlebox::stop() {
   // parking) are freed here — the only point the lossless path gives up,
   // counted in CoreStats::transfer_drops.
   for (auto& engine : engines_) engine->release_stranded();
+  // Workers are quiescent: harvest the last deltas and close out every
+  // live flow with a reason="final" record plus a final snapshot line.
+  if (live_ != nullptr) live_->flush_final(steady_now());
 }
 
 bool ThreadedMiddlebox::admit(Ring& ring, net::Packet* pkt, bool conn,
@@ -282,13 +351,20 @@ bool ThreadedMiddlebox::inject(net::Packet* pkt) {
     rss_hash = rss_.hash_of(*pkt);
     pkt->set_flow_hash(rss_hash);
   }
+  // One clock read when any driver-tick consumer is live (adaptive policy,
+  // flow-export harvest, trace stamping); none on the plain path.
+  const Time now =
+      adaptive_ != nullptr || live_ != nullptr || tracer_ != nullptr
+          ? steady_now()
+          : 0;
   if (reorder_ != nullptr) reorder_->stamp(*pkt);
+  const bool traced =
+      tracer_ != nullptr && tracer_->maybe_stamp(*pkt, [&] { return now; });
   u16 queue;
   if (adaptive_ != nullptr && pkt->is_tcp() && pkt->has_flow_hash()) {
     // Adaptive spraying: the policy settles the final queue (pinned flows
     // from its flow cache, sprayed ones from the checksum rule set) and
     // runs its maintenance tick when due.
-    const Time now = steady_now();
     queue = adaptive_->steer(*pkt, rss_hash, now);
     adaptive_->maybe_tick(now);
   } else {
@@ -299,6 +375,8 @@ bool ThreadedMiddlebox::inject(net::Packet* pkt) {
       queue = rss_.queue_for_hash(rss_hash);
     }
   }
+  if (traced) tracer_->record_steer(*pkt, steady_now());
+  if (live_ != nullptr) live_->maybe_tick(now);
   const bool conn = !stateless_chain_ && pkt->is_tcp() &&
                     pkt->is_connection_packet();
   u64 spins = 0;
@@ -312,6 +390,9 @@ bool ThreadedMiddlebox::inject(net::Packet* pkt) {
       (conn ? tm_.shed_conn : tm_.shed_regular).add(driver_shard(), 1);
     }
     if (spins > 0) tm_.block_spins.add(driver_shard(), spins);
+    if (tracer_ != nullptr && tracer_->has_driver_samples()) {
+      tracer_->flush_driver(driver_shard());
+    }
     registry_.end_update(driver_shard());
   }
   if (!pushed) {
@@ -330,7 +411,8 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
   // timestamp for the queue-delay histogram, and the adaptive policy gets
   // one coherent "now" for flow aging and its maintenance tick.
   const Time rx_stamp =
-      (cfg_.telemetry || adaptive_ != nullptr) && !pkts.empty()
+      (cfg_.telemetry || adaptive_ != nullptr || live_ != nullptr) &&
+              !pkts.empty()
           ? steady_now()
           : 0;
   for (net::Packet* pkt : pkts) {
@@ -342,6 +424,8 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
     }
     pkt->ts_rx = rx_stamp;
     if (reorder_ != nullptr) reorder_->stamp(*pkt);
+    const bool traced = tracer_ != nullptr &&
+                        tracer_->maybe_stamp(*pkt, [&] { return rx_stamp; });
     u16 queue;
     if (adaptive_ != nullptr && pkt->is_tcp() && pkt->has_flow_hash()) {
       queue = adaptive_->steer(*pkt, rss_hash, rx_stamp);
@@ -350,9 +434,13 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
       queue = fdir_queue.has_value() ? *fdir_queue
                                      : rss_.queue_for_hash(rss_hash);
     }
+    // Sampled packets pay a fresh clock read to close the steer stage; the
+    // other 2^N-1 per window stay clock-free.
+    if (traced) tracer_->record_steer(*pkt, steady_now());
     inject_stage_[queue].push_back(pkt);
   }
   if (adaptive_ != nullptr && !pkts.empty()) adaptive_->maybe_tick(rx_stamp);
+  if (live_ != nullptr && !pkts.empty()) live_->maybe_tick(rx_stamp);
   u32 accepted = 0;
   u64 shed_reg = 0;
   u64 shed_cn = 0;
@@ -441,6 +529,9 @@ u32 ThreadedMiddlebox::inject_bulk(std::span<net::Packet* const> pkts) {
     if (shed_reg > 0) tm_.shed_regular.add(driver_shard(), shed_reg);
     if (shed_cn > 0) tm_.shed_conn.add(driver_shard(), shed_cn);
     if (spins > 0) tm_.block_spins.add(driver_shard(), spins);
+    if (tracer_ != nullptr && tracer_->has_driver_samples()) {
+      tracer_->flush_driver(driver_shard());
+    }
     registry_.end_update(driver_shard());
   }
   return accepted;
@@ -519,6 +610,9 @@ bool ThreadedMiddlebox::worker_body(CoreId core) {
       // packets.
       const Time stamped = batch[0]->ts_rx;
       registry_.begin_update(core);
+      // Close the rx-ring queue stage for traced packets before the engine
+      // consumes the batch (re-stamps them for the NF stage).
+      if (tracer_ != nullptr) tracer_->record_queue(batch.packets(), core, now);
       engines_[core]->process_rx(batch, now);
       tm_.packets.add(core, n);
       tm_.batches.add(core, 1);

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <span>
@@ -39,9 +40,11 @@
 #include "nic/rss.hpp"
 #include "runtime/spsc_ring.hpp"
 #include "runtime/worker_group.hpp"
+#include "telemetry/flow_export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/reorder.hpp"
 #include "telemetry/snapshot.hpp"
+#include "telemetry/trace.hpp"
 
 namespace sprayer::core {
 
@@ -164,6 +167,27 @@ class ThreadedMiddlebox {
     return fdir_;
   }
 
+  // --- flow export + path tracing (DESIGN.md §13) -----------------------
+  /// The live flow exporter (null when cfg.flow_export.enabled is false).
+  /// Its tick/flush surface is driver-internal; exposed for stats and for
+  /// tests/benches that force a tick at a known time (driver-thread
+  /// contract: do not call tick concurrently with inject).
+  [[nodiscard]] telemetry::LiveExporter* flow_exporter() noexcept {
+    return live_.get();
+  }
+  [[nodiscard]] bool flow_export_enabled() const noexcept {
+    return live_ != nullptr;
+  }
+  /// One core's record table (null when flow export is off).
+  [[nodiscard]] const telemetry::FlowRecorder* flow_recorder(
+      CoreId core) const noexcept {
+    return live_ != nullptr ? recorders_[core].get() : nullptr;
+  }
+  /// The sampled path tracer (null when cfg.trace.enabled is false).
+  [[nodiscard]] const telemetry::PathTracer* tracer() const noexcept {
+    return tracer_.get();
+  }
+
   [[nodiscard]] bool reorder_enabled() const noexcept {
     return reorder_ != nullptr;
   }
@@ -264,6 +288,12 @@ class ThreadedMiddlebox {
   std::unique_ptr<telemetry::ReorderObservatory> reorder_;
   std::unique_ptr<AdaptiveSprayPolicy> adaptive_;
   std::unique_ptr<RxDepthProbe> depth_probe_;
+  // Flow export: per-core record tables (worker-written), the driver-tick
+  // exporter, and its owned file sink (empty sink_path → no stream).
+  std::vector<std::unique_ptr<telemetry::FlowRecorder>> recorders_;
+  std::unique_ptr<telemetry::LiveExporter> live_;
+  std::unique_ptr<std::ofstream> live_sink_;
+  std::unique_ptr<telemetry::PathTracer> tracer_;
 
   runtime::WorkerGroup workers_;
   std::vector<WorkerState> worker_state_;

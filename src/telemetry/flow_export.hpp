@@ -1,0 +1,280 @@
+// Flow-record export (DESIGN.md §13): IPFIX/NetFlow-style per-flow
+// accounting and a live JSON-lines export stream ("sprayer.flowexport.v1").
+//
+// Two halves with a strict thread split:
+//
+//   * FlowRecorder — one per core, single writer (the owning worker). A
+//     direct-mapped table of cache-line-sized record slots keyed by the
+//     memoized RSS flow hash. The worker's account() is a handful of
+//     relaxed loads/stores on a core-private line; no RMW, no locks. Slot
+//     reuse is generation-stamped so the harvesting driver can detect a
+//     record that changed identity mid-read and skip it (seqlock-lite: the
+//     packed {hash:32 | gen:32} key is read before and after the fields).
+//     Colliding flows never displace a live incumbent — only one idle past
+//     the configured timeout — so a hot record is stable for its lifetime
+//     and eviction churn is bounded by the idle timeout, not the load.
+//
+//   * LiveExporter — driver-thread only. On the driver maintenance tick it
+//     harvests every recorder table, turns per-core monotonic totals into
+//     deltas via a private mirror, aggregates them per flow across cores,
+//     and emits JSON-lines flow records on idle expiry ("idle"), at a
+//     periodic interval while the flow grows ("interval"), and at shutdown
+//     ("final"). Emission is budgeted per tick (max_records_per_tick);
+//     flows over budget keep aggregating and are offered again next tick.
+//     The same stream carries periodic registry-snapshot lines (collected
+//     through the standard seqlock SnapshotCollector, `consistent` flag
+//     propagated) so one tail -f shows flows and system counters together.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/relaxed.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/observability_config.hpp"
+#include "telemetry/snapshot.hpp"
+
+#include <atomic>
+
+namespace sprayer::telemetry {
+
+/// Per-core flow-record table. Single writer (the owning worker core);
+/// harvested by the driver through read(). See file comment for the slot
+/// reuse protocol.
+class FlowRecorder {
+ public:
+  /// Driver-side view of one slot; key == 0 means empty or unstable
+  /// (changed identity mid-read — the next harvest picks it up).
+  struct SlotView {
+    u64 key = 0;  // {hash:32 | gen:32}
+    u64 packets = 0;
+    u64 bytes = 0;
+    Time first = 0;
+    Time last = 0;
+    u8 tcp_flags = 0;
+
+    [[nodiscard]] u32 hash() const noexcept {
+      return static_cast<u32>(key >> 32);
+    }
+  };
+
+  FlowRecorder(u32 slots, Time idle_timeout)
+      : mask_(slots - 1),
+        idle_timeout_(idle_timeout),
+        slots_(new Slot[slots]) {
+    SPRAYER_CHECK_MSG(slots >= 2 && (slots & (slots - 1)) == 0,
+                      "flow-record table slots must be a power of two");
+  }
+
+  FlowRecorder(const FlowRecorder&) = delete;
+  FlowRecorder& operator=(const FlowRecorder&) = delete;
+
+  /// Worker side: account one packet. `tcp_flags` is the raw TCP flag byte
+  /// (0 for non-TCP); `now` is the batch timestamp.
+  void account(u32 hash, u32 bytes, u8 tcp_flags, Time now) noexcept {
+    Slot& s = slots_[hash & mask_];
+    const u64 k = s.key.load(std::memory_order_relaxed);
+    if (k == 0 || static_cast<u32>(k >> 32) != hash) {
+      if (k != 0) {
+        // Collision: displace only an idle incumbent. A live flow keeps
+        // its record; the newcomer goes uncounted (flow_export.untracked).
+        if (now - s.last.load(std::memory_order_relaxed) < idle_timeout_) {
+          ++untracked_;
+          return;
+        }
+        ++evictions_;
+      }
+      claim(s, hash, static_cast<u32>(k), now);
+    }
+    s.packets.store(s.packets.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+    s.bytes.store(s.bytes.load(std::memory_order_relaxed) + bytes,
+                  std::memory_order_relaxed);
+    if (tcp_flags != 0) {
+      s.tcp_flags.store(s.tcp_flags.load(std::memory_order_relaxed) |
+                            tcp_flags,
+                        std::memory_order_relaxed);
+    }
+    s.last.store(now, std::memory_order_relaxed);
+    ++packets_;
+  }
+
+  /// Driver side: racy-but-validated read of one slot. Fields are untorn
+  /// relaxed loads bracketed by two key reads; a key change in between
+  /// (slot stolen mid-read) yields an empty view.
+  [[nodiscard]] SlotView read(u32 i) const noexcept {
+    const Slot& s = slots_[i];
+    SlotView v;
+    const u64 k1 = s.key.load(std::memory_order_acquire);
+    if (k1 == 0) return v;
+    v.packets = s.packets.load(std::memory_order_relaxed);
+    v.bytes = s.bytes.load(std::memory_order_relaxed);
+    v.first = s.first.load(std::memory_order_relaxed);
+    v.last = s.last.load(std::memory_order_relaxed);
+    v.tcp_flags =
+        static_cast<u8>(s.tcp_flags.load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.key.load(std::memory_order_relaxed) != k1) return SlotView{};
+    v.key = k1;
+    return v;
+  }
+
+  [[nodiscard]] u32 slots() const noexcept { return mask_ + 1; }
+  /// Packets accounted by this core (cross-thread readable).
+  [[nodiscard]] u64 packets() const noexcept { return packets_; }
+  /// Packets of flows that lost the slot collision to a live incumbent.
+  [[nodiscard]] u64 untracked() const noexcept { return untracked_; }
+  /// Idle incumbents displaced by a colliding new flow.
+  [[nodiscard]] u64 evictions() const noexcept { return evictions_; }
+
+ private:
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<u64> key{0};  // {hash:32 | gen:32}; gen == 0 never stored
+    std::atomic<u64> packets{0};
+    std::atomic<u64> bytes{0};
+    std::atomic<u64> first{0};
+    std::atomic<u64> last{0};
+    std::atomic<u64> tcp_flags{0};
+  };
+
+  void claim(Slot& s, u32 hash, u32 old_gen, Time now) noexcept {
+    // Zero the key first so a concurrent harvest read spanning the reset
+    // observes the identity change; the release store of the new key then
+    // publishes the reset fields as a unit.
+    s.key.store(0, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.packets.store(0, std::memory_order_relaxed);
+    s.bytes.store(0, std::memory_order_relaxed);
+    s.tcp_flags.store(0, std::memory_order_relaxed);
+    s.first.store(now, std::memory_order_relaxed);
+    s.last.store(now, std::memory_order_relaxed);
+    u32 gen = old_gen + 1;
+    if (gen == 0) gen = 1;
+    s.key.store((static_cast<u64>(hash) << 32) | gen,
+                std::memory_order_release);
+  }
+
+  u32 mask_;
+  Time idle_timeout_;
+  std::unique_ptr<Slot[]> slots_;
+  RelaxedU64 packets_;
+  RelaxedU64 untracked_;
+  RelaxedU64 evictions_;
+};
+
+/// Driver-tick export hook: harvests all FlowRecorders, aggregates per-flow
+/// deltas across cores, and streams flow records + registry snapshots as
+/// JSON lines. Driver thread only (same single-thread contract as
+/// AdaptiveSprayPolicy); stats fields are relaxed cells so gauge_fn probes
+/// may read them from a snapshotting thread.
+class LiveExporter {
+ public:
+  /// Placement/reorder context resolved per flow at emission time (on the
+  /// driver thread — safe for AdaptiveSprayPolicy and ReorderObservatory
+  /// flow queries, whose read contracts are driver-thread-only).
+  struct FlowInfo {
+    const char* placement = "rss";  // "pinned" | "sprayed" | "rss"
+    bool ooo_sampled = false;
+    u64 ooo_max = 0;
+  };
+  using FlowInfoFn = std::function<FlowInfo(u32 flow_hash)>;
+
+  struct Stats {
+    RelaxedU64 harvests;          // driver ticks that ran a harvest
+    RelaxedU64 flows_seen;        // distinct flow aggregations created
+    RelaxedU64 records;           // flow records emitted (all reasons)
+    RelaxedU64 idle_records;      // reason == "idle"
+    RelaxedU64 interval_records;  // reason == "interval"
+    RelaxedU64 final_records;     // reason == "final"
+    RelaxedU64 deferred;          // emissions pushed past a tick budget
+    RelaxedU64 snapshots;         // snapshot lines emitted
+    RelaxedU64 inconsistent_snapshots;  // snapshot lines, consistent=false
+  };
+
+  LiveExporter(const FlowExportConfig& cfg, const MetricsRegistry& registry);
+  ~LiveExporter();
+
+  LiveExporter(const LiveExporter&) = delete;
+  LiveExporter& operator=(const LiveExporter&) = delete;
+
+  /// Wiring (all before traffic). Recorders are indexed by core.
+  void add_recorder(const FlowRecorder* recorder);
+  /// Output stream for JSON lines (nullptr: records are produced and
+  /// counted but not written). Not owned; must outlive the exporter.
+  void set_sink(std::ostream* sink) noexcept { sink_ = sink; }
+  void set_flow_info(FlowInfoFn fn) { flow_info_ = std::move(fn); }
+  /// Register gauge_fn probes (flow_export.*). The registry allows fn
+  /// gauges after finalize(); call before any snapshot collection runs.
+  void register_metrics(MetricsRegistry& registry);
+
+  /// Driver tick: harvest + budgeted emission when harvest_interval
+  /// elapsed. Cheap when not due (one compare).
+  void maybe_tick(Time now) {
+    if (now - last_tick_ >= cfg_.harvest_interval) tick(now);
+  }
+  void tick(Time now);
+
+  /// Shutdown: harvest once more and emit every live flow with reason
+  /// "final" plus a last snapshot line, ignoring the per-tick budget.
+  void flush_final(Time now);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Flows currently aggregated (not yet idle-expired).
+  [[nodiscard]] u64 live_flows() const noexcept { return live_flows_; }
+  [[nodiscard]] const FlowExportConfig& config() const noexcept {
+    return cfg_;
+  }
+  /// Packets accounted across all recorders minus collision losses.
+  [[nodiscard]] u64 recorder_packets() const noexcept;
+  [[nodiscard]] u64 recorder_untracked() const noexcept;
+  [[nodiscard]] u64 recorder_evictions() const noexcept;
+
+ private:
+  struct MirrorSlot {  // last-harvested totals for one recorder slot
+    u64 key = 0;
+    u64 packets = 0;
+    u64 bytes = 0;
+  };
+  struct FlowAgg {  // per-flow aggregation across cores
+    u64 packets = 0;
+    u64 bytes = 0;
+    Time first = 0;
+    Time last = 0;
+    u8 tcp_flags = 0;
+    u64 core_mask = 0;
+    u64 emitted_packets = 0;  // cumulative totals at last emission
+    u64 emitted_bytes = 0;
+    Time last_emit = 0;  // 0: never emitted
+  };
+
+  void harvest();
+  /// Walk the aggregation map emitting due records under `budget`.
+  void sweep(Time now, u32 budget, bool final_pass);
+  void emit_record(u32 hash, FlowAgg& flow, const char* reason, Time now);
+  void emit_snapshot(Time now, bool final_pass);
+
+  const FlowExportConfig cfg_;
+  const MetricsRegistry& registry_;
+  SnapshotCollector collector_;
+  std::vector<const FlowRecorder*> recorders_;        // [core]
+  std::vector<std::vector<MirrorSlot>> mirrors_;      // [core][slot]
+  std::unordered_map<u32, FlowAgg> flows_;
+  FlowInfoFn flow_info_;
+  std::ostream* sink_ = nullptr;
+  Time last_tick_ = 0;
+  Time last_snapshot_ = 0;
+  Stats stats_;
+  RelaxedU64 live_flows_;
+  // Previous snapshot's counter totals, for the cross-epoch monotonicity
+  // assertion (satellite of DESIGN.md §13).
+  TelemetrySnapshot prev_snapshot_;
+  bool have_prev_snapshot_ = false;
+};
+
+}  // namespace sprayer::telemetry

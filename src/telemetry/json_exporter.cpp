@@ -1,22 +1,43 @@
 #include "telemetry/json_exporter.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
 namespace sprayer::telemetry {
 
+void write_json_string(std::ostream& os, std::string_view s) {
+  static const char* kHex = "0123456789abcdef";
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          os << "\\u00" << kHex[u >> 4] << kHex[u & 0xf];
+        } else {
+          os << c;
+        }
+      }
+    }
+  }
+  os << '"';
+}
+
 namespace {
 
 void write_name(std::ostream& os, const std::string& name) {
   // Metric names are registry-controlled identifiers (letters, digits,
   // '.', '_', '/'); escape defensively anyway so output is always valid.
-  os << '"';
-  for (const char c : name) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
-  }
-  os << '"';
+  write_json_string(os, name);
 }
 
 void write_shards(std::ostream& os, const std::vector<u64>& per_shard) {
@@ -71,14 +92,20 @@ void write_hist_section(std::ostream& os, const TelemetrySnapshot& snap) {
 
 void JsonExporter::write(std::ostream& os, const TelemetrySnapshot& snap,
                          const ReorderObservatory::Stats* reorder) {
-  const u32 shards = snap.scalars.empty()
-                         ? 0
-                         : static_cast<u32>(snap.scalars[0].per_shard.size());
+  // Hand-built snapshots (tests) may predate the num_shards field; fall
+  // back to the first scalar's shard vector.
+  const u32 shards =
+      snap.num_shards != 0
+          ? snap.num_shards
+          : (snap.scalars.empty()
+                 ? 0
+                 : static_cast<u32>(snap.scalars[0].per_shard.size()));
   os << "{\n";
   os << "  \"schema\": \"sprayer.telemetry.v1\",\n";
   os << "  \"epoch\": " << snap.epoch << ",\n";
   os << "  \"taken_at_ps\": " << snap.taken_at << ",\n";
   os << "  \"consistent\": " << (snap.consistent ? "true" : "false") << ",\n";
+  os << "  \"inconsistent_shards\": " << snap.inconsistent_shards << ",\n";
   os << "  \"num_shards\": " << shards << ",\n";
   os << "  \"counters\": {";
   write_scalar_section(os, snap, /*counters=*/true);
@@ -114,6 +141,23 @@ std::string JsonExporter::to_json(const TelemetrySnapshot& snap,
   std::ostringstream os;
   write(os, snap, reorder);
   return os.str();
+}
+
+void JsonExporter::check_counters_monotonic(const TelemetrySnapshot& prev,
+                                            const TelemetrySnapshot& cur) {
+  for (const auto& p : prev.scalars) {
+    if (p.kind != MetricKind::kCounter) continue;
+    const ScalarSnapshot* c = cur.find(p.name);
+    if (c == nullptr || c->kind != MetricKind::kCounter) continue;
+    SPRAYER_CHECK_MSG(c->total >= p.total,
+                      "counter went backwards across exported epochs");
+    const std::size_t shards =
+        std::min(p.per_shard.size(), c->per_shard.size());
+    for (std::size_t s = 0; s < shards; ++s) {
+      SPRAYER_CHECK_MSG(c->per_shard[s] >= p.per_shard[s],
+                        "counter shard went backwards across exported epochs");
+    }
+  }
 }
 
 bool JsonExporter::write_file(const std::string& path,

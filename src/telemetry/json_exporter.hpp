@@ -20,11 +20,17 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "telemetry/reorder.hpp"
 #include "telemetry/snapshot.hpp"
 
 namespace sprayer::telemetry {
+
+/// Write `s` as a JSON string literal (quotes included) with full escaping:
+/// quote, backslash, and every control character below 0x20. Shared by the
+/// snapshot exporter and the flow-export stream writer.
+void write_json_string(std::ostream& os, std::string_view s);
 
 class JsonExporter {
  public:
@@ -41,6 +47,13 @@ class JsonExporter {
   static bool write_file(const std::string& path,
                          const TelemetrySnapshot& snap,
                          const ReorderObservatory::Stats* reorder = nullptr);
+
+  /// Assert that no counter present in both snapshots went backwards
+  /// between consecutive exported epochs (counter cells only grow; a
+  /// regression means torn reads or shard miswiring). Throws via
+  /// SPRAYER_CHECK on violation.
+  static void check_counters_monotonic(const TelemetrySnapshot& prev,
+                                       const TelemetrySnapshot& cur);
 };
 
 }  // namespace sprayer::telemetry

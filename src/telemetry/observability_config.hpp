@@ -1,0 +1,52 @@
+// Configuration for the live observability plane (DESIGN.md §13): flow
+// record export and sampled packet-path tracing. Lives in telemetry/ (not
+// core/config.hpp) so the flow_export/trace modules can consume it without
+// a core dependency; SprayerConfig embeds both structs.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace sprayer::telemetry {
+
+/// Per-flow record accounting + JSON-lines export ("sprayer.flowexport.v1").
+/// Workers account packets into per-core single-writer record tables; the
+/// injection driver harvests them on its maintenance tick and emits records
+/// on idle expiry, at a periodic interval, and at shutdown.
+struct FlowExportConfig {
+  bool enabled = false;
+  /// Per-core record-table slots (direct-mapped by flow hash); power of two.
+  /// Colliding flows evict only idle incumbents — a live flow keeps its
+  /// slot and the newcomer is counted in flow_export.untracked instead.
+  u32 table_slots = 1024;
+  /// Driver-side harvest cadence (delta pickup from the per-core tables).
+  Time harvest_interval = 5 * kMillisecond;
+  /// A flow with new traffic is re-emitted at most this often.
+  Time export_interval = 50 * kMillisecond;
+  /// A flow idle this long is emitted with reason "idle" and forgotten.
+  Time idle_timeout = 200 * kMillisecond;
+  /// Cadence of live registry-snapshot lines in the export stream
+  /// (0 disables snapshot lines; flow records are unaffected).
+  Time snapshot_interval = 200 * kMillisecond;
+  /// Write budget: at most this many flow records per driver tick; flows
+  /// over budget stay aggregated and are offered again next tick.
+  u32 max_records_per_tick = 256;
+  /// JSON-lines sink (file or FIFO). Empty: records are counted (and
+  /// visible to tests via LiveExporter accessors) but not written.
+  std::string sink_path;
+};
+
+/// Sampled packet-path tracing: 1-in-2^sample_shift packets carry a
+/// timestamp in a reserved Packet::user_tag bit; each pipeline stage
+/// (steer, rx-ring wait, NF dispatch + tx flush) records its latency into a
+/// per-core log-histogram. Requires SprayerConfig::telemetry (the
+/// histograms live in the metrics registry).
+struct TraceConfig {
+  bool enabled = false;
+  /// Sample 1 in 2^sample_shift injected packets (6 → 1-in-64).
+  u32 sample_shift = 6;
+};
+
+}  // namespace sprayer::telemetry

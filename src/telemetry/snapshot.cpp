@@ -21,6 +21,7 @@ TelemetrySnapshot SnapshotCollector::collect() {
   TelemetrySnapshot snap;
   snap.epoch = ++epoch_;
   snap.taken_at = steady_now();
+  snap.num_shards = reg_.num_shards();
 
   const auto& scalars = reg_.scalar_info();
   const auto& hists = reg_.hist_info();
@@ -68,6 +69,7 @@ TelemetrySnapshot SnapshotCollector::collect() {
       // Shard under continuous load: keep the last (untorn, monotonic) copy
       // but flag that cross-cell alignment is best-effort.
       snap.consistent = false;
+      ++snap.inconsistent_shards;
       ++inconsistent_;
     }
 
@@ -97,6 +99,7 @@ TelemetrySnapshot SnapshotCollector::collect() {
     out.total = fg.fn();
     snap.scalars.push_back(std::move(out));
   }
+  if (!snap.consistent) ++inconsistent_snapshots_;
   return snap;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "common/relaxed.hpp"
 #include "common/units.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -42,6 +43,8 @@ struct TelemetrySnapshot {
   u64 epoch = 0;           // collector invocation count
   Time taken_at = 0;       // steady_now() at collection
   bool consistent = true;  // false if any shard exhausted its retries
+  u32 num_shards = 0;
+  u32 inconsistent_shards = 0;  // shards kept as best-effort copies
   std::vector<ScalarSnapshot> scalars;
   std::vector<HistogramSnapshot> histograms;
 
@@ -79,12 +82,19 @@ class SnapshotCollector {
   [[nodiscard]] u64 retries() const noexcept { return retries_; }
   [[nodiscard]] u64 inconsistent_shards() const noexcept {
     return inconsistent_; }
+  /// Snapshots that came back consistent=false. A relaxed cell: gauge_fn
+  /// probes (telemetry.snapshot.inconsistent) read it from whatever thread
+  /// is collecting while this collector's owner keeps collecting.
+  [[nodiscard]] u64 inconsistent_snapshots() const noexcept {
+    return inconsistent_snapshots_;
+  }
 
  private:
   const MetricsRegistry& reg_;
   u64 epoch_ = 0;
   u64 retries_ = 0;       // seqlock copy passes that had to restart
   u64 inconsistent_ = 0;  // shards that fell back to best-effort copies
+  RelaxedU64 inconsistent_snapshots_;
 };
 
 }  // namespace sprayer::telemetry

@@ -1,0 +1,13 @@
+#include "telemetry/trace.hpp"
+
+namespace sprayer::telemetry {
+
+void PathTracer::register_metrics(MetricsRegistry& registry) {
+  steer_ns_ = registry.histogram("trace.steer_ns", 5);
+  queue_ns_ = registry.histogram("trace.queue_ns", 5);
+  nf_ns_ = registry.histogram("trace.nf_ns", 5);
+  completed_ = registry.counter("trace.completed");
+  registry.gauge_fn("trace.sampled", [this] { return sampled_.load(); });
+}
+
+}  // namespace sprayer::telemetry

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate "sprayer.flowexport.v1" live streams (telemetry/flow_export).
+
+Usage: check_flow_export_schema.py FILE [FILE...]
+
+Each file is JSON-lines: "flow" records interleaved with registry
+"snapshot" lines. Exits non-zero (failing the CI job) if any line is
+malformed: wrong schema tag, missing or mistyped fields, an unknown
+emission reason or placement class, per-flow counters that regress across
+records of the same flow, or snapshot counter totals that regress across
+epochs (the stream-side monotonicity the C++ exporter asserts too).
+"""
+import json
+import sys
+
+SCHEMA = "sprayer.flowexport.v1"
+REASONS = ("idle", "interval", "final")
+PLACEMENTS = ("pinned", "sprayed", "rss")
+FLOW_INT_FIELDS = ("ts_ps", "flow", "packets", "bytes", "delta_packets",
+                   "delta_bytes", "first_ps", "last_ps", "tcp_flags")
+SNAP_HIST_FIELDS = ("count", "p50", "p90", "p99", "max")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def check_flow(rec, lineno, flow_watermarks):
+    for field in FLOW_INT_FIELDS:
+        require(isinstance(rec.get(field), int) and rec[field] >= 0,
+                f"line {lineno}: {field} must be a non-negative integer")
+    require(rec.get("reason") in REASONS,
+            f"line {lineno}: reason must be one of {REASONS}")
+    require(rec.get("placement") in PLACEMENTS,
+            f"line {lineno}: placement must be one of {PLACEMENTS}")
+    require(rec["tcp_flags"] <= 0xFF,
+            f"line {lineno}: tcp_flags must fit one byte")
+    require(rec["first_ps"] <= rec["last_ps"],
+            f"line {lineno}: first_ps after last_ps")
+    require(rec["delta_packets"] <= rec["packets"],
+            f"line {lineno}: delta_packets exceeds packets")
+    require(rec["delta_bytes"] <= rec["bytes"],
+            f"line {lineno}: delta_bytes exceeds bytes")
+    cores = rec.get("cores")
+    require(isinstance(cores, list) and
+            all(isinstance(c, int) and c >= 0 for c in cores),
+            f"line {lineno}: cores must be a list of core ids")
+    require(isinstance(rec.get("ooo_sampled"), bool),
+            f"line {lineno}: ooo_sampled must be a boolean")
+    ooo_max = rec.get("ooo_max", None)
+    require(ooo_max is None or (isinstance(ooo_max, int) and ooo_max >= 0),
+            f"line {lineno}: ooo_max must be an integer or null")
+    require((ooo_max is not None) == rec["ooo_sampled"],
+            f"line {lineno}: ooo_max null-ness disagrees with ooo_sampled")
+
+    # Cumulative totals never regress across records of one flow. An idle
+    # expiry followed by the flow returning starts a fresh aggregation, so
+    # the watermark resets on idle/final (terminal records).
+    key = rec["flow"]
+    prev = flow_watermarks.get(key)
+    if prev is not None:
+        require(rec["packets"] >= prev[0] and rec["bytes"] >= prev[1],
+                f"line {lineno}: flow {key} totals regressed")
+    if rec["reason"] == "interval":
+        flow_watermarks[key] = (rec["packets"], rec["bytes"])
+    else:
+        flow_watermarks.pop(key, None)
+
+
+def check_snapshot(rec, lineno, counter_watermarks, last_epoch):
+    for field in ("ts_ps", "epoch", "inconsistent_shards"):
+        require(isinstance(rec.get(field), int) and rec[field] >= 0,
+                f"line {lineno}: {field} must be a non-negative integer")
+    for field in ("final", "consistent"):
+        require(isinstance(rec.get(field), bool),
+                f"line {lineno}: {field} must be a boolean")
+    require(rec["consistent"] == (rec["inconsistent_shards"] == 0),
+            f"line {lineno}: consistent flag disagrees with "
+            "inconsistent_shards")
+    if last_epoch is not None:
+        require(rec["epoch"] > last_epoch,
+                f"line {lineno}: snapshot epoch did not advance")
+
+    for section in ("counters", "gauges"):
+        require(isinstance(rec.get(section), dict),
+                f"line {lineno}: {section} section missing")
+        for name, total in rec[section].items():
+            require(isinstance(total, int) and total >= 0,
+                    f"line {lineno}: {section}[{name}] must be a "
+                    "non-negative integer")
+    hists = rec.get("histograms")
+    require(isinstance(hists, dict),
+            f"line {lineno}: histograms section missing")
+    for name, entry in hists.items():
+        require(isinstance(entry, dict), f"line {lineno}: {name} malformed")
+        for field in SNAP_HIST_FIELDS:
+            require(isinstance(entry.get(field), int) and entry[field] >= 0,
+                    f"line {lineno}: {name} missing histogram "
+                    f"field {field!r}")
+
+    # Counter totals are monotonic across snapshot lines (inconsistent
+    # snapshots may under-read a shard mid-update, so only consistent
+    # epochs advance the watermark or are held to it).
+    if rec["consistent"]:
+        for name, total in rec["counters"].items():
+            prev = counter_watermarks.get(name)
+            require(prev is None or total >= prev,
+                    f"line {lineno}: counter {name} regressed "
+                    f"({prev} -> {total})")
+            counter_watermarks[name] = total
+    return rec["epoch"]
+
+
+def check_file(path):
+    flow_watermarks = {}
+    counter_watermarks = {}
+    last_epoch = None
+    flows = snapshots = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            require(rec.get("schema") == SCHEMA,
+                    f"line {lineno}: schema must be {SCHEMA!r}, "
+                    f"got {rec.get('schema')!r}")
+            kind = rec.get("type")
+            if kind == "flow":
+                check_flow(rec, lineno, flow_watermarks)
+                flows += 1
+            elif kind == "snapshot":
+                last_epoch = check_snapshot(rec, lineno, counter_watermarks,
+                                            last_epoch)
+                snapshots += 1
+            else:
+                raise SchemaError(
+                    f"line {lineno}: type must be flow|snapshot, "
+                    f"got {kind!r}")
+    require(flows + snapshots > 0, "stream is empty")
+    return flows, snapshots
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = 0
+    for path in argv[1:]:
+        try:
+            flows, snapshots = check_file(path)
+            print(f"{path}: OK ({flows} flow records, "
+                  f"{snapshots} snapshots)")
+        except (SchemaError, json.JSONDecodeError, OSError) as err:
+            print(f"{path}: FAIL: {err}", file=sys.stderr)
+            failed = 1
+    return failed
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

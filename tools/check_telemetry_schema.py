@@ -57,6 +57,15 @@ def check_file(path):
             "consistent must be a boolean")
     num_shards = doc["num_shards"]
 
+    # Optional (older artifacts predate it): seqlock shards that exhausted
+    # their retries in this snapshot. Must agree with the consistent flag.
+    if "inconsistent_shards" in doc:
+        bad = doc["inconsistent_shards"]
+        require(isinstance(bad, int) and 0 <= bad <= num_shards,
+                "inconsistent_shards must be an integer in [0, num_shards]")
+        require((bad == 0) == doc["consistent"],
+                "consistent flag disagrees with inconsistent_shards")
+
     counters = doc.get("counters")
     require(isinstance(counters, dict), "counters section missing")
     for name, entry in counters.items():
