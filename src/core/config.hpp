@@ -4,6 +4,7 @@
 #include "common/overload.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
+#include "state/config.hpp"
 #include "telemetry/observability_config.hpp"
 
 namespace sprayer::core {
@@ -141,6 +142,11 @@ struct SprayerConfig {
   /// Sampled packet-path tracing (1-in-2^N stage latencies; requires
   /// `telemetry`). Off by default.
   telemetry::TraceConfig trace;
+  /// How cores share flow state (DESIGN.md §14): the paper's writing
+  /// partition (default), state-compute replication, or the shared
+  /// striped-lock baseline. Executors build their table topology and
+  /// engine hooks from this.
+  state::StateStrategyConfig state;
   CostModel costs;
 };
 

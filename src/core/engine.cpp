@@ -1,6 +1,9 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <bitset>
+#include <cstring>
 
 #include "common/compiler.hpp"
 #include "core/adaptive_spray.hpp"
@@ -14,6 +17,10 @@ Cycles SprayerCore::process_rx(runtime::PacketBatch& batch, Time now) {
   const CostModel& costs = cfg_.costs;
   Cycles cycles = costs.batch_overhead;
   stats_.rx_packets += batch.size();
+
+  if (sync_ != nullptr && !batch.empty() && batch[0]->pool() != nullptr) {
+    sync_pool_ = batch[0]->pool();
+  }
 
   runtime::PacketBatch conn_local;
   runtime::PacketBatch regular;
@@ -36,6 +43,14 @@ Cycles SprayerCore::process_rx(runtime::PacketBatch& batch, Time now) {
       regular.push(pkt);
       continue;
     }
+    // Shared-locked strategy: no write partition, so connection packets are
+    // handled wherever they arrived (the lock, not the redirect, serializes
+    // table structure).
+    if (SPRAYER_UNLIKELY(!conn_redirect_)) {
+      conn_local.push(pkt);
+      ++stats_.conn_local;
+      continue;
+    }
     // Connection packet: route to its designated core via the memoized
     // rx-descriptor RSS hash (computed lazily if the NIC didn't stash one).
     const CoreId dest = picker_.pick_hash(hash::packet_flow_hash(*pkt));
@@ -53,6 +68,9 @@ Cycles SprayerCore::process_rx(runtime::PacketBatch& batch, Time now) {
 
   if (!conn_local.empty()) cycles += dispatch(conn_local, now, true);
   if (!regular.empty()) cycles += dispatch(regular, now, false);
+  // Replication: ship whatever the dispatches just logged before ringing
+  // the doorbells, so the sync frames ride this batch's flush.
+  if (sync_ != nullptr) cycles += harvest_state_sync();
   // One ring doorbell per destination for the whole batch.
   flush_transfers();
 
@@ -63,9 +81,94 @@ Cycles SprayerCore::process_rx(runtime::PacketBatch& batch, Time now) {
 Cycles SprayerCore::process_foreign(runtime::PacketBatch& batch, Time now) {
   const CostModel& costs = cfg_.costs;
   Cycles cycles = costs.transfer_dequeue * batch.size();
+  if (sync_ != nullptr) {
+    if (!batch.empty() && batch[0]->pool() != nullptr) {
+      sync_pool_ = batch[0]->pool();
+    }
+    cycles += absorb_sync_frames(batch);
+  }
   stats_.conn_foreign_in += batch.size();
-  cycles += dispatch(batch, now, true);
+  if (!batch.empty()) cycles += dispatch(batch, now, true);
+  if (sync_ != nullptr) {
+    // The connection handlers that just ran may have logged mutations;
+    // broadcast them (and flush — process_foreign has no trailing
+    // flush_transfers of its own on the writing-partition path).
+    cycles += harvest_state_sync();
+    flush_transfers();
+  }
   stats_.busy_cycles += cycles;
+  return cycles;
+}
+
+Cycles SprayerCore::absorb_sync_frames(runtime::PacketBatch& batch) {
+  const CostModel& costs = cfg_.costs;
+  std::bitset<runtime::kMaxBatchSize> frame_at;
+  Cycles cycles = 0;
+  for (u32 i = 0; i < batch.size(); ++i) {
+    net::Packet* pkt = batch[i];
+    if (!state::is_sync_frame(*pkt)) continue;
+    frame_at.set(i);
+    const state::SyncRuntime::ApplyResult res =
+        sync_->apply({pkt->data(), pkt->len()});
+    cycles += costs.flow_insert * res.upserts + costs.flow_remove * res.removes;
+  }
+  if (frame_at.none()) return cycles;
+  runtime::PacketBatch frames;
+  batch.compact([&frame_at](u32 i) { return frame_at.test(i); }, frames);
+  net::free_packets(frames.packets());
+  return cycles;
+}
+
+Cycles SprayerCore::harvest_state_sync() {
+  if (!sync_->has_pending()) return 0;
+  const u32 fanout = cfg_.num_cores - 1;
+  if (fanout == 0) {
+    sync_->clear_log();
+    return 0;
+  }
+  net::PacketPool* pool = sync_pool_;
+  if (pool == nullptr) return 0;  // no rx batch seen yet; log kept for later
+  const CostModel& costs = cfg_.costs;
+  const u32 cap =
+      std::min<u32>(pool->buffer_size(), cfg_.state.sync_frame_bytes);
+  const u64 ops = sync_->log().size();
+  const auto chunks = sync_->serialize(cap);
+  if (chunks.empty()) {
+    // Every logged upsert's entry has since been removed and the removes
+    // already shipped — nothing to send.
+    sync_->clear_log();
+    return 0;
+  }
+  const u32 total = static_cast<u32>(chunks.size()) * fanout;
+  sync_frame_scratch_.resize(total);
+  const u32 got = pool->alloc_bulk({sync_frame_scratch_.data(), total});
+  if (SPRAYER_UNLIKELY(got < total)) {
+    // All-or-nothing: broadcasting to a subset of replicas would diverge
+    // them. Put the frames back, keep the log, retry at the next flush.
+    pool->free_bulk({sync_frame_scratch_.data(), got});
+    sync_->note_alloc_stall();
+    return 0;
+  }
+  Cycles cycles = 0;
+  u64 bytes = 0;
+  u32 fi = 0;
+  for (const std::span<const u8> chunk : chunks) {
+    for (CoreId d = 0; d < cfg_.num_cores; ++d) {
+      if (d == id_) continue;
+      net::Packet* frame = sync_frame_scratch_[fi++];
+      std::memcpy(frame->data(), chunk.data(), chunk.size());
+      frame->set_len(static_cast<u32>(chunk.size()));
+      frame->user_tag |= state::kSyncFrameTag;
+      cycles += costs.transfer_enqueue;
+      runtime::PacketBatch& stage = transfer_stage_[d];
+      if (SPRAYER_UNLIKELY(stage.full())) flush_transfer_stage(d);
+      stage.push(frame);
+      transfer_dirty_ |= u64{1} << d;
+      bytes += chunk.size();
+    }
+  }
+  sync_->note_broadcast(total, bytes, ops);
+  sync_->clear_log();
   return cycles;
 }
 

@@ -21,6 +21,7 @@
 #include "core/flow_table.hpp"
 #include "core/nf.hpp"
 #include "runtime/batch.hpp"
+#include "state/sync.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace sprayer::telemetry {
@@ -152,6 +153,30 @@ class SprayerCore {
     recorder_ = recorder;
   }
 
+  /// Strategy hook (DESIGN.md §14): false routes connection packets to
+  /// their *arrival* core's connection handler instead of redirecting to
+  /// the designated core — the shared-locked baseline has no write
+  /// partition to honor. Default true (writing partition / replication).
+  void set_conn_redirect(bool redirect) noexcept { conn_redirect_ = redirect; }
+
+  /// Replication hook: this core's sync runtime. When set, the engine
+  /// harvests the op log into sync frames after every dispatch round and
+  /// broadcasts them over the mesh (counted in conn_transferred_out — the
+  /// frames ride the same staging/doorbell/park machinery as redirected
+  /// connection packets), and peels received sync frames out of foreign
+  /// batches and replays them. Null (default) disables all of it.
+  void set_state_runtime(state::SyncRuntime* rt) noexcept { sync_ = rt; }
+
+  /// Harvest + broadcast any pending replication ops now (then flush the
+  /// mesh stages). The executor calls this from the worker after
+  /// housekeeping, whose expiries would otherwise sit in the log until the
+  /// next packet. No-op unless a sync runtime is attached.
+  void flush_state_sync() {
+    if (sync_ == nullptr) return;
+    stats_.busy_cycles += harvest_state_sync();
+    flush_transfers();
+  }
+
   /// Process one batch polled from this core's NIC rx queue. Returns the
   /// cycles consumed. `now` is the batch start time (forwarded to the NF).
   Cycles process_rx(runtime::PacketBatch& batch, Time now);
@@ -223,6 +248,18 @@ class SprayerCore {
   u32 offer_with_spin(CoreId dest, std::span<net::Packet* const> pkts,
                       bool is_retry);
 
+  /// Replication: serialize the pending op log and stage one sync frame
+  /// per chunk per peer core. All-or-nothing: if the pool can't supply
+  /// every frame, nothing is staged and the log is kept for the next
+  /// flush (a partial broadcast would diverge replicas). Returns the
+  /// modeled cycles spent.
+  Cycles harvest_state_sync();
+
+  /// Replication: replay and remove the sync frames of a foreign batch
+  /// (freeing them), leaving only real connection packets. Returns the
+  /// modeled cycles of the replayed ops.
+  Cycles absorb_sync_frames(runtime::PacketBatch& batch);
+
   void set_pending_count(u32 n) noexcept {
     pending_count_.store(n, std::memory_order_relaxed);
     if (n > 0) tm_.pending_hwm.record_max(tm_.shard, n);
@@ -239,6 +276,11 @@ class SprayerCore {
   EngineTelemetry tm_;
   HeavyHitterSketch* sketch_ = nullptr;
   telemetry::FlowRecorder* recorder_ = nullptr;
+  bool conn_redirect_ = true;
+  state::SyncRuntime* sync_ = nullptr;
+  // Last pool seen on the rx/foreign path — sync frames borrow from it.
+  net::PacketPool* sync_pool_ = nullptr;
+  std::vector<net::Packet*> sync_frame_scratch_;
   // Per-engine chain scratch (verdict sheet + shared batch metadata): the
   // chain object itself is shared across cores and holds no per-batch state.
   ChainScratch scratch_;

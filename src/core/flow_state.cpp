@@ -25,8 +25,32 @@ void FlowStateApi::get_flows(std::span<const net::FiveTuple> flow_ids,
     return;
   }
 
+  if (strat_.kind == state::StateStrategyKind::kSharedLocked) {
+    // The shared table's probe sequences cross stripe boundaries, so bulk
+    // prefetch pipelining can't be overlapped with per-key locking; the
+    // strawman degrades to locked scalar copy-outs (part of what the race
+    // measures).
+    for (std::size_t i = 0; i < flow_ids.size(); ++i) {
+      count_read();
+      cycles_ += costs_.flow_lookup_remote;
+      out[i] = locked_copy_out(flow_ids[i], hashes[i]);
+    }
+    return;
+  }
+
   cycles_ += costs_.flow_lookup_batched * flow_ids.size();
   for (std::size_t i = 0; i < flow_ids.size(); ++i) count_read();
+
+  if (strat_.kind == state::StateStrategyKind::kReplication) {
+    // The replication payoff on the regular path: every lookup is served by
+    // the local replica in one pipelined find_batch, no matter which core
+    // is designated.
+    for (std::size_t i = 0; i < flow_ids.size(); ++i) {
+      if (designated_core(hashes[i]) != core_) ++counters_.remote_reads_avoided;
+    }
+    local().find_batch(flow_ids, hashes, out);
+    return;
+  }
 
   const u32 cores = num_cores();
   if (cores == 1) {
@@ -43,6 +67,7 @@ void FlowStateApi::get_flows(std::span<const net::FiveTuple> flow_ids,
     const std::size_t n = std::min(kBulkChunk, flow_ids.size() - base);
     for (std::size_t i = 0; i < n; ++i) {
       dest[i] = designated_core(hashes[base + i]);
+      if (dest[i] != core_) ++counters_.remote_reads;
     }
     // Group the chunk by destination table so each table sees one contiguous
     // find_batch (its prefetch pipeline needs consecutive independent

@@ -6,20 +6,37 @@
 //   get_flow(flow_id)            const entry from its designated core
 //   get_flows(flow_ids...)       batched get_flow (the "optimized version")
 //
-// Writing partition is *enforced* here: inserting or removing a flow whose
-// designated core is not the calling core throws. Every call charges its
-// modeled CPU cost to the calling core.
+// The API is the data plane of whichever state strategy (state/strategy.hpp,
+// DESIGN.md §14) the middlebox was built with; dispatch is an inline switch
+// on the strategy kind, never virtual, so the default writing-partition
+// path compiles to the code it always was:
+//
+//   * writing-partition — inserts/removes/mutations must happen on the
+//     flow's designated core (*enforced*: a violation throws); reads reach
+//     into the owner's table lock-free.
+//   * replication — the same designated-core discipline for writes (the
+//     designated core is the replication sequencer), but every mutation is
+//     also logged for sync-frame broadcast, and every read is served from
+//     the local replica — no cross-core table access on the regular path.
+//   * shared-locked — one shared table: writes take every lock stripe,
+//     reads take the key's stripe and copy the entry out under it.
+//
+// Every call charges its modeled CPU cost to the calling core.
 #pragma once
 
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/relaxed.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "core/config.hpp"
 #include "core/core_picker.hpp"
 #include "core/flow_table.hpp"
+#include "state/view.hpp"
 
 namespace sprayer::core {
 
@@ -40,6 +57,15 @@ struct FlowAccessStats {
   }
 };
 
+/// Per-strategy access counters (single-writer cells; telemetry gauges may
+/// read them while workers run).
+struct StrategyCounters {
+  RelaxedU64 remote_reads;          // writing-partition: cross-core lookups
+  RelaxedU64 remote_reads_avoided;  // replication: foreign-designated flows
+                                    // served from the local replica
+  RelaxedU64 lock_acquisitions;     // shared-locked: one per locked API call
+};
+
 class FlowStateApi {
  public:
   using FlowHash = FlowTable::FlowHash;
@@ -53,12 +79,38 @@ class FlowStateApi {
         costs_(costs),
         cycles_(cycle_sink) {}
 
+  /// Attach the strategy view (executors call this right after building
+  /// contexts; the default-constructed view is plain writing partition, so
+  /// standalone uses — unit tests driving NfContext directly — need not).
+  void configure_strategy(const state::CoreStateView& view) {
+    strat_ = view;
+    if (strat_.kind == state::StateStrategyKind::kSharedLocked &&
+        !tables_.empty()) {
+      // Copy-out ring for locked reads: entries are copied under the stripe
+      // so a concurrent insert's slot reuse can't yank the bytes from under
+      // the reader. Deep enough that one get_flows batch never wraps.
+      scratch_entry_size_ = tables_[0]->entry_size();
+      scratch_slots_ = 2 * state::StripedLock::kMaxStripes;
+      locked_scratch_ = std::make_unique<u8[]>(
+          static_cast<std::size_t>(scratch_slots_) * scratch_entry_size_);
+    }
+  }
+  [[nodiscard]] state::StateStrategyKind state_kind() const noexcept {
+    return strat_.kind;
+  }
+  [[nodiscard]] const char* strategy_name() const noexcept {
+    return state::to_string(strat_.kind);
+  }
+
   [[nodiscard]] CoreId core() const noexcept { return core_; }
   [[nodiscard]] u32 num_cores() const noexcept {
     return static_cast<u32>(tables_.size());
   }
 
-  /// Designated core of a flow (symmetric: both directions agree).
+  /// Designated core of a flow (symmetric: both directions agree). The
+  /// definition is strategy-independent — it names the redirect target
+  /// under writing partition, the sequencer under replication, and the
+  /// housekeeping owner everywhere.
   [[nodiscard]] CoreId designated_core(
       const net::FiveTuple& flow_id) const noexcept {
     return picker_.pick(flow_id);
@@ -69,36 +121,81 @@ class FlowStateApi {
     return picker_.pick_hash(hash);
   }
 
-  /// Insert a flow entry in the local table; returns the zeroed entry (or
-  /// the existing one), nullptr when the table is full. Throws if this core
-  /// is not the flow's designated core (writing-partition violation).
+  /// True when this core owns the flow's lifecycle events — housekeeping
+  /// sweeps gate on it so strategies whose tables hold ALL flows
+  /// (replication replicas, the shared-locked table) expire each flow
+  /// exactly once instead of once per core.
+  [[nodiscard]] bool owns_flow_events(FlowHash hash) const noexcept {
+    return designated_core(hash) == core_;
+  }
+  [[nodiscard]] bool owns_flow_events(
+      const net::FiveTuple& flow_id) const noexcept {
+    return designated_core(flow_id) == core_;
+  }
+
+  /// Insert a flow entry; returns the zeroed entry (or the existing one),
+  /// nullptr when the table is full. Under writing partition and
+  /// replication this core must be the flow's designated core (violations
+  /// throw, naming the active strategy and core).
   [[nodiscard]] void* insert_local_flow(const net::FiveTuple& flow_id) {
     return insert_local_flow(flow_id, FlowTable::hash_of(flow_id));
   }
   [[nodiscard]] void* insert_local_flow(const net::FiveTuple& flow_id,
                                         FlowHash hash) {
-    SPRAYER_CHECK_MSG(designated_core(hash) == core_,
-                      "writing-partition violation: insert_local_flow on "
-                      "non-designated core for " + flow_id.to_string());
+    SPRAYER_CHECK_MSG(may_write_flow(hash),
+                      write_violation("insert_local_flow", flow_id, hash));
     cycles_ += costs_.flow_insert;
     count_write();
-    return local().insert(flow_id, hash);
+    switch (strat_.kind) {
+      case state::StateStrategyKind::kWritingPartition:
+        return local().insert(flow_id, hash);
+      case state::StateStrategyKind::kReplication: {
+        void* e = local().insert(flow_id, hash);
+        if (e != nullptr) strat_.log->record_upsert(flow_id, hash, strat_.hop);
+        return e;
+      }
+      case state::StateStrategyKind::kSharedLocked: {
+        ++counters_.lock_acquisitions;
+        strat_.lock->lock_all();
+        void* e = local().insert(flow_id, hash);
+        strat_.lock->unlock_all();
+        return e;
+      }
+    }
+    return nullptr;
   }
 
-  /// Remove a flow entry from the local table.
+  /// Remove a flow entry.
   bool remove_local_flow(const net::FiveTuple& flow_id) {
     return remove_local_flow(flow_id, FlowTable::hash_of(flow_id));
   }
   bool remove_local_flow(const net::FiveTuple& flow_id, FlowHash hash) {
-    SPRAYER_CHECK_MSG(designated_core(hash) == core_,
-                      "writing-partition violation: remove_local_flow on "
-                      "non-designated core for " + flow_id.to_string());
+    SPRAYER_CHECK_MSG(may_write_flow(hash),
+                      write_violation("remove_local_flow", flow_id, hash));
     cycles_ += costs_.flow_remove;
     count_write();
-    return local().remove(flow_id, hash);
+    switch (strat_.kind) {
+      case state::StateStrategyKind::kWritingPartition:
+        return local().remove(flow_id, hash);
+      case state::StateStrategyKind::kReplication: {
+        const bool removed = local().remove(flow_id, hash);
+        if (removed) strat_.log->record_remove(flow_id, hash, strat_.hop);
+        return removed;
+      }
+      case state::StateStrategyKind::kSharedLocked: {
+        ++counters_.lock_acquisitions;
+        strat_.lock->lock_all();
+        const bool removed = local().remove(flow_id, hash);
+        strat_.lock->unlock_all();
+        return removed;
+      }
+    }
+    return false;
   }
 
-  /// Modifiable entry from the local table; nullptr if absent.
+  /// Modifiable entry from the local table; nullptr if absent. Under
+  /// replication the mutation is logged: its final bytes ship to every
+  /// replica at the next sync harvest.
   [[nodiscard]] void* get_local_flow(const net::FiveTuple& flow_id) {
     return get_local_flow(flow_id, FlowTable::hash_of(flow_id));
   }
@@ -106,30 +203,67 @@ class FlowStateApi {
                                      FlowHash hash) {
     cycles_ += costs_.flow_lookup_local;
     count_write();  // returns a mutable entry: counted as write access
-    return local().find_local(flow_id, hash);
+    switch (strat_.kind) {
+      case state::StateStrategyKind::kWritingPartition:
+        return local().find_local(flow_id, hash);
+      case state::StateStrategyKind::kReplication: {
+        void* e = local().find_local(flow_id, hash);
+        if (e != nullptr) strat_.log->record_upsert(flow_id, hash, strat_.hop);
+        return e;
+      }
+      case state::StateStrategyKind::kSharedLocked: {
+        // The stripe only guards the probe; the returned pointer is mutated
+        // after release. Two cores mutating the same flow's entry race —
+        // the strawman's inherent unsoundness (DESIGN.md §14), which the
+        // writing partition and replication exist to remove.
+        ++counters_.lock_acquisitions;
+        strat_.lock->lock_stripe(hash);
+        void* e = local().find_local(flow_id, hash);
+        strat_.lock->unlock_stripe(hash);
+        return e;
+      }
+    }
+    return nullptr;
   }
 
-  /// Read-only entry from the flow's designated core; nullptr if absent.
-  /// The constness is the paper's contract: only the designated core may
-  /// write (casting it away is the same undefined behavior the paper warns
-  /// about).
+  /// Read-only entry lookup; nullptr if absent. Writing partition reads the
+  /// designated core's table (the constness is the paper's contract: only
+  /// the designated core may write); replication reads the local replica;
+  /// shared-locked copies the entry out under the key's stripe.
   [[nodiscard]] const void* get_flow(const net::FiveTuple& flow_id) {
     return get_flow(flow_id, FlowTable::hash_of(flow_id));
   }
   [[nodiscard]] const void* get_flow(const net::FiveTuple& flow_id,
                                      FlowHash hash) {
-    const CoreId dest = designated_core(hash);
-    cycles_ += (dest == core_) ? costs_.flow_lookup_local
-                               : costs_.flow_lookup_remote;
     count_read();
-    return tables_[dest]->find_remote(flow_id, hash);
+    switch (strat_.kind) {
+      case state::StateStrategyKind::kWritingPartition: {
+        const CoreId dest = designated_core(hash);
+        if (dest == core_) {
+          cycles_ += costs_.flow_lookup_local;
+        } else {
+          cycles_ += costs_.flow_lookup_remote;
+          ++counters_.remote_reads;
+        }
+        return tables_[dest]->find_remote(flow_id, hash);
+      }
+      case state::StateStrategyKind::kReplication:
+        cycles_ += costs_.flow_lookup_local;
+        if (designated_core(hash) != core_) ++counters_.remote_reads_avoided;
+        return local().find_remote(flow_id, hash);
+      case state::StateStrategyKind::kSharedLocked:
+        cycles_ += costs_.flow_lookup_remote;
+        return locked_copy_out(flow_id, hash);
+    }
+    return nullptr;
   }
 
   /// Batched get_flow: amortizes hashing and pipelines the tables' cache
   /// misses with software prefetch (FlowTable::find_batch), so each lookup
   /// is charged the cheaper batched cost. out[i] is nullptr for absent
   /// flows. `hashes[i]` must be hash_of(flow_ids[i]) — typically the
-  /// packets' memoized rx-descriptor hashes.
+  /// packets' memoized rx-descriptor hashes. Shared-locked cannot pipeline
+  /// across stripes and degrades to locked scalar lookups.
   void get_flows(std::span<const net::FiveTuple> flow_ids,
                  std::span<const FlowHash> hashes, std::span<const void*> out);
 
@@ -149,12 +283,31 @@ class FlowStateApi {
   }
   [[nodiscard]] bool read_flow(const net::FiveTuple& flow_id, FlowHash hash,
                                std::span<u8> out) {
-    const CoreId dest = designated_core(hash);
-    cycles_ += (dest == core_) ? costs_.flow_lookup_local
-                               : costs_.flow_lookup_remote;
-    return tables_[dest]->read_consistent(flow_id, hash, out);
+    switch (strat_.kind) {
+      case state::StateStrategyKind::kWritingPartition: {
+        const CoreId dest = designated_core(hash);
+        cycles_ += (dest == core_) ? costs_.flow_lookup_local
+                                   : costs_.flow_lookup_remote;
+        return tables_[dest]->read_consistent(flow_id, hash, out);
+      }
+      case state::StateStrategyKind::kReplication:
+        cycles_ += costs_.flow_lookup_local;
+        if (designated_core(hash) != core_) ++counters_.remote_reads_avoided;
+        return local().read_consistent(flow_id, hash, out);
+      case state::StateStrategyKind::kSharedLocked: {
+        cycles_ += costs_.flow_lookup_remote;
+        ++counters_.lock_acquisitions;
+        strat_.lock->lock_stripe(hash);
+        const bool ok = local().read_consistent(flow_id, hash, out);
+        strat_.lock->unlock_stripe(hash);
+        return ok;
+      }
+    }
+    return false;
   }
 
+  /// This core's table: the owned shard (writing partition), the full
+  /// replica (replication), or the one shared table (shared-locked).
   [[nodiscard]] FlowTable& local() noexcept { return *tables_[core_]; }
   [[nodiscard]] const FlowTable& table(CoreId c) const noexcept {
     return *tables_[c];
@@ -165,8 +318,50 @@ class FlowStateApi {
   [[nodiscard]] const FlowAccessStats& access_stats() const noexcept {
     return access_;
   }
+  [[nodiscard]] const StrategyCounters& strategy_counters() const noexcept {
+    return counters_;
+  }
 
  private:
+  [[nodiscard]] bool may_write_flow(FlowHash hash) const noexcept {
+    // Shared-locked has no write partition: flow events run wherever the
+    // packet arrived and the lock serializes structure.
+    return strat_.kind == state::StateStrategyKind::kSharedLocked ||
+           designated_core(hash) == core_;
+  }
+
+  /// Satellite of DESIGN.md §14: violations name the active strategy and
+  /// the cores involved, so a replication misconfiguration is not
+  /// misreported as a "writing-partition violation".
+  [[nodiscard]] std::string write_violation(const char* op,
+                                            const net::FiveTuple& flow_id,
+                                            FlowHash hash) const {
+    return std::string("state[") + strategy_name() + "] violation: " + op +
+           " on core " + std::to_string(core_) + ", but core " +
+           std::to_string(designated_core(hash)) +
+           " is the designated core for " + flow_id.to_string();
+  }
+
+  /// Shared-locked read: copy the entry into the scratch ring under the
+  /// key's stripe (pointer-stable against concurrent slot reuse; the copy
+  /// itself may still observe a torn in-place update, the same torn-read
+  /// contract find_remote documents).
+  [[nodiscard]] const void* locked_copy_out(const net::FiveTuple& flow_id,
+                                            FlowHash hash) {
+    ++counters_.lock_acquisitions;
+    strat_.lock->lock_stripe(hash);
+    const void* e = local().find_remote(flow_id, hash);
+    if (e != nullptr) {
+      u8* slot = locked_scratch_.get() +
+                 static_cast<std::size_t>(scratch_next_) * scratch_entry_size_;
+      std::memcpy(slot, e, scratch_entry_size_);
+      scratch_next_ = (scratch_next_ + 1) % scratch_slots_;
+      e = slot;
+    }
+    strat_.lock->unlock_stripe(hash);
+    return e;
+  }
+
   void count_read() noexcept {
     (in_conn_ ? access_.reads_in_connection : access_.reads_in_regular)++;
   }
@@ -181,7 +376,35 @@ class FlowStateApi {
   Cycles& cycles_;
   bool in_conn_ = false;
   bool bulk_enabled_ = true;
+  state::CoreStateView strat_;
+  // Shared-locked copy-out ring (see locked_copy_out).
+  std::unique_ptr<u8[]> locked_scratch_;
+  u32 scratch_entry_size_ = 0;
+  u32 scratch_slots_ = 0;
+  u32 scratch_next_ = 0;
   FlowAccessStats access_;
+  StrategyCounters counters_;
 };
+
+/// The one definition of the designated-core port-claim rule, shared by
+/// NAT's allocator and anything else that must pick a translated tuple
+/// landing on a particular core: claim a source port for `probe` such that
+/// the translated flow's *return* direction hashes to designated core
+/// `target`. Routing NAT through this helper (instead of a hand-rolled
+/// predicate next to the PortPool) is what keeps "designated" from
+/// drifting between the state strategies and the port allocator — under
+/// replication and shared-locked, every replica/core must derive the same
+/// port for the same flow or state diverges. `pool` needs
+/// claim_matching(pred) (nf::PortPool's shape; templated so core/ does not
+/// depend on nf/).
+template <typename Pool>
+[[nodiscard]] u16 claim_port_for_designated(Pool& pool, net::FiveTuple probe,
+                                            const FlowStateApi& flows,
+                                            CoreId target) {
+  return pool.claim_matching([&probe, &flows, target](u16 candidate) noexcept {
+    probe.src_port = candidate;
+    return flows.designated_core(probe.reversed()) == target;
+  });
+}
 
 }  // namespace sprayer::core

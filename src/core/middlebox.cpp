@@ -66,6 +66,8 @@ class SimMiddlebox::SimCore final : public sim::IEventTarget,
       // but its NF cycles are still accounted in the busy counter.
       std::span<NfContext* const> ctxs{mbox_.ctx_ptrs_[engine_.id()]};
       mbox_.chain_.housekeeping(ctxs, mbox_.sim_.now());
+      // Replication: broadcast housekeeping expiries right away.
+      engine_.flush_state_sync();
       for (NfContext* ctx : ctxs) {
         engine_.stats().busy_cycles += ctx->drain_consumed();
       }
@@ -163,6 +165,7 @@ SimMiddlebox::SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg,
 
   const u32 hops = chain_.num_hops();
   hop_init_.resize(hops);
+  for (auto& hc : hop_init_) hc.state_strategy = cfg_.state.kind;
   ChainInit chain_init;
   chain_init.hop_cfgs = hop_init_;
   chain_init.num_cores = cfg_.num_cores;
@@ -172,19 +175,17 @@ SimMiddlebox::SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg,
     stateless_chain_ = stateless_chain_ && hop_init_[h].stateless;
   }
 
-  // Per-hop, per-core flow tables: each hop has its own key space and entry
-  // size, so hops never share tables.
-  tables_.resize(hops);
+  // Per-hop flow tables, built by the state strategy (each hop has its own
+  // key space and entry size, so hops never share tables; the strategy
+  // decides shard vs replica vs one shared table).
+  strategy_ = state::StateStrategy::make(cfg_.state, cfg_.num_cores);
   table_ptrs_.resize(hops);
   for (u32 h = 0; h < hops; ++h) {
     const u32 table_capacity =
         hop_init_[h].stateless ? 2u : hop_init_[h].flow_table_capacity;
-    for (u32 c = 0; c < cfg_.num_cores; ++c) {
-      tables_[h].push_back(std::make_unique<FlowTable>(
-          table_capacity, hop_init_[h].flow_entry_size,
-          static_cast<CoreId>(c)));
-      table_ptrs_[h].push_back(tables_[h].back().get());
-    }
+    strategy_->add_hop(table_capacity, hop_init_[h].flow_entry_size);
+    const auto span = strategy_->hop_tables(h);
+    table_ptrs_[h].assign(span.begin(), span.end());
   }
   contexts_.resize(cfg_.num_cores);
   ctx_ptrs_.resize(cfg_.num_cores);
@@ -194,6 +195,8 @@ SimMiddlebox::SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg,
           static_cast<CoreId>(c),
           std::span<FlowTable* const>{table_ptrs_[h]}, picker_, cfg_.costs));
       contexts_[c].back()->flows().set_bulk_enabled(cfg_.bulk_flow_lookup);
+      contexts_[c].back()->configure_state(
+          strategy_->view(static_cast<CoreId>(c), h));
       ctx_ptrs_[c].push_back(contexts_[c].back().get());
     }
     // ctx_ptrs_[c] is complete (and ctx_ptrs_ fully sized) before the
@@ -201,6 +204,10 @@ SimMiddlebox::SimMiddlebox(sim::Simulator& sim, SprayerConfig cfg,
     cores_.push_back(std::make_unique<SimCore>(
         *this, static_cast<CoreId>(c),
         std::span<NfContext* const>{ctx_ptrs_[c]}, stateless_chain_));
+    cores_.back()->engine().set_conn_redirect(
+        strategy_->redirects_connection_packets());
+    cores_.back()->engine().set_state_runtime(
+        strategy_->sync_runtime(static_cast<CoreId>(c)));
   }
 
   nic_.set_rx_listener(this);
@@ -230,8 +237,14 @@ MiddleboxReport SimMiddlebox::report() const {
     r.total.merge(c->engine().stats());
   }
   r.nic = nic_.counters();
-  for (const auto& hop : tables_) {
-    for (const auto& t : hop) r.flow_entries += t->size();
+  for (const auto& hop : table_ptrs_) {
+    const FlowTable* prev = nullptr;
+    for (const FlowTable* t : hop) {
+      // Shared-locked aliases one table into every core slot; count it once.
+      if (t == prev) continue;
+      prev = t;
+      r.flow_entries += t->size();
+    }
   }
   r.flow_access = access_stats();
   return r;

@@ -21,6 +21,7 @@
 #include "nic/nic.hpp"
 #include "sim/link.hpp"
 #include "sim/simulator.hpp"
+#include "state/strategy.hpp"
 
 namespace sprayer::core {
 
@@ -55,12 +56,17 @@ class SimMiddlebox final : public nic::IRxListener {
   [[nodiscard]] nic::SimNic& nic_dev() noexcept { return nic_; }
   [[nodiscard]] IChain& chain() noexcept { return chain_; }
   [[nodiscard]] u32 num_hops() const noexcept { return chain_.num_hops(); }
-  /// Hop 0's flow table on `core` (the whole table for single-NF setups).
+  /// Hop 0's flow table on `core` (the whole table for single-NF setups;
+  /// shape per the state strategy — shard, replica, or shared alias).
   [[nodiscard]] FlowTable& flow_table(CoreId core) noexcept {
-    return *tables_[0][core];
+    return *table_ptrs_[0][core];
   }
   [[nodiscard]] FlowTable& hop_flow_table(u32 hop, CoreId core) noexcept {
-    return *tables_[hop][core];
+    return *table_ptrs_[hop][core];
+  }
+  /// The state strategy the tables were built from (DESIGN.md §14).
+  [[nodiscard]] state::StateStrategy& state_strategy() noexcept {
+    return *strategy_;
   }
   /// Hop 0's context on `core` (the whole context for single-NF setups).
   [[nodiscard]] NfContext& context(CoreId core) noexcept {
@@ -109,8 +115,10 @@ class SimMiddlebox final : public nic::IRxListener {
   bool stateless_chain_ = false;
   CorePicker picker_;
   nic::SimNic nic_;
-  std::vector<std::vector<std::unique_ptr<FlowTable>>> tables_;  // [hop][core]
-  std::vector<std::vector<FlowTable*>> table_ptrs_;              // [hop][core]
+  // Owns every flow table (shape depends on the strategy kind);
+  // table_ptrs_ caches its per-hop spans.
+  std::unique_ptr<state::StateStrategy> strategy_;
+  std::vector<std::vector<FlowTable*>> table_ptrs_;  // [hop][core]
   std::vector<std::vector<std::unique_ptr<NfContext>>> contexts_;  // [core][hop]
   std::vector<std::vector<NfContext*>> ctx_ptrs_;                  // [core][hop]
   std::vector<std::unique_ptr<SimCore>> cores_;

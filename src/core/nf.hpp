@@ -38,6 +38,12 @@ struct NfInitConfig {
   /// init() returns). Null → telemetry off or a non-telemetry executor; an
   /// NF then falls back to a private registry so its counters keep working.
   telemetry::MetricsRegistry* registry = nullptr;
+  /// Set by the framework *before* calling init(): the state strategy the
+  /// middlebox was built with (DESIGN.md §14). NFs rarely care — the
+  /// FlowStateApi hides the difference — but ones with cross-flow invariants
+  /// (NAT's port pool) may need to know their housekeeping runs against a
+  /// replicated or shared table.
+  state::StateStrategyKind state_strategy = state::StateStrategyKind::kWritingPartition;
 };
 
 /// Per-core execution context handed to packet handlers.
@@ -52,6 +58,12 @@ class NfContext {
   [[nodiscard]] CoreId core() const noexcept { return core_; }
   [[nodiscard]] u32 num_cores() const noexcept { return num_cores_; }
   [[nodiscard]] FlowStateApi& flows() noexcept { return api_; }
+
+  /// Attach the state-strategy view for this core/hop (executors call this
+  /// once, right after construction; defaults to plain writing partition).
+  void configure_state(const state::CoreStateView& view) {
+    api_.configure_strategy(view);
+  }
 
   /// Account `c` cycles of NF work for the current packet/batch (the
   /// simulator turns this into time; the threaded executor busy-loops).

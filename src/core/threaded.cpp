@@ -134,6 +134,7 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
 
   const u32 hops = chain_.num_hops();
   hop_init_.resize(hops);
+  for (auto& hc : hop_init_) hc.state_strategy = cfg_.state.kind;
   if (cfg_.telemetry) {
     for (auto& hc : hop_init_) hc.registry = &registry_;
   }
@@ -206,19 +207,18 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
     SPRAYER_CHECK_MSG(s.ok(), "failed to program Flow Director spraying");
   }
 
-  // Per-hop, per-core flow tables: each hop keys by its own tuple space and
-  // entry size, so hops never share a table.
-  tables_.resize(hops);
+  // Per-hop flow tables, built by the state strategy (each hop keys by its
+  // own tuple space and entry size, so hops never share a table; the
+  // strategy decides whether a hop gets per-core shards, per-core replicas,
+  // or one shared table).
+  strategy_ = state::StateStrategy::make(cfg_.state, cfg_.num_cores);
   table_ptrs_.resize(hops);
   for (u32 h = 0; h < hops; ++h) {
     const u32 table_capacity =
         hop_init_[h].stateless ? 2u : hop_init_[h].flow_table_capacity;
-    for (u32 c = 0; c < cfg_.num_cores; ++c) {
-      tables_[h].push_back(std::make_unique<FlowTable>(
-          table_capacity, hop_init_[h].flow_entry_size,
-          static_cast<CoreId>(c)));
-      table_ptrs_[h].push_back(tables_[h].back().get());
-    }
+    strategy_->add_hop(table_capacity, hop_init_[h].flow_entry_size);
+    const auto span = strategy_->hop_tables(h);
+    table_ptrs_[h].assign(span.begin(), span.end());
   }
   contexts_.resize(cfg_.num_cores);
   ctx_ptrs_.resize(cfg_.num_cores);
@@ -228,6 +228,8 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
           static_cast<CoreId>(c),
           std::span<FlowTable* const>{table_ptrs_[h]}, picker_, cfg_.costs));
       contexts_[c].back()->flows().set_bulk_enabled(cfg_.bulk_flow_lookup);
+      contexts_[c].back()->configure_state(
+          strategy_->view(static_cast<CoreId>(c), h));
       ctx_ptrs_[c].push_back(contexts_[c].back().get());
     }
     ports_.push_back(std::make_unique<CorePort>(*this,
@@ -251,7 +253,58 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
     if (live_ != nullptr) {
       engines_.back()->set_flow_recorder(recorders_[c].get());
     }
+    engines_.back()->set_conn_redirect(
+        strategy_->redirects_connection_packets());
+    engines_.back()->set_state_runtime(
+        strategy_->sync_runtime(static_cast<CoreId>(c)));
     rx_rings_.push_back(std::make_unique<Ring>(cfg_.rx_ring_capacity));
+  }
+  if (cfg_.telemetry &&
+      cfg_.state.kind != state::StateStrategyKind::kWritingPartition) {
+    // fn gauges may be registered after finalize(); the cells they read are
+    // single-writer relaxed counters, safe to sample while workers run.
+    if (cfg_.state.kind == state::StateStrategyKind::kReplication) {
+      registry_.gauge_fn("state.sync.frames_sent", [this] {
+        return strategy_->sync_stats().frames_sent;
+      });
+      registry_.gauge_fn("state.sync.bytes_sent", [this] {
+        return strategy_->sync_stats().bytes_sent;
+      });
+      registry_.gauge_fn("state.sync.ops_sent", [this] {
+        return strategy_->sync_stats().ops_sent;
+      });
+      registry_.gauge_fn("state.sync.ops_applied", [this] {
+        return strategy_->sync_stats().ops_applied;
+      });
+      registry_.gauge_fn("state.sync.apply_failures", [this] {
+        return strategy_->sync_stats().apply_failures;
+      });
+      registry_.gauge_fn("state.sync.alloc_stalls", [this] {
+        return strategy_->sync_stats().alloc_stalls;
+      });
+      registry_.gauge_fn("state.divergence.mismatches", [this] {
+        return strategy_->divergence_mismatches();
+      });
+      registry_.gauge_fn("state.remote_reads_avoided", [this] {
+        u64 n = 0;
+        for (const auto& core_ctxs : contexts_) {
+          for (const auto& ctx : core_ctxs) {
+            n += ctx->flows().strategy_counters().remote_reads_avoided;
+          }
+        }
+        return n;
+      });
+    } else {
+      registry_.gauge_fn("state.lock_acquisitions", [this] {
+        u64 n = 0;
+        for (const auto& core_ctxs : contexts_) {
+          for (const auto& ctx : core_ctxs) {
+            n += ctx->flows().strategy_counters().lock_acquisitions;
+          }
+        }
+        return n;
+      });
+    }
   }
   if (adaptive_ != nullptr && cfg_.adaptive.p2c) {
     depth_probe_ = std::make_unique<RxDepthProbe>(*this);
@@ -556,6 +609,9 @@ bool ThreadedMiddlebox::worker_body(CoreId core) {
       // consistent=true snapshot can observe the burst half-applied.
       registry_.begin_update(core);
       chain_.housekeeping(ctx_ptrs_[core], now);
+      // Replication: housekeeping expiries (NAT TIME_WAIT removes) sit in
+      // the op log until a packet would flush them — broadcast them now.
+      engines_[core]->flush_state_sync();
       registry_.end_update(core);
       for (NfContext* ctx : ctx_ptrs_[core]) {
         engines_[core]->stats().busy_cycles += ctx->drain_consumed();

@@ -55,13 +55,17 @@ void NatNf::rewrite(net::Packet* pkt, const Entry& e) noexcept {
 NatNf::Entry* NatNf::open_session(const net::FiveTuple& tuple,
                                   core::NfContext& ctx) {
   auto& flows = ctx.flows();
-  // Pick an external port whose return flow maps back to this core.
+  // Pick an external port whose return flow maps back to the forward
+  // flow's *designated* core (one shared claim rule — see
+  // claim_port_for_designated). Under writing partition and replication
+  // this handler already runs there, so the target equals ctx.core(); under
+  // shared-locked it runs on the arrival core, and anchoring the claim to
+  // the designated core keeps the chosen port — and hence every translated
+  // byte — identical across strategies.
   net::FiveTuple probe = tuple;
   probe.src_ip = cfg_.external_ip;
-  const u16 port = ports_.claim_matching([&](u16 candidate) {
-    probe.src_port = candidate;
-    return flows.designated_core(probe.reversed()) == ctx.core();
-  });
+  const u16 port = core::claim_port_for_designated(
+      ports_, probe, flows, flows.designated_core(tuple));
   if (port == 0) {
     m_port_exhausted_.add(ctx.core());
     return nullptr;
@@ -127,13 +131,16 @@ void NatNf::abort_session(const net::FiveTuple& tuple, Entry& e,
 void NatNf::housekeeping(core::NfContext& ctx) {
   // Expire TIME_WAIT sessions owned by this core. Keys are collected
   // first; each removal also drops the paired entry and frees the port
-  // exactly once (from the rewrite-source side).
+  // exactly once (from the rewrite-source side). The owns_flow_events gate
+  // is what "owned" means under every strategy: replication replicas and
+  // the shared-locked table hold ALL flows, so without it every core would
+  // expire every session — and release each port once per core.
   const Time now = ctx.now();
   std::vector<net::FiveTuple> expired;
   ctx.flows().local().for_each([&](const net::FiveTuple& key, void* data) {
     const auto* e = static_cast<const Entry*>(data);
     if (e->state == SessionState::kTimeWait && e->expires <= now &&
-        e->rewrite_dst == 0) {
+        e->rewrite_dst == 0 && ctx.flows().owns_flow_events(key)) {
       expired.push_back(key);
     }
   });

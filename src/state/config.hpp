@@ -1,0 +1,52 @@
+// State-strategy selection (DESIGN.md §14).
+//
+// The paper's writing partition (§3.3) is one point in the design space of
+// "how do sprayed cores share flow state". This config picks the point:
+//
+//   * kWritingPartition — redirect flow events to the designated core; any
+//     core reads the owner's table lock-free (the paper's design, default).
+//   * kReplication     — State-Compute Replication (arXiv 2309.14647):
+//     every core holds a full replica; the designated core sequences flow
+//     events and broadcasts the resulting state deltas over the existing
+//     mesh rings, so the regular path reads purely local state.
+//   * kSharedLocked    — one shared table behind a striped lock, flow
+//     events processed wherever they arrive: the naive baseline the paper
+//     argues against, kept honest and raced in bench/state_strategy.
+//
+// Kept free of heavyweight includes so core/config.hpp can embed it.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace sprayer::state {
+
+enum class StateStrategyKind : u8 {
+  kWritingPartition,
+  kReplication,
+  kSharedLocked,
+};
+
+[[nodiscard]] constexpr const char* to_string(StateStrategyKind k) noexcept {
+  switch (k) {
+    case StateStrategyKind::kWritingPartition:
+      return "writing_partition";
+    case StateStrategyKind::kReplication:
+      return "replication";
+    case StateStrategyKind::kSharedLocked:
+      return "shared_locked";
+  }
+  return "unknown";
+}
+
+struct StateStrategyConfig {
+  StateStrategyKind kind = StateStrategyKind::kWritingPartition;
+  /// Shared-locked: reader stripes (power of two, at most 64). Structural
+  /// writes take every stripe; readers take one, so stripes bound reader
+  /// convoying, not writer cost.
+  u32 lock_stripes = 64;
+  /// Replication: max payload bytes per state-sync frame (clamped to the
+  /// packet pool's buffer size at broadcast time).
+  u32 sync_frame_bytes = 192;
+};
+
+}  // namespace sprayer::state

@@ -1,0 +1,123 @@
+// Pluggable flow-state strategies (DESIGN.md §14).
+//
+// The StateStrategy object is the control plane: it owns the flow tables in
+// whatever topology its strategy needs, hands per-(core, hop) views to
+// FlowStateApi (state/view.hpp — the non-virtual data plane), and exposes
+// the audit/telemetry surface the executors wire up. One strategy instance
+// serves one middlebox (all hops, all cores).
+//
+// Table topology by strategy, for an NF that asked for per-core capacity C
+// on N cores:
+//   writing-partition — N tables of C, table[c] owned and written by core c
+//                       (the paper's layout, byte-for-byte);
+//   replication       — N replicas of C*bit_ceil(N) each (every replica
+//                       holds the whole flow space), table[c] written only
+//                       by core c: NF handlers on the sequencer, sync-frame
+//                       replay everywhere else — still single-writer;
+//   shared-locked     — ONE table of C*bit_ceil(N), aliased into every
+//                       per-core slot, guarded by a StripedLock.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/flow_table.hpp"
+#include "state/config.hpp"
+#include "state/sync.hpp"
+#include "state/view.hpp"
+
+namespace sprayer::state {
+
+/// Replica-equality audit result (replication only; other strategies report
+/// all-zero). Quiescent callers only: tables are walked unlocked.
+struct DivergenceReport {
+  u64 entries_compared = 0;
+  u64 mismatched_entries = 0;  // present on both sides, different bytes
+  u64 missing_entries = 0;     // in the reference replica, absent elsewhere
+  u64 extra_entries = 0;       // in another replica, absent from reference
+  [[nodiscard]] bool clean() const noexcept {
+    return mismatched_entries == 0 && missing_entries == 0 &&
+           extra_entries == 0;
+  }
+  [[nodiscard]] u64 total() const noexcept {
+    return mismatched_entries + missing_entries + extra_entries;
+  }
+};
+
+/// Aggregated sync counters (all-zero outside replication). Loosely
+/// consistent while workers run, exact at quiescence.
+struct SyncStatsSnapshot {
+  u64 frames_sent = 0;
+  u64 bytes_sent = 0;
+  u64 ops_sent = 0;
+  u64 frames_applied = 0;
+  u64 ops_applied = 0;
+  u64 apply_failures = 0;
+  u64 alloc_stalls = 0;
+};
+
+class StateStrategy {
+ public:
+  using FlowTable = core::FlowTable;
+
+  [[nodiscard]] static std::unique_ptr<StateStrategy> make(
+      const StateStrategyConfig& cfg, u32 num_cores);
+
+  virtual ~StateStrategy() = default;
+
+  [[nodiscard]] virtual StateStrategyKind kind() const noexcept = 0;
+  [[nodiscard]] const char* name() const noexcept { return to_string(kind()); }
+  [[nodiscard]] u32 num_cores() const noexcept { return num_cores_; }
+  [[nodiscard]] virtual u32 num_hops() const noexcept = 0;
+
+  /// Declare the next chain hop (call once per hop, in hop order, before
+  /// any view/table accessor). `capacity` is the per-designated-core
+  /// capacity the NF asked for; strategies scale it as their topology
+  /// requires. Stateless hops pass a minimal capacity like the executors
+  /// always have.
+  virtual void add_hop(u32 capacity, u32 entry_size) = 0;
+
+  /// One FlowTable* per core for `hop` (entries alias for shared-locked).
+  [[nodiscard]] virtual std::span<FlowTable* const> hop_tables(
+      u32 hop) noexcept = 0;
+
+  /// Data-plane view for FlowStateApi of (core, hop).
+  [[nodiscard]] virtual CoreStateView view(CoreId core, u32 hop) noexcept = 0;
+
+  /// Engine-side broadcast/apply runtime; null outside replication.
+  [[nodiscard]] virtual SyncRuntime* sync_runtime(CoreId core) noexcept {
+    (void)core;
+    return nullptr;
+  }
+
+  /// False when connection packets should run on their arrival core
+  /// instead of redirecting to the designated core (shared-locked).
+  [[nodiscard]] virtual bool redirects_connection_packets() const noexcept {
+    return true;
+  }
+
+  /// Compare every replica against core 0's; counts land in the report and
+  /// the cumulative divergence counters below. Quiescent callers only.
+  [[nodiscard]] virtual DivergenceReport check_divergence() {
+    ++divergence_checks_;
+    return {};
+  }
+  [[nodiscard]] u64 divergence_checks() const noexcept {
+    return divergence_checks_;
+  }
+  [[nodiscard]] u64 divergence_mismatches() const noexcept {
+    return divergence_mismatches_;
+  }
+
+  [[nodiscard]] virtual SyncStatsSnapshot sync_stats() const { return {}; }
+
+ protected:
+  explicit StateStrategy(u32 num_cores) : num_cores_(num_cores) {}
+
+  u32 num_cores_;
+  RelaxedU64 divergence_checks_;
+  RelaxedU64 divergence_mismatches_;
+};
+
+}  // namespace sprayer::state

@@ -1,0 +1,134 @@
+#include "state/sync.hpp"
+
+namespace sprayer::state {
+
+namespace {
+
+constexpr std::size_t kKeyBytes = sizeof(net::FiveTuple);
+
+[[nodiscard]] std::size_t op_wire_size(u16 entry_len) noexcept {
+  return sizeof(SyncOpHeader) + kKeyBytes + entry_len;
+}
+
+}  // namespace
+
+std::span<const std::span<const u8>> SyncRuntime::serialize(u32 max_bytes) {
+  wire_.clear();
+  chunks_.clear();
+  // (start, end) offsets per closed chunk; turned into spans only after
+  // wire_ stops reallocating.
+  std::vector<std::pair<std::size_t, std::size_t>> bounds;
+
+  std::size_t chunk_start = 0;
+  std::size_t chunk_ops = 0;
+  auto open_chunk = [&] {
+    chunk_start = wire_.size();
+    chunk_ops = 0;
+    SyncFrameHeader hdr;
+    hdr.src_core = static_cast<u8>(core_);
+    wire_.resize(wire_.size() + sizeof(hdr));
+    std::memcpy(wire_.data() + chunk_start, &hdr, sizeof(hdr));
+  };
+  auto close_chunk = [&] {
+    if (chunk_ops == 0) {
+      wire_.resize(chunk_start);  // drop the empty header
+      return;
+    }
+    auto* hdr = reinterpret_cast<SyncFrameHeader*>(wire_.data() + chunk_start);
+    hdr->op_count = static_cast<u16>(chunk_ops);
+    bounds.emplace_back(chunk_start, wire_.size());
+  };
+
+  open_chunk();
+  for (const ReplOp& op : log_.ops()) {
+    SyncOpHeader oh;
+    oh.kind = static_cast<u8>(op.kind);
+    oh.hop = op.hop;
+    oh.hash = op.hash;
+
+    const u8* entry = nullptr;
+    if (op.kind == ReplOpKind::kUpsert) {
+      SPRAYER_DCHECK(op.hop < replicas_.size());
+      core::FlowTable& t = *replicas_[op.hop];
+      // Current bytes, read at harvest time: a later-removed entry simply
+      // skips its stale upsert (the following remove op still ships).
+      entry = static_cast<const u8*>(t.find_local(op.key, op.hash));
+      if (entry == nullptr) continue;
+      oh.entry_len = static_cast<u16>(t.entry_size());
+    }
+
+    const std::size_t need = op_wire_size(oh.entry_len);
+    SPRAYER_CHECK_MSG(sizeof(SyncFrameHeader) + need <= max_bytes,
+                      "sync_frame_bytes too small for one op");
+    if (wire_.size() - chunk_start + need > max_bytes) {
+      close_chunk();
+      open_chunk();
+    }
+
+    const std::size_t at = wire_.size();
+    wire_.resize(at + need);
+    std::memcpy(wire_.data() + at, &oh, sizeof(oh));
+    std::memcpy(wire_.data() + at + sizeof(oh), &op.key, kKeyBytes);
+    if (entry != nullptr) {
+      std::memcpy(wire_.data() + at + sizeof(oh) + kKeyBytes, entry,
+                  oh.entry_len);
+    }
+    ++chunk_ops;
+  }
+  close_chunk();
+
+  chunks_.reserve(bounds.size());
+  for (const auto& [start, end] : bounds) {
+    chunks_.push_back({wire_.data() + start, end - start});
+  }
+  return chunks_;
+}
+
+SyncRuntime::ApplyResult SyncRuntime::apply(std::span<const u8> payload) {
+  ApplyResult result;
+  SPRAYER_CHECK_MSG(payload.size() >= sizeof(SyncFrameHeader),
+                    "truncated sync frame");
+  SyncFrameHeader hdr;
+  std::memcpy(&hdr, payload.data(), sizeof(hdr));
+  SPRAYER_CHECK_MSG(hdr.magic == kSyncFrameMagic && hdr.version == 1,
+                    "sync frame magic/version mismatch");
+
+  std::size_t off = sizeof(hdr);
+  for (u32 i = 0; i < hdr.op_count; ++i) {
+    SPRAYER_CHECK_MSG(off + sizeof(SyncOpHeader) + kKeyBytes <= payload.size(),
+                      "truncated sync op");
+    SyncOpHeader oh;
+    std::memcpy(&oh, payload.data() + off, sizeof(oh));
+    net::FiveTuple key;
+    std::memcpy(&key, payload.data() + off + sizeof(oh), kKeyBytes);
+    off += sizeof(oh) + kKeyBytes;
+
+    SPRAYER_CHECK_MSG(oh.hop < replicas_.size(), "sync op for unknown hop");
+    core::FlowTable& t = *replicas_[oh.hop];
+    if (oh.kind == static_cast<u8>(ReplOpKind::kUpsert)) {
+      SPRAYER_CHECK_MSG(off + oh.entry_len <= payload.size(),
+                        "truncated sync entry");
+      SPRAYER_CHECK_MSG(oh.entry_len == t.entry_size(),
+                        "sync entry size mismatch");
+      void* e = t.insert(key, oh.hash);
+      if (e != nullptr) {
+        std::memcpy(e, payload.data() + off, oh.entry_len);
+        ++result.upserts;
+      } else {
+        ++stats_.apply_failures;  // replica full: now divergent
+      }
+      off += oh.entry_len;
+    } else {
+      if (t.remove(key, oh.hash)) {
+        ++result.removes;
+      } else {
+        ++stats_.apply_failures;  // remove of a flow this replica never had
+      }
+    }
+  }
+  ++stats_.frames_applied;
+  stats_.ops_applied += result.upserts + result.removes;
+  return result;
+}
+
+}  // namespace sprayer::state

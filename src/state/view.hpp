@@ -1,0 +1,141 @@
+// Per-core data-plane handles a state strategy hands to FlowStateApi.
+//
+// The strategy object (state/strategy.hpp) is the control plane: it builds
+// table topologies and owns the pieces below. The data plane stays
+// non-virtual — FlowStateApi switches on CoreStateView::kind inline, so the
+// writing-partition hot path compiles to the same code it was before the
+// strategies existed (the parity requirement of the ablation).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/compiler.hpp"
+#include "common/types.hpp"
+#include "net/five_tuple.hpp"
+#include "state/config.hpp"
+
+namespace sprayer::state {
+
+// ---------------------------------------------------------------------------
+// Replication op log
+// ---------------------------------------------------------------------------
+
+enum class ReplOpKind : u8 { kUpsert = 0, kRemove = 1 };
+
+/// One logged flow-state mutation on the sequencer (designated) core. Entry
+/// bytes are NOT captured here: the broadcaster reads the entry's *current*
+/// bytes from the sequencer's replica at harvest time, so a batch worth of
+/// in-place mutations collapses into one upsert with the final state.
+struct ReplOp {
+  net::FiveTuple key;
+  u32 hash = 0;
+  u8 hop = 0;
+  ReplOpKind kind = ReplOpKind::kUpsert;
+};
+
+/// Ordered per-core mutation log, appended by FlowStateApi during connection
+/// handlers and housekeeping, harvested by the engine's sync broadcast.
+/// Single-writer: only the owning core's worker touches it.
+class ReplOpLog {
+ public:
+  /// Record an upsert unless the key+hop's most recent logged op is already
+  /// an upsert (the harvest reads final bytes, so consecutive upserts of the
+  /// same entry are redundant). A remove in between keeps both ops: the
+  /// remove/re-insert order must survive on the replicas.
+  void record_upsert(const net::FiveTuple& key, u32 hash, u8 hop) {
+    for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+      if (it->hop != hop || it->key != key) continue;
+      if (it->kind == ReplOpKind::kUpsert) return;
+      break;  // most recent op is a remove: append the re-upsert
+    }
+    ops_.push_back({key, hash, hop, ReplOpKind::kUpsert});
+    ++logged_;
+  }
+
+  void record_remove(const net::FiveTuple& key, u32 hash, u8 hop) {
+    ops_.push_back({key, hash, hop, ReplOpKind::kRemove});
+    ++logged_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+  [[nodiscard]] std::span<const ReplOp> ops() const noexcept { return ops_; }
+  void clear() noexcept { ops_.clear(); }
+  /// Lifetime count of logged ops (dedup-suppressed ones excluded).
+  [[nodiscard]] u64 logged() const noexcept { return logged_; }
+
+ private:
+  std::vector<ReplOp> ops_;
+  u64 logged_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shared-locked stripe set
+// ---------------------------------------------------------------------------
+
+/// The strawman's lock: readers take the key's stripe, structural writers
+/// (insert/remove) take every stripe in index order. That inversion keeps
+/// reads concurrent while making probe sequences safe against concurrent
+/// slot allocation — a probe can cross stripe boundaries, so per-stripe
+/// write locking would race two inserts into one free slot.
+class StripedLock {
+ public:
+  static constexpr u32 kMaxStripes = 64;
+
+  explicit StripedLock(u32 stripes)
+      : count_(stripes), mask_(stripes - 1),
+        stripes_(std::make_unique<Stripe[]>(stripes)) {
+    SPRAYER_CHECK_MSG(stripes >= 1 && stripes <= kMaxStripes &&
+                          (stripes & (stripes - 1)) == 0,
+                      "lock_stripes must be a power of two in [1, 64]");
+  }
+
+  void lock_stripe(u32 hash) noexcept { acquire(hash & mask_); }
+  void unlock_stripe(u32 hash) noexcept { release(hash & mask_); }
+
+  void lock_all() noexcept {
+    for (u32 i = 0; i < count_; ++i) acquire(i);
+  }
+  void unlock_all() noexcept {
+    for (u32 i = count_; i-- > 0;) release(i);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Stripe {
+    std::atomic_flag flag = ATOMIC_FLAG_INIT;
+  };
+
+  void acquire(u32 i) noexcept {
+    while (stripes_[i].flag.test_and_set(std::memory_order_acquire)) {
+      cpu_relax();
+    }
+  }
+  void release(u32 i) noexcept {
+    stripes_[i].flag.clear(std::memory_order_release);
+  }
+
+  u32 count_;
+  u32 mask_;
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+// ---------------------------------------------------------------------------
+// The per-(core, hop) view
+// ---------------------------------------------------------------------------
+
+/// What FlowStateApi needs from its strategy, by kind:
+///   writing-partition — nothing (the default-constructed view);
+///   replication       — the core's shared op log plus this hop's id;
+///   shared-locked     — this hop's stripe set.
+struct CoreStateView {
+  StateStrategyKind kind = StateStrategyKind::kWritingPartition;
+  ReplOpLog* log = nullptr;     // replication only (per core, all hops)
+  StripedLock* lock = nullptr;  // shared-locked only (per hop, all cores)
+  u8 hop = 0;
+};
+
+}  // namespace sprayer::state
