@@ -58,6 +58,16 @@ struct ChainInit {
   /// Per-hop latency counters (…ns). Costs one clock read per hop per
   /// batch, so it is opt-in (SprayerConfig::chain_hop_timing).
   bool hop_timing = false;
+  /// Lifecycle sweep (DESIGN.md §15): housekeeping() drives each stateful
+  /// hop's cursor-bounded idle-aging sweep. NAT's TIME_WAIT reaping also
+  /// rides on it, so leave this on unless the hop set is stateless.
+  bool lifecycle_sweep = true;
+  /// Override of every hop's idle timeout (0 keeps the value each NF's
+  /// init() left in its NfInitConfig).
+  Time idle_timeout_override = 0;
+  /// Tag groups swept per hop per housekeeping tick; 0 = automatic
+  /// (max(64, total_groups / 8): a full rotation every 8 ticks).
+  u32 sweep_groups_per_tick = 0;
 };
 
 /// Monotonic nanosecond clock for per-hop timing (threaded executor).
@@ -119,6 +129,9 @@ class ChainBase : public IChain {
     telemetry::Counter packets;  // packets entering the hop
     telemetry::Counter drops;    // packets the hop's verdicts dropped
     telemetry::Counter ns;       // wall time in the hop (hop_timing only)
+    telemetry::Counter expired;  // entries expired by the lifecycle sweep
+    telemetry::Histogram sweep_ns;      // wall ns per sweep_idle() call
+    telemetry::Histogram sweep_groups;  // tag groups scanned per call
   };
 
   /// Post-hop accounting: `before` packets entered, `dropped` were culled,
@@ -139,10 +152,17 @@ class ChainBase : public IChain {
     }
   }
 
+  /// One sweep_idle() increment for hop `h` (called from housekeeping once
+  /// per stateful hop per tick).
+  void sweep_hop(u32 h, NfContext& ctx);
+
   std::vector<INetworkFunction*> hops_;
   std::vector<u8> hop_stateless_;
   std::vector<HopMetrics> hop_tm_;
+  std::vector<Time> hop_idle_;  // effective per-hop idle timeout
   bool timed_ = false;
+  bool sweep_ = true;
+  u32 sweep_groups_per_tick_ = 0;  // 0 = auto budget
 };
 
 /// Type-erased chain: per-hop virtual dispatch over INetworkFunction.

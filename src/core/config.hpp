@@ -90,6 +90,31 @@ struct AdaptiveSprayConfig {
   u32 min_spray_width = 2;
 };
 
+/// Flow-state lifecycle (DESIGN.md §15): idle aging driven by the
+/// housekeeping tick's cursor-bounded sweep, and opt-in segmented online
+/// growth of the flow tables.
+struct LifecycleConfig {
+  /// Master switch for the per-hop idle-aging sweep. FIN/RST teardown and
+  /// NAT's TIME_WAIT reaping also ride on the sweep, so turning it off
+  /// reverts NAT to no housekeeping at all.
+  bool sweep = true;
+  /// Override of every stateful hop's idle timeout (0 keeps each NF's own
+  /// default — 60 s for monitor/firewall/LB, 120 s for NAT).
+  Time idle_timeout = 0;
+  /// Tag groups each hop's sweep scans per housekeeping tick. 0 = automatic:
+  /// max(64, total_groups / 8), i.e. a full rotation every 8 ticks no matter
+  /// the table size, so expiry latency tracks the housekeeping interval
+  /// instead of the provisioned capacity.
+  u32 sweep_groups_per_tick = 0;
+  /// Override of every stateful hop's flow-table capacity (0 keeps each
+  /// NF's own init() value). Power of two.
+  u32 flow_table_capacity = 0;
+  /// Online growth: each flow table may add up to this many segments of its
+  /// base capacity before insert() fails (FlowTable::set_growth; clamped to
+  /// FlowTable::kMaxSegments). 1 = fixed capacity, the historical behavior.
+  u32 max_table_segments = 1;
+};
+
 struct SprayerConfig {
   u32 num_cores = 8;
   double core_freq_hz = 2.0e9;      // the paper's Xeon E5-2650
@@ -147,6 +172,8 @@ struct SprayerConfig {
   /// striped-lock baseline. Executors build their table topology and
   /// engine hooks from this.
   state::StateStrategyConfig state;
+  /// Flow-state lifecycle: idle aging sweep + segmented table growth.
+  LifecycleConfig lifecycle;
   CostModel costs;
 };
 

@@ -9,6 +9,17 @@ namespace {
 /// grouping, small enough that the gathered prefetches still fit in the
 /// load/fill-buffer window.
 constexpr std::size_t kBulkChunk = 64;
+
+/// Stamp refresh for a batch of hits: same coarse granularity as the scalar
+/// read paths (FlowStateApi::kTouchGranularity).
+void touch_hits(std::span<const void* const> out, Time now) noexcept {
+  for (const void* e : out) {
+    if (e != nullptr) {
+      core::FlowTable::touch_if_stale(e, now,
+                                      FlowStateApi::kTouchGranularity);
+    }
+  }
+}
 }  // namespace
 
 void FlowStateApi::get_flows(std::span<const net::FiveTuple> flow_ids,
@@ -49,12 +60,14 @@ void FlowStateApi::get_flows(std::span<const net::FiveTuple> flow_ids,
       if (designated_core(hashes[i]) != core_) ++counters_.remote_reads_avoided;
     }
     local().find_batch(flow_ids, hashes, out);
+    touch_hits(out.first(flow_ids.size()), now());
     return;
   }
 
   const u32 cores = num_cores();
   if (cores == 1) {
     tables_[0]->find_batch(flow_ids, hashes, out);
+    touch_hits(out.first(flow_ids.size()), now());
     return;
   }
 
@@ -89,6 +102,7 @@ void FlowStateApi::get_flows(std::span<const net::FiveTuple> flow_ids,
       }
     }
   }
+  touch_hits(out.first(flow_ids.size()), now());
 }
 
 void FlowStateApi::get_flows(std::span<const net::FiveTuple> flow_ids,

@@ -22,8 +22,17 @@
 //     reads take the key's stripe and copy the entry out under it.
 //
 // Every call charges its modeled CPU cost to the calling core.
+//
+// Lifecycle (DESIGN.md §15): the API maintains each entry's inline
+// `last_seen` stamp — writes and local lookups touch it outright, read
+// paths touch it at a coarse granularity to avoid cache-line ping-pong on
+// remote tables — and sweep_idle() drives the table's cursor-bounded group
+// sweep, gating expiry on owns_flow_events() so strategies whose tables
+// hold ALL flows (replication replicas, the shared table) expire each flow
+// exactly once, on its designated core.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <span>
 #include <string>
@@ -66,9 +75,21 @@ struct StrategyCounters {
   RelaxedU64 lock_acquisitions;     // shared-locked: one per locked API call
 };
 
+/// One sweep_idle() call's worth of work, for housekeeping telemetry.
+struct SweepStats {
+  u32 groups = 0;   // tag groups scanned this call
+  u32 expired = 0;  // entries handed to on_expire
+};
+
 class FlowStateApi {
  public:
   using FlowHash = FlowTable::FlowHash;
+
+  /// Read-path stamp refresh granularity: a flow's last_seen is only
+  /// re-stored by a read when it is at least this stale, so a hot remotely-
+  /// read flow costs its owner at most one stamp store per millisecond
+  /// instead of one cache-line invalidation per packet.
+  static constexpr Time kTouchGranularity = kMillisecond;
 
   FlowStateApi(CoreId core, std::span<FlowTable* const> tables,
                const CorePicker& picker, const CostModel& costs,
@@ -146,23 +167,24 @@ class FlowStateApi {
                       write_violation("insert_local_flow", flow_id, hash));
     cycles_ += costs_.flow_insert;
     count_write();
+    void* e = nullptr;
     switch (strat_.kind) {
       case state::StateStrategyKind::kWritingPartition:
-        return local().insert(flow_id, hash);
-      case state::StateStrategyKind::kReplication: {
-        void* e = local().insert(flow_id, hash);
+        e = local().insert(flow_id, hash);
+        break;
+      case state::StateStrategyKind::kReplication:
+        e = local().insert(flow_id, hash);
         if (e != nullptr) strat_.log->record_upsert(flow_id, hash, strat_.hop);
-        return e;
-      }
-      case state::StateStrategyKind::kSharedLocked: {
+        break;
+      case state::StateStrategyKind::kSharedLocked:
         ++counters_.lock_acquisitions;
         strat_.lock->lock_all();
-        void* e = local().insert(flow_id, hash);
+        e = local().insert(flow_id, hash);
         strat_.lock->unlock_all();
-        return e;
-      }
+        break;
     }
-    return nullptr;
+    if (e != nullptr) FlowTable::touch(e, now_);
+    return e;
   }
 
   /// Remove a flow entry.
@@ -203,27 +225,28 @@ class FlowStateApi {
                                      FlowHash hash) {
     cycles_ += costs_.flow_lookup_local;
     count_write();  // returns a mutable entry: counted as write access
+    void* e = nullptr;
     switch (strat_.kind) {
       case state::StateStrategyKind::kWritingPartition:
-        return local().find_local(flow_id, hash);
-      case state::StateStrategyKind::kReplication: {
-        void* e = local().find_local(flow_id, hash);
+        e = local().find_local(flow_id, hash);
+        break;
+      case state::StateStrategyKind::kReplication:
+        e = local().find_local(flow_id, hash);
         if (e != nullptr) strat_.log->record_upsert(flow_id, hash, strat_.hop);
-        return e;
-      }
-      case state::StateStrategyKind::kSharedLocked: {
+        break;
+      case state::StateStrategyKind::kSharedLocked:
         // The stripe only guards the probe; the returned pointer is mutated
         // after release. Two cores mutating the same flow's entry race —
         // the strawman's inherent unsoundness (DESIGN.md §14), which the
         // writing partition and replication exist to remove.
         ++counters_.lock_acquisitions;
         strat_.lock->lock_stripe(hash);
-        void* e = local().find_local(flow_id, hash);
+        e = local().find_local(flow_id, hash);
         strat_.lock->unlock_stripe(hash);
-        return e;
-      }
+        break;
     }
-    return nullptr;
+    if (e != nullptr) FlowTable::touch(e, now_);
+    return e;
   }
 
   /// Read-only entry lookup; nullptr if absent. Writing partition reads the
@@ -245,12 +268,17 @@ class FlowStateApi {
           cycles_ += costs_.flow_lookup_remote;
           ++counters_.remote_reads;
         }
-        return tables_[dest]->find_remote(flow_id, hash);
+        const void* e = tables_[dest]->find_remote(flow_id, hash);
+        if (e != nullptr) FlowTable::touch_if_stale(e, now_, kTouchGranularity);
+        return e;
       }
-      case state::StateStrategyKind::kReplication:
+      case state::StateStrategyKind::kReplication: {
         cycles_ += costs_.flow_lookup_local;
         if (designated_core(hash) != core_) ++counters_.remote_reads_avoided;
-        return local().find_remote(flow_id, hash);
+        const void* e = local().find_remote(flow_id, hash);
+        if (e != nullptr) FlowTable::touch_if_stale(e, now_, kTouchGranularity);
+        return e;
+      }
       case state::StateStrategyKind::kSharedLocked:
         cycles_ += costs_.flow_lookup_remote;
         return locked_copy_out(flow_id, hash);
@@ -313,6 +341,64 @@ class FlowStateApi {
     return *tables_[c];
   }
 
+  /// Framework side: the engine advances the API's clock before invoking a
+  /// handler; every stamp touch and expiry decision uses this value.
+  void set_now(Time now) noexcept { now_ = now; }
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// One bounded increment of the idle-aging sweep over this core's local
+  /// table (the owned shard, the full replica, or the shared table — each
+  /// core keeps its own cursor). Scans up to `max_groups` tag groups,
+  /// collects entries for which `pred(key, entry, last_seen)` returns true
+  /// AND this core owns the flow's lifecycle events, then invokes
+  /// `on_expire(key, hash)` for each — after the scan, so the hook may
+  /// freely mutate the table (remove the flow, its NAT pair, ...). At most
+  /// kSweepCandidates expire per call; the rest are caught on the next
+  /// rotation.
+  static constexpr u32 kSweepCandidates = 256;
+  /// Shared-locked scan gate: other cores mutate entry bytes outside any
+  /// lock (the strawman's torn-read contract), so the sweep only
+  /// dereferences entries that have been write-quiescent for this long.
+  /// Every write path touches the stamp first, and each core's per-tick
+  /// lock_all round (below) orders writes that old before this scan's
+  /// acquire — several housekeeping intervals with margin.
+  static constexpr Time kSharedSweepQuiescence = 40 * kMillisecond;
+  template <typename Pred, typename Expire>
+  SweepStats sweep_idle(u32 max_groups, Pred&& pred, Expire&& on_expire) {
+    struct Candidate {
+      net::FiveTuple key;
+      FlowHash hash;
+    };
+    std::array<Candidate, kSweepCandidates> cand;
+    u32 n = 0;
+    SweepStats st;
+    // Shared-locked: hold every stripe for the scan so slot/tag/key reads
+    // (and the predicate's pair probes) are ordered against structural
+    // writers; the other strategies scan their own table lock-free.
+    const bool shared = strat_.kind == state::StateStrategyKind::kSharedLocked;
+    if (shared) {
+      ++counters_.lock_acquisitions;
+      strat_.lock->lock_all();
+    }
+    st.groups = local().sweep_groups(
+        sweep_cursor_, max_groups,
+        [&](const net::FiveTuple& key, void* entry, Time last_seen) {
+          if (n >= cand.size()) return;
+          if (shared && last_seen + kSharedSweepQuiescence > now_) return;
+          if (!pred(key, static_cast<const void*>(entry), last_seen)) return;
+          // Hash only the expiry candidates (the Toeplitz LUT is too dear
+          // to run per live slot), then gate on event ownership so tables
+          // holding all flows expire each one exactly once system-wide.
+          const FlowHash h = FlowTable::hash_of(key);
+          if (!owns_flow_events(h)) return;
+          cand[n++] = Candidate{key, h};
+        });
+    if (shared) strat_.lock->unlock_all();
+    for (u32 i = 0; i < n; ++i) on_expire(cand[i].key, cand[i].hash);
+    st.expired = n;
+    return st;
+  }
+
   /// Framework side: set by the engine before invoking a handler.
   void set_in_connection_handler(bool v) noexcept { in_conn_ = v; }
   [[nodiscard]] const FlowAccessStats& access_stats() const noexcept {
@@ -352,6 +438,9 @@ class FlowStateApi {
     strat_.lock->lock_stripe(hash);
     const void* e = local().find_remote(flow_id, hash);
     if (e != nullptr) {
+      // Touch the real entry (not the copy the caller sees) so the sweep on
+      // the designated core sees the activity.
+      FlowTable::touch_if_stale(e, now_, kTouchGranularity);
       u8* slot = locked_scratch_.get() +
                  static_cast<std::size_t>(scratch_next_) * scratch_entry_size_;
       std::memcpy(slot, e, scratch_entry_size_);
@@ -374,6 +463,8 @@ class FlowStateApi {
   const CorePicker& picker_;
   const CostModel& costs_;
   Cycles& cycles_;
+  Time now_ = 0;
+  u64 sweep_cursor_ = 0;
   bool in_conn_ = false;
   bool bulk_enabled_ = true;
   state::CoreStateView strat_;

@@ -114,22 +114,43 @@ FlowTable::FlowTable(u32 capacity, u32 entry_size, CoreId owner)
     : capacity_(checked_capacity(capacity)),
       group_mask_(capacity_ / kGroupWidth - 1),
       entry_size_(entry_size),
+      stride_(8 + ((entry_size + 7u) & ~7u)),
       owner_(owner),
-      max_occupancy_(capacity_ - capacity_ / 8),  // cap load factor at 87.5 %
-      tags_(static_cast<u8*>(alloc_table_array(capacity_))),
-      key_words_(static_cast<u64*>(
-          alloc_table_array(2ULL * capacity_ * sizeof(u64)))),
-      versions_(std::make_unique<std::atomic<u32>[]>(capacity_)),
-      data_(static_cast<u8*>(alloc_table_array(
-          static_cast<std::size_t>(capacity_) * entry_size))) {
+      seg_max_occupancy_(capacity_ - capacity_ / 8) {  // load factor ≤ 87.5 %
   SPRAYER_CHECK(entry_size >= 1);
   static_assert(kEmptyTag == 0, "zeroed tag array must read as all-empty");
+  Segment& s = segs_[0];
+  s.tags = static_cast<u8*>(alloc_table_array(capacity_));
+  s.key_words =
+      static_cast<u64*>(alloc_table_array(2ULL * capacity_ * sizeof(u64)));
+  s.versions = new std::atomic<u32>[capacity_]();
+  s.data = static_cast<u8*>(
+      alloc_table_array(static_cast<std::size_t>(capacity_) * stride_));
 }
 
 FlowTable::~FlowTable() {
-  free_table_array(data_, static_cast<std::size_t>(capacity_) * entry_size_);
-  free_table_array(key_words_, 2ULL * capacity_ * sizeof(u64));
-  free_table_array(tags_, capacity_);
+  const u32 nsegs = num_segments_.load(std::memory_order_relaxed);
+  for (u32 si = 0; si < nsegs; ++si) {
+    Segment& s = segs_[si];
+    free_table_array(s.data, static_cast<std::size_t>(capacity_) * stride_);
+    delete[] s.versions;
+    free_table_array(s.key_words, 2ULL * capacity_ * sizeof(u64));
+    free_table_array(s.tags, capacity_);
+  }
+}
+
+void FlowTable::grow(u32 nsegs) {
+  SPRAYER_DCHECK(nsegs < max_segments_);
+  Segment& s = segs_[nsegs];
+  s.tags = static_cast<u8*>(alloc_table_array(capacity_));
+  s.key_words =
+      static_cast<u64*>(alloc_table_array(2ULL * capacity_ * sizeof(u64)));
+  s.versions = new std::atomic<u32>[capacity_]();
+  s.data = static_cast<u8*>(
+      alloc_table_array(static_cast<std::size_t>(capacity_) * stride_));
+  // Release-publish: a reader that observes the new count also observes the
+  // fully-built (zeroed, hence all-empty) segment arrays above.
+  num_segments_.store(nsegs + 1, std::memory_order_release);
 }
 
 FlowTable::FlowHash FlowTable::hash_of(const net::FiveTuple& key) noexcept {
@@ -153,31 +174,32 @@ net::FiveTuple FlowTable::unpack_key(PackedKey k) noexcept {
   return t;
 }
 
-FlowTable::PackedKey FlowTable::load_key(u32 slot) const noexcept {
-  u64* w = key_words_ + 2ULL * slot;
+FlowTable::PackedKey FlowTable::load_key(const Segment& s,
+                                         u32 slot) noexcept {
+  u64* w = s.key_words + 2ULL * slot;
   PackedKey k;
   k.a = std::atomic_ref<u64>(w[0]).load(std::memory_order_relaxed);
   k.b = std::atomic_ref<u64>(w[1]).load(std::memory_order_relaxed);
   return k;
 }
 
-void FlowTable::store_key(u32 slot, PackedKey k) noexcept {
-  u64* w = key_words_ + 2ULL * slot;
+void FlowTable::store_key(const Segment& s, u32 slot, PackedKey k) noexcept {
+  u64* w = s.key_words + 2ULL * slot;
   std::atomic_ref<u64>(w[0]).store(k.a, std::memory_order_relaxed);
   std::atomic_ref<u64>(w[1]).store(k.b, std::memory_order_relaxed);
 }
 
-void FlowTable::store_tag(u32 slot, u8 tag) noexcept {
+void FlowTable::store_tag(const Segment& s, u32 slot, u8 tag) noexcept {
   // Release: publishes the key/entry stores that precede it to probing cores.
-  std::atomic_ref<u8>(tags_[slot]).store(tag, std::memory_order_release);
+  std::atomic_ref<u8>(s.tags[slot]).store(tag, std::memory_order_release);
 }
 
-FlowTable::GroupScan FlowTable::scan_group(u32 group,
+FlowTable::GroupScan FlowTable::scan_group(const Segment& seg, u32 group,
                                            u8 needle) const noexcept {
 #if SPRAYER_FLOW_TABLE_SSE2
   // Groups are 16-byte aligned inside the cache-line-aligned tag array.
   const __m128i v = _mm_load_si128(
-      reinterpret_cast<const __m128i*>(tags_ + group_base(group)));
+      reinterpret_cast<const __m128i*>(seg.tags + group_base(group)));
   const auto mask_of = [&](u8 byte) noexcept {
     return static_cast<u32>(_mm_movemask_epi8(
         _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(byte)))));
@@ -193,12 +215,12 @@ FlowTable::GroupScan FlowTable::scan_group(u32 group,
   // per-byte atomic loads, then scan the local copy.
   u8 buf[kGroupWidth];
   for (u32 i = 0; i < kGroupWidth; ++i) {
-    buf[i] = std::atomic_ref<u8>(tags_[group_base(group) + i])
+    buf[i] = std::atomic_ref<u8>(seg.tags[group_base(group) + i])
                  .load(std::memory_order_acquire);
   }
   std::memcpy(w, buf, sizeof w);
 #else
-  std::memcpy(w, tags_ + group_base(group), sizeof w);
+  std::memcpy(w, seg.tags + group_base(group), sizeof w);
 #endif
   const u32 match = bytes_equal_mask(w[0], w[1], needle);
   const u32 empty = bytes_equal_mask(w[0], w[1], kEmptyTag);
@@ -207,17 +229,18 @@ FlowTable::GroupScan FlowTable::scan_group(u32 group,
 #endif
 }
 
-u32 FlowTable::probe(const PackedKey& key, u64 m) const noexcept {
+u32 FlowTable::probe(const Segment& seg, const PackedKey& key,
+                     u64 m) const noexcept {
   const u8 needle = tag_of(m);
   u32 g = group_of(m);
   const u32 num_groups = group_mask_ + 1;
   for (u32 i = 0; i < num_groups; ++i) {
-    const GroupScan s = scan_group(g, needle);
+    const GroupScan s = scan_group(seg, g, needle);
     u32 match = s.match;
     while (match != 0) {
       const u32 slot = group_base(g) + std::countr_zero(match);
       match &= match - 1;
-      if (key_equals(slot, key)) return slot;
+      if (key_equals(seg, slot, key)) return slot;
     }
     // A group with an empty slot was never probed past during insertion,
     // so the key cannot live further down the chain.
@@ -225,6 +248,30 @@ u32 FlowTable::probe(const PackedKey& key, u64 m) const noexcept {
     g = (g + 1) & group_mask_;
   }
   return kNotFound;
+}
+
+FlowTable::InsertScan FlowTable::insert_scan(const Segment& seg,
+                                             const PackedKey& key,
+                                             u64 m) const noexcept {
+  const u8 needle = tag_of(m);
+  u32 g = group_of(m);
+  u32 free_at = kNotFound;
+  const u32 num_groups = group_mask_ + 1;
+  for (u32 i = 0; i < num_groups; ++i) {
+    const GroupScan s = scan_group(seg, g, needle);
+    u32 match = s.match;
+    while (match != 0) {
+      const u32 slot = group_base(g) + std::countr_zero(match);
+      match &= match - 1;
+      if (key_equals(seg, slot, key)) return InsertScan{slot, free_at};
+    }
+    if (free_at == kNotFound && s.free != 0) {
+      free_at = group_base(g) + std::countr_zero(s.free);
+    }
+    if (s.empty != 0) break;  // key definitely absent from this segment
+    g = (g + 1) & group_mask_;
+  }
+  return InsertScan{kNotFound, free_at};
 }
 
 // Memoized-hash verification policy: only the mutating paths (insert /
@@ -238,71 +285,94 @@ u32 FlowTable::probe(const PackedKey& key, u64 m) const noexcept {
 
 void* FlowTable::insert(const net::FiveTuple& key, FlowHash hash) {
   SPRAYER_DCHECK(hash == hash_of(key));
-  if (occupied_.load(std::memory_order_relaxed) >= max_occupancy_) {
+  const u32 nsegs = num_segments_.load(std::memory_order_relaxed);
+  if (occupied_.load(std::memory_order_relaxed) >=
+          static_cast<u64>(seg_max_occupancy_) * nsegs &&
+      nsegs >= max_segments_) {
     return nullptr;
   }
   const PackedKey pk = pack_key(key);
   const u64 m = mix(hash, pk);
-  const u8 needle = tag_of(m);
-  u32 g = group_of(m);
-  u32 insert_at = kNotFound;
-  const u32 num_groups = group_mask_ + 1;
-  for (u32 i = 0; i < num_groups; ++i) {
-    const GroupScan s = scan_group(g, needle);
-    u32 match = s.match;
-    while (match != 0) {
-      const u32 slot = group_base(g) + std::countr_zero(match);
-      match &= match - 1;
-      if (key_equals(slot, pk)) return entry_at(slot);  // idempotent
+  // Scan every published segment for the key first — a flow lives in exactly
+  // one segment, so a fresh placement may only happen once no segment holds
+  // it. Remember the first free slot in the first segment with headroom.
+  u32 place_seg = kNotFound;
+  u32 place_slot = kNotFound;
+  for (u32 si = 0; si < nsegs; ++si) {
+    const InsertScan s = insert_scan(segs_[si], pk, m);
+    if (s.found != kNotFound) return seg_entry(segs_[si], s.found);
+    if (place_slot == kNotFound && s.free_at != kNotFound &&
+        seg_occupied_[si] < seg_max_occupancy_) {
+      place_seg = si;
+      place_slot = s.free_at;
     }
-    if (insert_at == kNotFound && s.free != 0) {
-      insert_at = group_base(g) + std::countr_zero(s.free);
-    }
-    if (s.empty != 0) break;  // key definitely absent
-    g = (g + 1) & group_mask_;
   }
-  if (insert_at == kNotFound) return nullptr;  // table full of live entries
-
-  // Seqlock write: remote readers retry while the version is odd.
-  versions_[insert_at].fetch_add(1, std::memory_order_release);
-  store_key(insert_at, pk);
-  std::memset(entry_at(insert_at), 0, entry_size_);
-  store_tag(insert_at, needle);
-  versions_[insert_at].fetch_add(1, std::memory_order_release);
+  if (place_slot == kNotFound) {
+    if (nsegs >= max_segments_) return nullptr;  // full, growth exhausted
+    grow(nsegs);
+    place_seg = nsegs;
+    place_slot = group_base(group_of(m));  // home group of an empty segment
+  }
+  const Segment& seg = segs_[place_seg];
+  // Seqlock write: remote readers retry while the version is odd. The memset
+  // covers the whole stride so the idle stamp of a recycled slot is cleared
+  // along with the entry bytes.
+  seg.versions[place_slot].fetch_add(1, std::memory_order_release);
+  store_key(seg, place_slot, pk);
+  std::memset(seg_entry(seg, place_slot) - 8, 0, stride_);
+  store_tag(seg, place_slot, tag_of(m));
+  seg.versions[place_slot].fetch_add(1, std::memory_order_release);
+  ++seg_occupied_[place_seg];
   occupied_.fetch_add(1, std::memory_order_relaxed);
-  return entry_at(insert_at);
+  return seg_entry(seg, place_slot);
 }
 
 bool FlowTable::remove(const net::FiveTuple& key, FlowHash hash) {
   SPRAYER_DCHECK(hash == hash_of(key));
   const PackedKey pk = pack_key(key);
   const u64 m = mix(hash, pk);
-  const u32 slot = probe(pk, m);
-  if (slot == kNotFound) return false;
-  const u32 g = slot / kGroupWidth;
-  // If the slot's group already has an empty lane, no probe chain continues
-  // past this group, so the slot can go straight back to empty instead of
-  // leaving a tombstone. (Inductively, such a group has never been probed
-  // past, so nothing further down the chain can depend on it.)
-  const bool to_empty = scan_group(g, tag_of(m)).empty != 0;
-  versions_[slot].fetch_add(1, std::memory_order_release);
-  store_tag(slot, to_empty ? kEmptyTag : kTombstoneTag);
-  versions_[slot].fetch_add(1, std::memory_order_release);
-  occupied_.fetch_sub(1, std::memory_order_relaxed);
-  return true;
+  const u32 nsegs = num_segments_.load(std::memory_order_relaxed);
+  for (u32 si = 0; si < nsegs; ++si) {
+    const Segment& seg = segs_[si];
+    const u32 slot = probe(seg, pk, m);
+    if (slot == kNotFound) continue;
+    const u32 g = slot / kGroupWidth;
+    // If the slot's group already has an empty lane, no probe chain continues
+    // past this group, so the slot can go straight back to empty instead of
+    // leaving a tombstone. (Inductively, such a group has never been probed
+    // past, so nothing further down the chain can depend on it.)
+    const bool to_empty = scan_group(seg, g, tag_of(m)).empty != 0;
+    seg.versions[slot].fetch_add(1, std::memory_order_release);
+    store_tag(seg, slot, to_empty ? kEmptyTag : kTombstoneTag);
+    seg.versions[slot].fetch_add(1, std::memory_order_release);
+    --seg_occupied_[si];
+    occupied_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 void* FlowTable::find_local(const net::FiveTuple& key, FlowHash hash) noexcept {
   const PackedKey pk = pack_key(key);
-  const u32 slot = probe(pk, mix(hash, pk));
-  return slot == kNotFound ? nullptr : entry_at(slot);
+  const u64 m = mix(hash, pk);
+  const u32 nsegs = num_segments_.load(std::memory_order_relaxed);
+  for (u32 si = 0; si < nsegs; ++si) {
+    const u32 slot = probe(segs_[si], pk, m);
+    if (slot != kNotFound) return seg_entry(segs_[si], slot);
+  }
+  return nullptr;
 }
 
 const void* FlowTable::find_remote(const net::FiveTuple& key,
                                    FlowHash hash) const noexcept {
   const PackedKey pk = pack_key(key);
-  const u32 slot = probe(pk, mix(hash, pk));
-  return slot == kNotFound ? nullptr : entry_at(slot);
+  const u64 m = mix(hash, pk);
+  const u32 nsegs = num_segments_.load(std::memory_order_acquire);
+  for (u32 si = 0; si < nsegs; ++si) {
+    const u32 slot = probe(segs_[si], pk, m);
+    if (slot != kNotFound) return seg_entry(segs_[si], slot);
+  }
+  return nullptr;
 }
 
 u32 FlowTable::find_batch(std::span<const net::FiveTuple> keys,
@@ -317,6 +387,11 @@ u32 FlowTable::find_batch(std::span<const net::FiveTuple> keys,
   // keeps the prefetch issue rate even — a burst of 16+ back-to-back
   // prefetches overruns the L1 fill buffers and the excess is silently
   // dropped, resurfacing as demand misses in stage 3.
+  //
+  // The pipeline targets segment 0, where every flow lives until the table
+  // grows; misses fall back to scalar probes of the overflow segments.
+  const u32 nsegs = num_segments_.load(std::memory_order_acquire);
+  const Segment& seg0 = segs_[0];
   const std::size_t total = keys.size();
   constexpr std::size_t kDistance = 16;
   // Mixed hashes for the 2*kDistance lookups in flight between stage 1 and
@@ -327,7 +402,7 @@ u32 FlowTable::find_batch(std::span<const net::FiveTuple> keys,
   const auto stage1 = [&](std::size_t i) noexcept {
     const u64 m = mix(hashes[i], pack_key(keys[i]));
     mbuf[i % mbuf.size()] = m;
-    SPRAYER_PREFETCH_READ(tags_ + group_base(group_of(m)));
+    SPRAYER_PREFETCH_READ(seg0.tags + group_base(group_of(m)));
   };
   // Stage 2: scan the (now resident) home group, prefetch the first
   // candidate's key and entry lines. If the home group has no empty lane the
@@ -335,21 +410,27 @@ u32 FlowTable::find_batch(std::span<const net::FiveTuple> keys,
   const auto stage2 = [&](std::size_t i) noexcept {
     const u64 m = mbuf[i % mbuf.size()];
     const u32 g = group_of(m);
-    const GroupScan s = scan_group(g, tag_of(m));
+    const GroupScan s = scan_group(seg0, g, tag_of(m));
     if (s.match != 0) {
       const u32 slot = group_base(g) + std::countr_zero(s.match);
-      SPRAYER_PREFETCH_READ(key_words_ + 2ULL * slot);
-      SPRAYER_PREFETCH_READ(entry_at(slot));
+      SPRAYER_PREFETCH_READ(seg0.key_words + 2ULL * slot);
+      SPRAYER_PREFETCH_READ(seg_entry(seg0, slot));
     }
     if (s.empty == 0) {
-      SPRAYER_PREFETCH_READ(tags_ + group_base((g + 1) & group_mask_));
+      SPRAYER_PREFETCH_READ(seg0.tags + group_base((g + 1) & group_mask_));
     }
   };
   // Stage 3: full probe — the home tag group and the likely key/entry lines
   // have each been in flight for kDistance lookups' worth of work.
   const auto stage3 = [&](std::size_t i) noexcept {
-    const u32 slot = probe(pack_key(keys[i]), mbuf[i % mbuf.size()]);
-    const void* entry = slot == kNotFound ? nullptr : entry_at(slot);
+    const u64 m = mbuf[i % mbuf.size()];
+    const PackedKey pk = pack_key(keys[i]);
+    u32 slot = probe(seg0, pk, m);
+    const void* entry = slot == kNotFound ? nullptr : seg_entry(seg0, slot);
+    for (u32 si = 1; entry == nullptr && si < nsegs; ++si) {
+      slot = probe(segs_[si], pk, m);
+      if (slot != kNotFound) entry = seg_entry(segs_[si], slot);
+    }
     out[i] = entry;
     return static_cast<u32>(entry != nullptr);
   };
@@ -370,51 +451,70 @@ bool FlowTable::read_consistent(const net::FiveTuple& key, FlowHash hash,
   const PackedKey pk = pack_key(key);
   const u64 m = mix(hash, pk);
   const u8 needle = tag_of(m);
-  u32 g = group_of(m);
+  const u32 nsegs = num_segments_.load(std::memory_order_acquire);
   const u32 num_groups = group_mask_ + 1;
-  for (u32 i = 0; i < num_groups; ++i) {
-    const GroupScan s = scan_group(g, needle);
-    u32 match = s.match;
-    while (match != 0) {
-      const u32 slot = group_base(g) + std::countr_zero(match);
-      match &= match - 1;
-      for (;;) {
-        const u32 v1 = versions_[slot].load(std::memory_order_acquire);
-        if (v1 & 1) {  // writer in progress, retry
-          cpu_relax();
-          continue;
+  for (u32 si = 0; si < nsegs; ++si) {
+    const Segment& seg = segs_[si];
+    u32 g = group_of(m);
+    for (u32 i = 0; i < num_groups; ++i) {
+      const GroupScan s = scan_group(seg, g, needle);
+      u32 match = s.match;
+      while (match != 0) {
+        const u32 slot = group_base(g) + std::countr_zero(match);
+        match &= match - 1;
+        for (;;) {
+          const u32 v1 = seg.versions[slot].load(std::memory_order_acquire);
+          if (v1 & 1) {  // writer in progress, retry
+            cpu_relax();
+            continue;
+          }
+          const bool found =
+              load_tag(seg, slot) == needle && key_equals(seg, slot, pk);
+          if (found) {
+            racy_copy(out.data(), seg_entry(seg, slot), entry_size_);
+          }
+          std::atomic_thread_fence(std::memory_order_acquire);
+          const u32 v2 = seg.versions[slot].load(std::memory_order_relaxed);
+          if (v1 == v2) {
+            if (found) return true;
+            break;  // stable non-match: continue probing
+          }
+          // Version moved under us: retry this slot.
         }
-        const bool found = load_tag(slot) == needle && key_equals(slot, pk);
-        if (found) racy_copy(out.data(), entry_at(slot), entry_size_);
-        std::atomic_thread_fence(std::memory_order_acquire);
-        const u32 v2 = versions_[slot].load(std::memory_order_relaxed);
-        if (v1 == v2) {
-          if (found) return true;
-          break;  // stable non-match: continue probing
-        }
-        // Version moved under us: retry this slot.
       }
+      if (s.empty != 0) break;  // absent from this segment, try the next
+      g = (g + 1) & group_mask_;
     }
-    if (s.empty != 0) return false;
-    g = (g + 1) & group_mask_;
   }
   return false;
 }
 
+const FlowTable::Segment& FlowTable::segment_of(const void* entry,
+                                                u32* slot) const noexcept {
+  const u8* p = static_cast<const u8*>(entry) - 8;
+  const u32 nsegs = num_segments_.load(std::memory_order_relaxed);
+  const std::size_t seg_bytes = static_cast<std::size_t>(capacity_) * stride_;
+  for (u32 si = 0; si < nsegs; ++si) {
+    const Segment& s = segs_[si];
+    if (p >= s.data && p < s.data + seg_bytes) {
+      *slot = static_cast<u32>(static_cast<std::size_t>(p - s.data) / stride_);
+      return s;
+    }
+  }
+  SPRAYER_CHECK_MSG(false, "entry pointer does not belong to this table");
+  return segs_[0];  // unreachable
+}
+
 void FlowTable::write_begin(void* entry) noexcept {
-  const auto offset =
-      static_cast<std::size_t>(static_cast<u8*>(entry) - data_);
-  const u32 index = static_cast<u32>(offset / entry_size_);
-  SPRAYER_DCHECK(index < capacity_);
-  versions_[index].fetch_add(1, std::memory_order_release);
+  u32 slot = 0;
+  const Segment& s = segment_of(entry, &slot);
+  s.versions[slot].fetch_add(1, std::memory_order_release);
 }
 
 void FlowTable::write_end(void* entry) noexcept {
-  const auto offset =
-      static_cast<std::size_t>(static_cast<u8*>(entry) - data_);
-  const u32 index = static_cast<u32>(offset / entry_size_);
-  SPRAYER_DCHECK(index < capacity_);
-  versions_[index].fetch_add(1, std::memory_order_release);
+  u32 slot = 0;
+  const Segment& s = segment_of(entry, &slot);
+  s.versions[slot].fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace sprayer::core

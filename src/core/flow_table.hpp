@@ -19,8 +19,31 @@
 // A per-slot seqlock version makes cross-core reads consistent in the
 // threaded executor without any locking on the writer side; in the
 // single-threaded simulator it is inert.
+//
+// Lifecycle extensions (DESIGN.md §15):
+//
+//  * Every slot carries a `last_seen` Time stamp stored inline, eight bytes
+//    before the entry in the data array (stride = 8 + entry bytes rounded up
+//    to 8). Sharing the entry's cache line means touching the stamp on a
+//    lookup is free — the line is already resident — where a separate stamp
+//    array would cost one extra demand miss per lookup. Stamps are relaxed
+//    atomics outside the seqlock protocol: a torn or stale stamp only shifts
+//    an expiry decision by one sweep rotation, never corrupts state.
+//
+//  * The table can grow online by adding equal-sized segments (opt in via
+//    set_growth()). Each segment is an independent probe domain under the
+//    same group/tag math, so growth never rehashes or moves an entry —
+//    inserts that would have failed at max load spill into a fresh segment
+//    and lookups degrade to probing each published segment in order. The
+//    segment count is published with a release store so concurrent remote
+//    readers either see a fully-built segment or none at all.
+//
+//  * sweep_groups() iterates a bounded number of tag groups per call behind
+//    a caller-held cursor, so housekeeping ticks can age entries
+//    incrementally without ever paying a full-table scan.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <memory>
@@ -29,6 +52,7 @@
 #include "common/check.hpp"
 #include "common/compiler.hpp"
 #include "common/types.hpp"
+#include "common/units.hpp"
 #include "net/five_tuple.hpp"
 
 namespace sprayer::core {
@@ -46,6 +70,10 @@ class FlowTable {
   /// Slots per tag group; one group's tags share a 16-byte line segment.
   static constexpr u32 kGroupWidth = 16;
 
+  /// Hard ceiling on online growth: the table never exceeds
+  /// kMaxSegments × the provisioned capacity.
+  static constexpr u32 kMaxSegments = 8;
+
   /// `capacity` must be a power of two (values below kGroupWidth are rounded
   /// up to it). `entry_size` is the inline state size per flow (NFs set it
   /// in their init function).
@@ -55,7 +83,11 @@ class FlowTable {
   FlowTable(const FlowTable&) = delete;
   FlowTable& operator=(const FlowTable&) = delete;
 
-  [[nodiscard]] u32 capacity() const noexcept { return capacity_; }
+  /// Provisioned slot count across all published segments. With growth off
+  /// (the default) this is the constructor capacity, always.
+  [[nodiscard]] u32 capacity() const noexcept {
+    return capacity_ * num_segments_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] u32 entry_size() const noexcept { return entry_size_; }
   /// Live-entry count. Written only by the owner core; cross-core readers
   /// (stats paths) get a relaxed-atomic snapshot that may lag the owner by
@@ -64,6 +96,18 @@ class FlowTable {
     return occupied_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] CoreId owner() const noexcept { return owner_; }
+
+  /// Allow the table to grow online up to `max_segments` segments of the
+  /// constructor capacity each (clamped to [1, kMaxSegments]). Growth is
+  /// opt-in: without this call insert() fails at max load exactly as a
+  /// fixed-capacity table does. Owner-core only, any time.
+  void set_growth(u32 max_segments) noexcept {
+    max_segments_ = std::min(std::max(max_segments, 1u), kMaxSegments);
+  }
+  [[nodiscard]] u32 num_segments() const noexcept {
+    return num_segments_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] u32 max_segments() const noexcept { return max_segments_; }
 
   /// Insert a flow; returns its (zero-initialized) entry, the existing entry
   /// if the key is already present, or nullptr when the table is full.
@@ -107,7 +151,8 @@ class FlowTable {
   /// Issue a prefetch for the key's tag group (stage one of the bulk
   /// pipeline; useful when lookups span several tables).
   void prefetch(const net::FiveTuple& key, FlowHash hash) const noexcept {
-    SPRAYER_PREFETCH_READ(tags_ + group_base(group_of(mix(hash, pack_key(key)))));
+    SPRAYER_PREFETCH_READ(segs_[0].tags +
+                          group_base(group_of(mix(hash, pack_key(key)))));
   }
 
   /// Seqlock-consistent copy of a flow's entry into `out` (which must be at
@@ -125,12 +170,78 @@ class FlowTable {
   void write_begin(void* entry) noexcept;
   void write_end(void* entry) noexcept;
 
+  // --- Idle-aging stamps -------------------------------------------------
+  //
+  // The stamp lives eight bytes before the entry; any entry pointer handed
+  // out by this table works. Relaxed atomics: a stamp race costs at most one
+  // sweep rotation of expiry precision.
+
+  /// Record activity on a flow. Cheap enough for every hit on a write path.
+  static void touch(void* entry, Time now) noexcept {
+    std::atomic_ref<u64>(*stamp_of(entry)).store(now,
+                                                 std::memory_order_relaxed);
+  }
+  /// Record activity from a read path: skips the store (and the cross-core
+  /// cache-line ping it would cost on a remote table) unless the stamp is at
+  /// least `granularity` old.
+  static void touch_if_stale(const void* entry, Time now,
+                             Time granularity) noexcept {
+    std::atomic_ref<u64> s(*stamp_of(const_cast<void*>(entry)));
+    const u64 prev = s.load(std::memory_order_relaxed);
+    if (now > prev && now - prev >= granularity) {
+      s.store(now, std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] static Time last_seen(const void* entry) noexcept {
+    return std::atomic_ref<u64>(*stamp_of(const_cast<void*>(entry)))
+        .load(std::memory_order_relaxed);
+  }
+
+  /// Tag groups across all published segments — the sweep's rotation length.
+  [[nodiscard]] u64 total_groups() const noexcept {
+    return static_cast<u64>(group_mask_ + 1) *
+           num_segments_.load(std::memory_order_relaxed);
+  }
+
+  /// Scan up to `max_groups` tag groups starting at `cursor` (wrapping),
+  /// calling fn(key, entry, last_seen) for each occupied slot, and advance
+  /// the cursor. Bounded work per call — a full rotation takes
+  /// ceil(total_groups / max_groups) calls. The caller owns the cursor (one
+  /// per sweeping core). Tag loads are acquire atomics so a shared table may
+  /// be swept while other cores mutate it under their locks; a slot that
+  /// changes mid-scan is simply seen in one state or the other.
+  template <typename Fn>
+  u32 sweep_groups(u64& cursor, u32 max_groups, Fn&& fn) {
+    const u32 nsegs = num_segments_.load(std::memory_order_acquire);
+    const u64 total = static_cast<u64>(group_mask_ + 1) * nsegs;
+    const u32 shift = static_cast<u32>(std::countr_zero(group_mask_ + 1));
+    const u32 n = static_cast<u32>(
+        std::min<u64>(max_groups, total));
+    for (u32 k = 0; k < n; ++k) {
+      const u64 g = cursor % total;
+      ++cursor;
+      const Segment& s = segs_[static_cast<u32>(g >> shift)];
+      const u32 base = group_base(static_cast<u32>(g) & group_mask_);
+      for (u32 lane = 0; lane < kGroupWidth; ++lane) {
+        const u32 slot = base + lane;
+        if (load_tag(s, slot) & kOccupiedBit) {
+          fn(unpack_key(load_key(s, slot)), seg_entry(s, slot),
+             last_seen(seg_entry(s, slot)));
+        }
+      }
+    }
+    return n;
+  }
+
   /// Iterate all live entries (owner core): fn(key, entry).
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (u32 i = 0; i < capacity_; ++i) {
-      if (tags_[i] & kOccupiedBit) {
-        fn(unpack_key(load_key(i)), entry_at(i));
+    const u32 nsegs = num_segments_.load(std::memory_order_relaxed);
+    for (u32 si = 0; si < nsegs; ++si) {
+      for (u32 i = 0; i < capacity_; ++i) {
+        if (segs_[si].tags[i] & kOccupiedBit) {
+          fn(unpack_key(load_key(segs_[si], i)), seg_entry(segs_[si], i));
+        }
       }
     }
   }
@@ -142,6 +253,17 @@ class FlowTable {
   static constexpr u8 kEmptyTag = 0x00;
   static constexpr u8 kTombstoneTag = 0x01;
   static constexpr u8 kOccupiedBit = 0x80;
+
+  /// One equal-capacity probe domain. segs_[0] is built by the constructor;
+  /// further segments appear only via grow(). The array itself is inline so
+  /// readers never chase a reallocating pointer — publication is just the
+  /// release store of num_segments_.
+  struct Segment {
+    u8* tags = nullptr;        // cache-line aligned, one byte per slot
+    u64* key_words = nullptr;  // 2 per slot
+    std::atomic<u32>* versions = nullptr;  // seqlock, 1 per slot
+    u8* data = nullptr;        // stride_ bytes per slot: 8B stamp + entry
+  };
 
   /// The five-tuple, packed into two words so cross-core key loads can be
   /// word-sized relaxed atomics (TSan-visible, plain movs on x86).
@@ -159,7 +281,8 @@ class FlowTable {
     u32 free;   // empty or tombstone
     u32 empty;  // empty only (terminates probe chains)
   };
-  [[nodiscard]] GroupScan scan_group(u32 group, u8 needle) const noexcept;
+  [[nodiscard]] GroupScan scan_group(const Segment& s, u32 group,
+                                     u8 needle) const noexcept;
 
   /// Derive the 64-bit table index from the flow hash plus the packed key.
   /// The symmetric Toeplitz value alone cannot index the table: a 16-bit-
@@ -186,41 +309,64 @@ class FlowTable {
     return group * kGroupWidth;
   }
 
-  [[nodiscard]] PackedKey load_key(u32 slot) const noexcept;
-  void store_key(u32 slot, PackedKey k) noexcept;
-  [[nodiscard]] bool key_equals(u32 slot, const PackedKey& k) const noexcept {
-    return load_key(slot) == k;
+  [[nodiscard]] static PackedKey load_key(const Segment& s,
+                                          u32 slot) noexcept;
+  static void store_key(const Segment& s, u32 slot, PackedKey k) noexcept;
+  [[nodiscard]] static bool key_equals(const Segment& s, u32 slot,
+                                       const PackedKey& k) noexcept {
+    return load_key(s, slot) == k;
   }
 
-  [[nodiscard]] u8* entry_at(u32 index) noexcept {
-    return data_ + static_cast<std::size_t>(index) * entry_size_;
+  [[nodiscard]] u8* seg_entry(const Segment& s, u32 index) const noexcept {
+    return s.data + static_cast<std::size_t>(index) * stride_ + 8;
   }
-  [[nodiscard]] const u8* entry_at(u32 index) const noexcept {
-    return data_ + static_cast<std::size_t>(index) * entry_size_;
+  [[nodiscard]] static u64* stamp_of(void* entry) noexcept {
+    return reinterpret_cast<u64*>(static_cast<u8*>(entry) - 8);
   }
 
-  /// Probe for a key. Returns the slot index or kNotFound.
+  /// Probe one segment for a key. Returns the slot index or kNotFound.
   static constexpr u32 kNotFound = 0xffffffffu;
-  [[nodiscard]] u32 probe(const PackedKey& key, u64 m) const noexcept;
+  [[nodiscard]] u32 probe(const Segment& s, const PackedKey& key,
+                          u64 m) const noexcept;
 
-  void store_tag(u32 slot, u8 tag) noexcept;
-  [[nodiscard]] u8 load_tag(u32 slot) const noexcept {
-    return std::atomic_ref<u8>(tags_[slot]).load(std::memory_order_acquire);
+  /// Dual-purpose insert scan of one segment: the key's slot if present,
+  /// else the first free slot on its probe chain (kNotFound when the chain
+  /// covered the whole segment without a free lane).
+  struct InsertScan {
+    u32 found;
+    u32 free_at;
+  };
+  [[nodiscard]] InsertScan insert_scan(const Segment& s, const PackedKey& key,
+                                       u64 m) const noexcept;
+
+  /// Allocate and publish one more segment. Owner-core only.
+  void grow(u32 nsegs);
+
+  static void store_tag(const Segment& s, u32 slot, u8 tag) noexcept;
+  [[nodiscard]] static u8 load_tag(const Segment& s, u32 slot) noexcept {
+    return std::atomic_ref<u8>(s.tags[slot]).load(std::memory_order_acquire);
   }
 
-  u32 capacity_;
-  u32 group_mask_;  // (capacity / kGroupWidth) - 1
+  /// Locate the segment whose data array contains `entry` (for
+  /// write_begin/write_end). The pointer was handed out by this table, so
+  /// the linear scan over ≤kMaxSegments ranges always hits.
+  [[nodiscard]] const Segment& segment_of(const void* entry,
+                                          u32* slot) const noexcept;
+
+  u32 capacity_;    // slots per segment
+  u32 group_mask_;  // (capacity_ / kGroupWidth) - 1, per segment
   u32 entry_size_;
+  u32 stride_;      // 8-byte stamp + entry_size_ rounded up to 8
   CoreId owner_;
+  u32 max_segments_ = 1;           // set_growth() raises, owner-core only
+  std::atomic<u32> num_segments_{1};  // release-published segment count
   std::atomic<u32> occupied_{0};  // owner writes, stats paths read relaxed
-  u32 max_occupancy_;
-  // tags_/key_words_/data_ are probed at random by every core; they are
-  // allocated hugepage-hinted (see alloc_table_array) so large tables do not
-  // turn every probe — and every software prefetch — into a TLB miss.
-  u8* tags_;         // cache-line aligned, one byte per slot
-  u64* key_words_;   // 2 per slot
-  std::unique_ptr<std::atomic<u32>[]> versions_;  // seqlock, 1 per slot
-  u8* data_;
+  u32 seg_max_occupancy_;         // per segment, 87.5 % load cap
+  u32 seg_occupied_[kMaxSegments] = {};  // guarded by owner/insert exclusion
+  // Table arrays are probed at random by every core; they are allocated
+  // hugepage-hinted (see alloc_table_array) so large tables do not turn
+  // every probe — and every software prefetch — into a TLB miss.
+  Segment segs_[kMaxSegments];
 };
 
 }  // namespace sprayer::core

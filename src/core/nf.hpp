@@ -44,6 +44,13 @@ struct NfInitConfig {
   /// (NAT's port pool) may need to know their housekeeping runs against a
   /// replicated or shared table.
   state::StateStrategyKind state_strategy = state::StateStrategyKind::kWritingPartition;
+  /// Idle timeout for this NF's flow entries, driven by the lifecycle sweep
+  /// (DESIGN.md §15): a flow whose last_seen stamp is at least this old is
+  /// offered to flow_expired()/on_expire() on its designated core. NFs set
+  /// their protocol-appropriate default in init(); 0 disables idle aging
+  /// for the hop (FIN/RST teardown still applies). The framework may
+  /// override it afterwards (LifecycleConfig::idle_timeout).
+  Time flow_idle_timeout = 0;
 };
 
 /// Per-core execution context handed to packet handlers.
@@ -73,7 +80,10 @@ class NfContext {
   [[nodiscard]] Time now() const noexcept { return now_; }
 
   // --- framework side -------------------------------------------------
-  void set_now(Time t) noexcept { now_ = t; }
+  void set_now(Time t) noexcept {
+    now_ = t;
+    api_.set_now(t);  // stamps and expiry decisions share the batch clock
+  }
   [[nodiscard]] Cycles drain_consumed() noexcept {
     const Cycles c = consumed_;
     consumed_ = 0;
@@ -205,6 +215,32 @@ class INetworkFunction {
   /// runs on every core with its own context, so NFs can expire local flow
   /// state (e.g. NAT TIME_WAIT) without violating the writing partition.
   virtual void housekeeping(NfContext& ctx) { (void)ctx; }
+
+  /// Lifecycle hook (DESIGN.md §15): should this entry expire now? Called
+  /// from the housekeeping sweep on the flow's designated core, for entries
+  /// in this NF's table. The default is plain idle aging against the hop's
+  /// idle timeout; NFs with richer per-entry state (NAT's TIME_WAIT
+  /// deadline, paired entries) override it. Must not mutate state — return
+  /// true and do the teardown in on_expire().
+  [[nodiscard]] virtual bool flow_expired(const net::FiveTuple& key,
+                                          const void* entry, Time last_seen,
+                                          Time idle_timeout, NfContext& ctx) {
+    (void)key;
+    (void)entry;
+    return idle_timeout > 0 && last_seen + idle_timeout <= ctx.now();
+  }
+
+  /// Lifecycle hook: tear down one expired flow. Runs on the flow's
+  /// designated core, after the sweep's scan pass, so it may freely mutate
+  /// the table. Exactly-once per flow system-wide (the sweep gates on event
+  /// ownership). NFs holding resources beyond the entry itself — NAT ports,
+  /// LB backend counts — override this to release them; the default just
+  /// removes the entry (which under replication also ships the remove to
+  /// every replica through the sync frames).
+  virtual void on_expire(const net::FiveTuple& key, FlowTable::FlowHash hash,
+                         NfContext& ctx) {
+    ctx.flows().remove_local_flow(key, hash);
+  }
 
   /// True for NFs that rewrite the five-tuple of forwarded packets (NAT):
   /// a chain invalidates and recomputes the memoized RSS hash exactly once

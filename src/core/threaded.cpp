@@ -143,6 +143,9 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
   chain_init.num_cores = cfg_.num_cores;
   chain_init.registry = cfg_.telemetry ? &registry_ : nullptr;
   chain_init.hop_timing = cfg_.chain_hop_timing;
+  chain_init.lifecycle_sweep = cfg_.lifecycle.sweep;
+  chain_init.idle_timeout_override = cfg_.lifecycle.idle_timeout;
+  chain_init.sweep_groups_per_tick = cfg_.lifecycle.sweep_groups_per_tick;
   chain_.init(chain_init);
   if (cfg_.telemetry) registry_.finalize();
   stateless_chain_ = true;
@@ -214,11 +217,21 @@ ThreadedMiddlebox::ThreadedMiddlebox(SprayerConfig cfg,
   strategy_ = state::StateStrategy::make(cfg_.state, cfg_.num_cores);
   table_ptrs_.resize(hops);
   for (u32 h = 0; h < hops; ++h) {
-    const u32 table_capacity =
+    u32 table_capacity =
         hop_init_[h].stateless ? 2u : hop_init_[h].flow_table_capacity;
+    if (!hop_init_[h].stateless && cfg_.lifecycle.flow_table_capacity != 0) {
+      table_capacity = cfg_.lifecycle.flow_table_capacity;
+    }
     strategy_->add_hop(table_capacity, hop_init_[h].flow_entry_size);
     const auto span = strategy_->hop_tables(h);
     table_ptrs_[h].assign(span.begin(), span.end());
+    if (!hop_init_[h].stateless && cfg_.lifecycle.max_table_segments > 1) {
+      // Opt-in online growth (idempotent when the strategy aliases one
+      // shared table into every per-core slot).
+      for (FlowTable* t : table_ptrs_[h]) {
+        t->set_growth(cfg_.lifecycle.max_table_segments);
+      }
+    }
   }
   contexts_.resize(cfg_.num_cores);
   ctx_ptrs_.resize(cfg_.num_cores);

@@ -23,6 +23,7 @@ void FirewallNf::connection_packets(runtime::PacketBatch& batch,
       }
       auto* e = static_cast<Entry*>(ctx.flows().insert_local_flow(key));
       if (e == nullptr) {  // table full: fail closed
+        m_table_full_.add(ctx.core());
         verdicts.drop(i);
         continue;
       }
@@ -44,7 +45,10 @@ void FirewallNf::connection_packets(runtime::PacketBatch& batch,
       (void)ctx.flows().remove_local_flow(key);
       m_closed_.add(ctx.core());
     } else if (tcp.has(net::TcpFlags::kFin)) {
-      if (++e->fin_count >= 2) {
+      // One bit per direction: retransmitted FINs from one side never add
+      // up to a full close.
+      e->fin_seen |= direction_bit(tuple, key);
+      if (e->fin_seen == 3) {
         (void)ctx.flows().remove_local_flow(key);
         m_closed_.add(ctx.core());
       }

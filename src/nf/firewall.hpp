@@ -21,11 +21,14 @@ class FirewallNf final : public core::INetworkFunction {
   void init(core::NfInitConfig& cfg, u32 num_cores) override {
     cfg.flow_table_capacity = 1u << 16;
     cfg.flow_entry_size = sizeof(Entry);
+    cfg.flow_idle_timeout = 60 * kSecond;  // idle connections age out
     auto& reg = tm_.attach(cfg.registry, num_cores);
     m_admitted_ = reg.counter("firewall.admitted");
     m_rejected_ = reg.counter("firewall.rejected_by_acl");
     m_no_state_ = reg.counter("firewall.dropped_no_state");
     m_closed_ = reg.counter("firewall.closed");
+    m_table_full_ = reg.counter("firewall.table_full");
+    m_expired_ = reg.counter("firewall.expired");
     tm_.seal();
   }
 
@@ -37,6 +40,13 @@ class FirewallNf final : public core::INetworkFunction {
   /// from the shared per-batch metadata.
   void regular_packets(runtime::PacketBatch& batch, core::BatchMeta& meta,
                        core::NfContext& ctx, core::BatchVerdicts& verdicts);
+  void on_expire(const net::FiveTuple& key, core::FlowTable::FlowHash hash,
+                 core::NfContext& ctx) override {
+    if (ctx.flows().remove_local_flow(key, hash)) {
+      m_expired_.add(ctx.core());
+      m_closed_.add(ctx.core());
+    }
+  }
 
   [[nodiscard]] const char* name() const noexcept override {
     return "firewall";
@@ -50,20 +60,31 @@ class FirewallNf final : public core::INetworkFunction {
     u64 rejected_by_acl = 0;
     u64 dropped_no_state = 0;
     u64 closed = 0;
+    u64 table_full = 0;  // SYNs dropped fail-closed for lack of table room
+    u64 expired = 0;     // contexts reclaimed by idle aging (subset of closed)
   };
   [[nodiscard]] FwCounters counters() const noexcept {
-    return FwCounters{tm_.total(m_admitted_), tm_.total(m_rejected_),
-                      tm_.total(m_no_state_), tm_.total(m_closed_)};
+    return FwCounters{tm_.total(m_admitted_),   tm_.total(m_rejected_),
+                      tm_.total(m_no_state_),   tm_.total(m_closed_),
+                      tm_.total(m_table_full_), tm_.total(m_expired_)};
   }
 
  private:
   struct Entry {
     Time established_at = 0;
     u8 valid = 0;
-    u8 fin_count = 0;
+    /// Per-direction FIN bits (bit 0: canonical direction, bit 1: reverse);
+    /// retransmitted FINs cannot close a half-open connection.
+    u8 fin_seen = 0;
     u8 pad[6] = {};
   };
   static_assert(sizeof(Entry) == 16);
+
+  /// Which fin_seen bit a packet's arrival direction maps to.
+  [[nodiscard]] static u8 direction_bit(const net::FiveTuple& pkt_tuple,
+                                        const net::FiveTuple& canon) noexcept {
+    return pkt_tuple == canon ? 1 : 2;
+  }
 
   Acl acl_;
   telemetry::RegistrySlot tm_;
@@ -71,6 +92,8 @@ class FirewallNf final : public core::INetworkFunction {
   telemetry::Counter m_rejected_;
   telemetry::Counter m_no_state_;
   telemetry::Counter m_closed_;
+  telemetry::Counter m_table_full_;
+  telemetry::Counter m_expired_;
 };
 
 }  // namespace sprayer::nf

@@ -38,6 +38,9 @@ void LoadBalancerNf::connection_packets(runtime::PacketBatch& batch,
       }
       auto* e = static_cast<Entry*>(ctx.flows().insert_local_flow(key));
       if (e == nullptr) {
+        // Fail-closed: no room to pin the connection, so drop the SYN
+        // rather than spray it at an untracked backend.
+        m_table_full_.add(ctx.core());
         verdicts.drop(i);
         continue;
       }
@@ -62,13 +65,31 @@ void LoadBalancerNf::connection_packets(runtime::PacketBatch& batch,
     if (is_to_vip(tuple)) {
       pkt->eth().set_dst(cfg_.backends[e->backend].mac);
     }
-    const bool close =
-        tcp.has(net::TcpFlags::kRst) ||
-        (tcp.has(net::TcpFlags::kFin) && ++e->fin_count >= 2);
+    if (tcp.has(net::TcpFlags::kFin)) {
+      // One bit per direction: a retransmitted FIN from the same side must
+      // not count as the peer's half of the handshake.
+      e->fin_seen |= direction_bit(tuple, key);
+    }
+    const bool close = tcp.has(net::TcpFlags::kRst) || e->fin_seen == 3;
     if (close) {
       per_core_[ctx.core()].delta[e->backend] -= 1;
       (void)ctx.flows().remove_local_flow(key);
     }
+  }
+}
+
+void LoadBalancerNf::on_expire(const net::FiveTuple& key,
+                               core::FlowTable::FlowHash hash,
+                               core::NfContext& ctx) {
+  // Re-fetch through the API (the sweep's entry pointer is not stable
+  // across the candidate pass) so the backend delta is released exactly
+  // once, by whoever actually removes the entry.
+  auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(key));
+  if (e == nullptr || !e->valid) return;
+  const u16 backend = e->backend;
+  if (ctx.flows().remove_local_flow(key, hash)) {
+    per_core_[ctx.core()].delta[backend] -= 1;
+    m_expired_.add(ctx.core());
   }
 }
 

@@ -43,11 +43,14 @@ class LoadBalancerNf final : public core::INetworkFunction {
   void init(core::NfInitConfig& init, u32 num_cores) override {
     init.flow_table_capacity = 1u << 16;
     init.flow_entry_size = sizeof(Entry);
+    init.flow_idle_timeout = 60 * kSecond;  // idle flow-server pins age out
     num_cores_ = num_cores;
     auto& reg = tm_.attach(init.registry, num_cores);
     m_assigned_ = reg.counter("lb.assigned");
     m_no_state_ = reg.counter("lb.dropped_no_state");
     m_not_vip_ = reg.counter("lb.dropped_not_vip");
+    m_table_full_ = reg.counter("lb.table_full");
+    m_expired_ = reg.counter("lb.expired");
     tm_.seal();
   }
 
@@ -59,6 +62,8 @@ class LoadBalancerNf final : public core::INetworkFunction {
   /// pre-extracted from the shared per-batch metadata.
   void regular_packets(runtime::PacketBatch& batch, core::BatchMeta& meta,
                        core::NfContext& ctx, core::BatchVerdicts& verdicts);
+  void on_expire(const net::FiveTuple& key, core::FlowTable::FlowHash hash,
+                 core::NfContext& ctx) override;
 
   [[nodiscard]] const char* name() const noexcept override { return "lb"; }
 
@@ -73,20 +78,32 @@ class LoadBalancerNf final : public core::INetworkFunction {
     u64 assigned = 0;
     u64 dropped_no_state = 0;
     u64 dropped_not_vip = 0;
+    u64 table_full = 0;  // SYNs dropped because the flow-server map was full
+    u64 expired = 0;     // pins released by idle aging
   };
   [[nodiscard]] LbCounters counters() const noexcept {
     return LbCounters{tm_.total(m_assigned_), tm_.total(m_no_state_),
-                      tm_.total(m_not_vip_)};
+                      tm_.total(m_not_vip_), tm_.total(m_table_full_),
+                      tm_.total(m_expired_)};
   }
 
  private:
   struct Entry {
     u16 backend = 0;
     u8 valid = 0;
-    u8 fin_count = 0;
+    /// Per-direction FIN bits (bit 0: canonical direction, bit 1: reverse);
+    /// a retransmitted FIN sets the same bit twice instead of tearing the
+    /// pin down early.
+    u8 fin_seen = 0;
     u8 pad[4] = {};
   };
   static_assert(sizeof(Entry) == 8);
+
+  /// Which fin_seen bit a packet's arrival direction maps to.
+  [[nodiscard]] static u8 direction_bit(const net::FiveTuple& pkt_tuple,
+                                        const net::FiveTuple& canon) noexcept {
+    return pkt_tuple == canon ? 1 : 2;
+  }
 
   /// Per-core, per-backend deltas; padded to avoid false sharing.
   struct alignas(kCacheLineSize) CoreCounters {
@@ -111,6 +128,8 @@ class LoadBalancerNf final : public core::INetworkFunction {
   telemetry::Counter m_assigned_;
   telemetry::Counter m_no_state_;
   telemetry::Counter m_not_vip_;
+  telemetry::Counter m_table_full_;
+  telemetry::Counter m_expired_;
 };
 
 }  // namespace sprayer::nf

@@ -14,7 +14,18 @@ MonitorNf::Totals MonitorNf::aggregate() const {
   out.tracked_packets = tm_.total(m_tracked_);
   out.connections_opened = tm_.total(m_opened_);
   out.connections_closed = tm_.total(m_closed_);
+  out.connections_expired = tm_.total(m_expired_);
+  out.table_full = tm_.total(m_table_full_);
   return out;
+}
+
+void MonitorNf::on_expire(const net::FiveTuple& key,
+                          core::FlowTable::FlowHash hash,
+                          core::NfContext& ctx) {
+  if (ctx.flows().remove_local_flow(key, hash)) {
+    m_expired_.add(ctx.core());
+    m_closed_.add(ctx.core());
+  }
 }
 
 void MonitorNf::connection_packets(runtime::PacketBatch& batch,
@@ -27,7 +38,9 @@ void MonitorNf::connection_packets(runtime::PacketBatch& batch,
 
     if (tcp.has(net::TcpFlags::kSyn) && !tcp.has(net::TcpFlags::kAck)) {
       auto* e = static_cast<Entry*>(ctx.flows().insert_local_flow(key));
-      if (e != nullptr && !e->valid) {
+      if (e == nullptr) {
+        m_table_full_.add(core);
+      } else if (!e->valid) {
         e->valid = 1;
         e->first_seen = ctx.now();
         m_opened_.add(core);
@@ -36,9 +49,13 @@ void MonitorNf::connection_packets(runtime::PacketBatch& batch,
       if (ctx.flows().remove_local_flow(key)) m_closed_.add(core);
     } else if (tcp.has(net::TcpFlags::kFin)) {
       auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(key));
-      const u8 fins_needed = close_on_single_fin_ ? 1 : 2;
-      if (e != nullptr && e->valid && ++e->fin_count >= fins_needed) {
-        if (ctx.flows().remove_local_flow(key)) m_closed_.add(core);
+      if (e != nullptr && e->valid) {
+        // A FIN only counts toward teardown once per direction: bits, not a
+        // counter, so retransmitted FINs cannot close a half-open connection.
+        e->fin_seen |= direction_bit(pkt->five_tuple(), key);
+        const bool done =
+            close_on_single_fin_ ? e->fin_seen != 0 : e->fin_seen == 3;
+        if (done && ctx.flows().remove_local_flow(key)) m_closed_.add(core);
       }
     }
     count_packet(pkt, core);

@@ -27,6 +27,7 @@ class MonitorNf final : public core::INetworkFunction {
   void init(core::NfInitConfig& cfg, u32 num_cores) override {
     cfg.flow_table_capacity = 1u << 16;
     cfg.flow_entry_size = sizeof(Entry);
+    cfg.flow_idle_timeout = 60 * kSecond;  // idle connections age out
     num_cores_ = num_cores;
     auto& reg = tm_.attach(cfg.registry, num_cores);
     m_packets_ = reg.counter("monitor.packets");
@@ -37,6 +38,8 @@ class MonitorNf final : public core::INetworkFunction {
     m_tracked_ = reg.counter("monitor.tracked_packets");
     m_opened_ = reg.counter("monitor.connections_opened");
     m_closed_ = reg.counter("monitor.connections_closed");
+    m_table_full_ = reg.counter("monitor.table_full");
+    m_expired_ = reg.counter("monitor.connections_expired");
     tm_.seal();
   }
 
@@ -48,6 +51,8 @@ class MonitorNf final : public core::INetworkFunction {
   /// from the shared per-batch metadata.
   void regular_packets(runtime::PacketBatch& batch, core::BatchMeta& meta,
                        core::NfContext& ctx, core::BatchVerdicts& verdicts);
+  void on_expire(const net::FiveTuple& key, core::FlowTable::FlowHash hash,
+                 core::NfContext& ctx) override;
 
   [[nodiscard]] const char* name() const noexcept override {
     return "monitor";
@@ -62,6 +67,8 @@ class MonitorNf final : public core::INetworkFunction {
     u64 tracked_packets = 0;  // TCP packets whose connection is in the table
     u64 connections_opened = 0;
     u64 connections_closed = 0;
+    u64 connections_expired = 0;  // closed by idle aging (subset of closed)
+    u64 table_full = 0;           // SYNs the table had no room to track
   };
   /// Loosely-consistent aggregate across all cores (metrics "monitor.*",
   /// one registry shard per core — the same §3.4 statistics pattern as
@@ -80,10 +87,19 @@ class MonitorNf final : public core::INetworkFunction {
   struct Entry {
     Time first_seen = 0;
     u8 valid = 0;
-    u8 fin_count = 0;
+    /// Per-direction FIN bits (bit 0: packet traveled in the canonical
+    /// direction, bit 1: reverse) — a retransmitted FIN from one side sets
+    /// the same bit again instead of double-counting toward teardown.
+    u8 fin_seen = 0;
     u8 pad[6] = {};
   };
   static_assert(sizeof(Entry) == 16);
+
+  /// Which fin_seen bit a packet's arrival direction maps to.
+  [[nodiscard]] static u8 direction_bit(const net::FiveTuple& pkt_tuple,
+                                        const net::FiveTuple& canon) noexcept {
+    return pkt_tuple == canon ? 1 : 2;
+  }
 
   void count_packet(net::Packet* pkt, CoreId core) noexcept {
     m_packets_.add(core);
@@ -108,6 +124,8 @@ class MonitorNf final : public core::INetworkFunction {
   telemetry::Counter m_tracked_;
   telemetry::Counter m_opened_;
   telemetry::Counter m_closed_;
+  telemetry::Counter m_table_full_;
+  telemetry::Counter m_expired_;
 };
 
 }  // namespace sprayer::nf

@@ -1,7 +1,6 @@
 #include "nf/nat.hpp"
 
 #include <array>
-#include <vector>
 
 #include "hash/designated.hpp"
 
@@ -74,6 +73,7 @@ NatNf::Entry* NatNf::open_session(const net::FiveTuple& tuple,
   auto* fwd = static_cast<Entry*>(flows.insert_local_flow(tuple));
   if (fwd == nullptr) {
     ports_.release(port);
+    m_table_full_.add(ctx.core());
     return nullptr;
   }
   fwd->new_ip = cfg_.external_ip.host_order();
@@ -88,6 +88,7 @@ NatNf::Entry* NatNf::open_session(const net::FiveTuple& tuple,
   if (bwd == nullptr) {
     (void)flows.remove_local_flow(tuple);
     ports_.release(port);
+    m_table_full_.add(ctx.core());
     return nullptr;
   }
   bwd->new_ip = tuple.src_ip.host_order();
@@ -128,31 +129,45 @@ void NatNf::abort_session(const net::FiveTuple& tuple, Entry& e,
   m_closed_.add(ctx.core());
 }
 
-void NatNf::housekeeping(core::NfContext& ctx) {
-  // Expire TIME_WAIT sessions owned by this core. Keys are collected
-  // first; each removal also drops the paired entry and frees the port
-  // exactly once (from the rewrite-source side). The owns_flow_events gate
-  // is what "owned" means under every strategy: replication replicas and
-  // the shared-locked table hold ALL flows, so without it every core would
-  // expire every session — and release each port once per core.
-  const Time now = ctx.now();
-  std::vector<net::FiveTuple> expired;
-  ctx.flows().local().for_each([&](const net::FiveTuple& key, void* data) {
-    const auto* e = static_cast<const Entry*>(data);
-    if (e->state == SessionState::kTimeWait && e->expires <= now &&
-        e->rewrite_dst == 0 && ctx.flows().owns_flow_events(key)) {
-      expired.push_back(key);
-    }
-  });
-  for (const auto& key : expired) {
-    auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(key));
-    if (e == nullptr || e->state != SessionState::kTimeWait) continue;
-    const u16 port = e->new_port;
-    const net::FiveTuple pair = pair_key(key, *e);
-    (void)ctx.flows().remove_local_flow(key);
-    (void)ctx.flows().remove_local_flow(pair);
-    ports_.release(port);
+bool NatNf::flow_expired(const net::FiveTuple& key, const void* entry,
+                         Time last_seen, Time idle_timeout,
+                         core::NfContext& ctx) {
+  // Only the rewrite-source (outbound) entry drives expiry: its on_expire
+  // removes both directions and frees the port exactly once. The paired
+  // return entry rides along and never expires on its own.
+  const auto* e = static_cast<const Entry*>(entry);
+  if (e->rewrite_dst != 0) return false;
+  if (e->state == SessionState::kTimeWait) {
+    return e->expires <= ctx.now();
   }
+  if (e->state != SessionState::kActive || idle_timeout == 0) return false;
+  const Time now = ctx.now();
+  if (last_seen + idle_timeout > now) return false;
+  // Active sessions expire only when BOTH directions are idle: return
+  // traffic refreshes the pair's stamp, not ours. Non-touching read of the
+  // pair's stamp straight off the local table.
+  const void* pair = ctx.flows().local().find_local(pair_key(key, *e));
+  return pair == nullptr ||
+         core::FlowTable::last_seen(pair) + idle_timeout <= now;
+}
+
+void NatNf::on_expire(const net::FiveTuple& key,
+                      core::FlowTable::FlowHash hash, core::NfContext& ctx) {
+  // Re-fetch through the API: the sweep's candidate pass ended before this
+  // call, and an earlier expiry in the same batch may already have removed
+  // this session (it was its pair).
+  auto* e = static_cast<Entry*>(ctx.flows().get_local_flow(key, hash));
+  if (e == nullptr || e->state == SessionState::kInvalid) return;
+  const bool was_active = e->state == SessionState::kActive;
+  const u16 port = external_port(key, *e);
+  const net::FiveTuple pair = pair_key(key, *e);
+  (void)ctx.flows().remove_local_flow(key, hash);
+  (void)ctx.flows().remove_local_flow(pair);
+  ports_.release(port);
+  m_expired_.add(ctx.core());
+  // Graceful closes were already counted by close_session; an idle-aged
+  // active session is a close nobody announced.
+  if (was_active) m_closed_.add(ctx.core());
 }
 
 void NatNf::connection_packets(runtime::PacketBatch& batch,

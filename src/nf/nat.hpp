@@ -42,11 +42,14 @@ class NatNf final : public core::INetworkFunction {
   void init(core::NfInitConfig& init, u32 num_cores) override {
     init.flow_table_capacity = 1u << 16;
     init.flow_entry_size = sizeof(Entry);
+    init.flow_idle_timeout = 120 * kSecond;  // idle sessions release ports
     auto& reg = tm_.attach(init.registry, num_cores);
     m_opened_ = reg.counter("nat.sessions_opened");
     m_closed_ = reg.counter("nat.sessions_closed");
     m_port_exhausted_ = reg.counter("nat.port_exhausted");
     m_unmatched_ = reg.counter("nat.unmatched_dropped");
+    m_table_full_ = reg.counter("nat.table_full");
+    m_expired_ = reg.counter("nat.sessions_expired");
     tm_.seal();
   }
 
@@ -58,8 +61,17 @@ class NatNf final : public core::INetworkFunction {
   /// shared per-batch metadata instead of being re-derived per hop.
   void regular_packets(runtime::PacketBatch& batch, core::BatchMeta& meta,
                        core::NfContext& ctx, core::BatchVerdicts& verdicts);
-  /// Expires TIME_WAIT sessions on this core and releases their ports.
-  void housekeeping(core::NfContext& ctx) override;
+  /// Lifecycle hooks (the framework's bounded sweep replaces the old
+  /// full-table housekeeping scan). A session expires when its TIME_WAIT
+  /// deadline passes, or — for active sessions — when BOTH directions have
+  /// been idle past the timeout. Only the rewrite-source (outbound) entry
+  /// triggers expiry, so the port is released exactly once.
+  [[nodiscard]] bool flow_expired(const net::FiveTuple& key, const void* entry,
+                                  Time last_seen, Time idle_timeout,
+                                  core::NfContext& ctx) override;
+  /// Removes both directions of the expired session and returns its port.
+  void on_expire(const net::FiveTuple& key, core::FlowTable::FlowHash hash,
+                 core::NfContext& ctx) override;
 
   [[nodiscard]] const char* name() const noexcept override { return "nat"; }
   /// rewrite() changes the five-tuple, so the chain must recompute the
@@ -75,10 +87,13 @@ class NatNf final : public core::INetworkFunction {
     u64 sessions_closed = 0;
     u64 port_exhausted = 0;
     u64 unmatched_dropped = 0;
+    u64 table_full = 0;        // SYNs refused because the table had no room
+    u64 sessions_expired = 0;  // reclaimed by the sweep (TIME_WAIT or idle)
   };
   [[nodiscard]] NatCounters counters() const noexcept {
-    return NatCounters{tm_.total(m_opened_), tm_.total(m_closed_),
-                       tm_.total(m_port_exhausted_), tm_.total(m_unmatched_)};
+    return NatCounters{tm_.total(m_opened_),         tm_.total(m_closed_),
+                       tm_.total(m_port_exhausted_), tm_.total(m_unmatched_),
+                       tm_.total(m_table_full_),     tm_.total(m_expired_)};
   }
   [[nodiscard]] const PortPool& port_pool() const noexcept { return ports_; }
 
@@ -127,6 +142,8 @@ class NatNf final : public core::INetworkFunction {
   telemetry::Counter m_closed_;
   telemetry::Counter m_port_exhausted_;
   telemetry::Counter m_unmatched_;
+  telemetry::Counter m_table_full_;
+  telemetry::Counter m_expired_;
 };
 
 }  // namespace sprayer::nf

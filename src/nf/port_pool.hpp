@@ -36,7 +36,7 @@ class PortPool {
       const u16 port = static_cast<u16>(lo_ + idx);
       if (!pred(port)) continue;
       used_[idx] = true;
-      ++claimed_;
+      claimed_.fetch_add(1, std::memory_order_relaxed);
       cursor_ = (idx + 1) % n;
       unlock();
       return port;
@@ -56,14 +56,19 @@ class PortPool {
     const u32 idx = static_cast<u32>(port - lo_);
     SPRAYER_CHECK_MSG(used_[idx], "releasing a port that is not claimed");
     used_[idx] = false;
-    --claimed_;
+    claimed_.fetch_sub(1, std::memory_order_relaxed);
     unlock();
   }
 
   [[nodiscard]] u32 size() const noexcept {
     return static_cast<u32>(used_.size());
   }
-  [[nodiscard]] u32 claimed() const noexcept { return claimed_; }
+  // Mutations happen under the spinlock; the count is atomic only so that
+  // observers (tests, the churn drill's quiesce poll) can read it from
+  // other threads without tearing.
+  [[nodiscard]] u32 claimed() const noexcept {
+    return claimed_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] u32 available() const noexcept { return size() - claimed_; }
 
  private:
@@ -76,7 +81,7 @@ class PortPool {
   u16 hi_;
   std::vector<bool> used_;
   u32 cursor_ = 0;
-  u32 claimed_ = 0;
+  std::atomic<u32> claimed_{0};
   std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
 };
 
